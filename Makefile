@@ -1,0 +1,46 @@
+# elastisched build and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz repro examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper figure/table as benchmarks (also records the
+# reproduction report to bench_output.txt).
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Short fuzz pass over the trace parsers.
+fuzz:
+	$(GO) test -run=Fuzz -fuzz=FuzzParseLine -fuzztime=10s ./internal/cwf
+	$(GO) test -run=Fuzz -fuzz=FuzzParse -fuzztime=10s ./internal/cwf
+
+# Full evaluation suite with TSV outputs under results/.
+repro:
+	$(GO) run ./cmd/expsuite -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/heterogeneous
+	$(GO) run ./examples/elastic
+	$(GO) run ./examples/tracereplay
+	$(GO) run ./examples/fragmentation
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

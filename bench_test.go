@@ -1,0 +1,208 @@
+// Benchmarks that regenerate the paper's evaluation: one benchmark per
+// figure (1, 5-11) and per improvement table (IV-VII), plus ablation and
+// throughput benches. Each figure benchmark executes the full sweep —
+// workload generation, simulation of every algorithm at every point across
+// the seeds — and prints the series/rows the paper reports on the first
+// iteration. Custom benchmark metrics carry the headline improvement
+// percentages, so `go test -bench=.` doubles as the reproduction report.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or a single figure with e.g. `go test -bench=BenchmarkFig7`.
+package elastisched_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"elastisched/internal/experiment"
+)
+
+// benchCache memoizes sweep results so the table benchmarks (IV-VII) reuse
+// the figure runs instead of repeating them.
+var benchCache sync.Map
+
+func runPanel(b *testing.B, panel *experiment.Sweep) *experiment.Result {
+	b.Helper()
+	if r, ok := benchCache.Load(panel.ID); ok {
+		return r.(*experiment.Result)
+	}
+	r, err := panel.Run(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCache.Store(panel.ID, r)
+	return r
+}
+
+// benchFigure runs every panel of an experiment once per iteration,
+// printing tables and improvement rows on the first.
+func benchFigure(b *testing.B, id string) {
+	e, err := experiment.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		results := make([]*experiment.Result, len(e.Panels))
+		for pi, panel := range e.Panels {
+			if i == 0 {
+				results[pi] = runPanel(b, panel)
+				continue
+			}
+			r, err := panel.Run(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results[pi] = r
+		}
+		if i == 0 {
+			fmt.Printf("\n=== %s — %s ===\n", e.ID, e.Title)
+			for _, r := range results {
+				fmt.Println(r.Table())
+			}
+			for _, spec := range e.Improvements {
+				tbl, err := results[spec.Panel].ImprovementTable(spec.Name, spec.Target, spec.Baselines)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fmt.Println(tbl)
+			}
+		}
+	}
+}
+
+// reportImprovements attaches a table's maximum-%-improvement rows as
+// custom benchmark metrics.
+func reportImprovements(b *testing.B, r *experiment.Result, target string, baselines []string) {
+	for _, base := range baselines {
+		for _, m := range []experiment.Metric{experiment.MetricUtil, experiment.MetricWait, experiment.MetricSlow} {
+			v, err := r.MaxImprovement(target, base, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(v, fmt.Sprintf("imp%%_%s_vs_%s", m.Name, base))
+		}
+	}
+}
+
+// benchTable reproduces one improvement table from its source figure.
+func benchTable(b *testing.B, figID string, panel int, name, target string, baselines []string) {
+	e, err := experiment.ByID(figID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r *experiment.Result
+	for i := 0; i < b.N; i++ {
+		r = runPanel(b, e.Panels[panel])
+	}
+	reportImprovements(b, r, target, baselines)
+	tbl, err := r.ImprovementTable(name, target, baselines)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", tbl)
+}
+
+// --- Figures ---------------------------------------------------------------
+
+// BenchmarkFig1 regenerates Figure 1: EASY vs LOS mean waiting time against
+// load on the SDSC-like trace, load varied by arrival-time scaling.
+func BenchmarkFig1(b *testing.B) { benchFigure(b, "fig1") }
+
+// BenchmarkFig5 regenerates Figure 5: utilization and waiting time against
+// the maximum skip count C_s (Load=0.9, P_S=0.5).
+func BenchmarkFig5(b *testing.B) { benchFigure(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6: the C_s sweep with small jobs
+// dominant (P_S=0.8).
+func BenchmarkFig6(b *testing.B) { benchFigure(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7: batch metrics against load for
+// P_S=0.2 (the regime where Delayed-LOS wins and LOS trails EASY).
+func BenchmarkFig7(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8: waiting time against load for
+// P_S=0.5 and P_S=0.8.
+func BenchmarkFig8(b *testing.B) { benchFigure(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9: heterogeneous workload (P_D=0.5,
+// P_S=0.2) under EASY-D, LOS-D and Hybrid-LOS.
+func BenchmarkFig9(b *testing.B) { benchFigure(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10: dedicated-heavy workload (P_D=0.9,
+// P_S=0.5).
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11: the elastic workloads (ECCs with
+// P_E=0.2, P_R=0.1) for the batch and heterogeneous -E families.
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+
+// --- Tables ------------------------------------------------------------------
+
+// BenchmarkTable4 reproduces Table IV: maximum % improvement of Delayed-LOS
+// over LOS and EASY on the Figure 7 sweep.
+func BenchmarkTable4(b *testing.B) {
+	benchTable(b, "fig7", 0, "Table IV", "Delayed-LOS", []string{"LOS", "EASY"})
+}
+
+// BenchmarkTable5 reproduces Table V: Hybrid-LOS over LOS-D and EASY-D on
+// the Figure 9 sweep.
+func BenchmarkTable5(b *testing.B) {
+	benchTable(b, "fig9", 0, "Table V", "Hybrid-LOS", []string{"LOS-D", "EASY-D"})
+}
+
+// BenchmarkTable6 reproduces Table VI: Delayed-LOS-E over LOS-E and EASY-E
+// on the Figure 11 batch panel.
+func BenchmarkTable6(b *testing.B) {
+	benchTable(b, "fig11", 0, "Table VI", "Delayed-LOS-E", []string{"LOS-E", "EASY-E"})
+}
+
+// BenchmarkTable7 reproduces Table VII: Hybrid-LOS-E over LOS-DE and
+// EASY-DE on the Figure 11 heterogeneous panel.
+func BenchmarkTable7(b *testing.B) {
+	benchTable(b, "fig11", 1, "Table VII", "Hybrid-LOS-E", []string{"LOS-DE", "EASY-DE"})
+}
+
+// --- Extension studies -------------------------------------------------------
+
+// BenchmarkAblationLookahead sweeps the DP window depth (the LOS paper
+// fixes 50).
+func BenchmarkAblationLookahead(b *testing.B) { benchFigure(b, "lookahead") }
+
+// BenchmarkAblationECCSensitivity sweeps the extension probability P_E.
+func BenchmarkAblationECCSensitivity(b *testing.B) { benchFigure(b, "ecc-sensitivity") }
+
+// BenchmarkBaselines compares the Section II related-work baselines.
+func BenchmarkBaselines(b *testing.B) { benchFigure(b, "baselines") }
+
+// BenchmarkSizeElastic exercises the future-work EP/RP size elasticity.
+func BenchmarkSizeElastic(b *testing.B) { benchFigure(b, "size-elastic") }
+
+// BenchmarkAblationEstimates sweeps the estimate over-estimation factor
+// (the Mu'alem-Feitelson effect cited in Section II).
+func BenchmarkAblationEstimates(b *testing.B) { benchFigure(b, "estimates") }
+
+// BenchmarkAblationLOSVariants compares the two readings of LOS (head-only
+// vs head+DP-fill) against EASY and Delayed-LOS.
+func BenchmarkAblationLOSVariants(b *testing.B) { benchFigure(b, "los-variants") }
+
+// BenchmarkHeteroBaselines adds conservative-with-reservations (CONS-D) to
+// the heterogeneous comparison.
+func BenchmarkHeteroBaselines(b *testing.B) { benchFigure(b, "hetero-baselines") }
+
+// BenchmarkFragmentation measures BlueGene-style contiguous allocation and
+// migration-based defragmentation (Krevat et al., Section II).
+func BenchmarkFragmentation(b *testing.B) { benchFigure(b, "fragmentation") }
+
+// BenchmarkMachineScaling sweeps the machine size at fixed load.
+func BenchmarkMachineScaling(b *testing.B) { benchFigure(b, "machine-scaling") }
+
+// BenchmarkLongRun is the paper's Section V sanity check with a long trace.
+func BenchmarkLongRun(b *testing.B) { benchFigure(b, "longrun") }
+
+// BenchmarkAdaptiveSelection evaluates the dynamic Delayed-LOS/EASY
+// selection policy across the P_S spectrum.
+func BenchmarkAdaptiveSelection(b *testing.B) { benchFigure(b, "adaptive") }

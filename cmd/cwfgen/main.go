@@ -1,0 +1,84 @@
+// Command cwfgen generates synthetic Cloud Workload Format traces with the
+// paper's Lublin-model generator (Section IV-D).
+//
+// Usage:
+//
+//	cwfgen -n 500 -ps 0.5 -pd 0.5 -pe 0.2 -pr 0.1 -load 0.9 -seed 1 -o trace.cwf
+//
+// Omitting -o writes to stdout. -load 0 disables load targeting and uses
+// the raw beta_arr arrival process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	es "elastisched"
+	"elastisched/internal/workload"
+)
+
+func main() {
+	p := workload.DefaultParams()
+	var out string
+	var sdsc bool
+
+	flag.Int64Var(&p.Seed, "seed", p.Seed, "generator seed")
+	flag.IntVar(&p.N, "n", p.N, "number of job submissions")
+	flag.IntVar(&p.M, "m", p.M, "machine size in processors")
+	flag.IntVar(&p.Unit, "unit", p.Unit, "allocation quantum (node group size)")
+	flag.Float64Var(&p.PS, "ps", p.PS, "probability a job is small (P_S)")
+	flag.Float64Var(&p.PD, "pd", p.PD, "probability a job is dedicated (P_D)")
+	flag.Float64Var(&p.PE, "pe", p.PE, "probability of an ET command (P_E)")
+	flag.Float64Var(&p.PR, "pr", p.PR, "probability of an RT command (P_R)")
+	flag.Float64Var(&p.TargetLoad, "load", 0.9, "target offered load (0 = raw beta_arr)")
+	flag.Float64Var(&p.BetaArr, "beta-arr", p.BetaArr, "arrival Gamma scale (paper varies in [0.4101,0.6101])")
+	flag.Float64Var(&p.DedLeadMean, "ded-lead", p.DedLeadMean, "mean dedicated start lead time (s)")
+	flag.BoolVar(&p.SizeECC, "size-ecc", false, "emit EP/RP (size) commands instead of ET/RT")
+	flag.BoolVar(&sdsc, "sdsc", false, "use the SDSC-like configuration (128 procs, power-of-two sizes)")
+	flag.Float64Var(&p.EstFactor, "est-factor", 0, "over-estimate runtimes by this fixed factor (0/1 = exact)")
+	flag.Float64Var(&p.EstUniformMax, "est-uniform", 0, "per-job estimate factor uniform in [1, this] (0 = off)")
+	arrival := flag.String("arrival", "interarrival", "arrival model: interarrival | hourly | daily")
+	flag.StringVar(&out, "o", "", "output file (default stdout)")
+	flag.Parse()
+
+	switch *arrival {
+	case "interarrival":
+		p.Mode = workload.InterArrival
+	case "hourly":
+		p.Mode = workload.HourlyCount
+	case "daily":
+		p.Mode = workload.DailyCycle
+	default:
+		fmt.Fprintf(os.Stderr, "cwfgen: unknown -arrival %q\n", *arrival)
+		os.Exit(1)
+	}
+
+	if sdsc {
+		s := workload.SDSCLike()
+		s.Seed, s.N, s.PD, s.PE, s.PR, s.TargetLoad = p.Seed, p.N, p.PD, p.PE, p.PR, p.TargetLoad
+		s.EstFactor, s.EstUniformMax, s.Mode = p.EstFactor, p.EstUniformMax, p.Mode
+		p = s
+	}
+
+	w, err := es.GenerateWorkload(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cwfgen:", err)
+		os.Exit(1)
+	}
+	f := os.Stdout
+	if out != "" {
+		f, err = os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cwfgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	if err := es.WriteCWF(f, w); err != nil {
+		fmt.Fprintln(os.Stderr, "cwfgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "cwfgen: %d jobs (%d dedicated), %d ECCs, offered load %.3f on %d procs\n",
+		len(w.Jobs), w.NumDedicated(), len(w.Commands), w.Load(p.M), p.M)
+}

@@ -1,0 +1,126 @@
+// Command cwfvalidate lints a CWF or SWF trace and reports its statistics:
+// job counts by class, size/runtime distributions, ECC composition, offered
+// load, and estimate accuracy — the checks one runs before feeding a trace
+// to the simulator.
+//
+// Usage:
+//
+//	cwfvalidate -m 320 trace.cwf
+//	cwfgen -ps 0.2 -pd 0.5 | cwfvalidate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	es "elastisched"
+	"elastisched/internal/cwf"
+	"elastisched/internal/job"
+	"elastisched/internal/plot"
+)
+
+func main() {
+	m := flag.Int("m", 320, "machine size in processors for validation and load")
+	hist := flag.Bool("hist", false, "print size/runtime/inter-arrival histograms")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	w, err := es.ParseCWF(in)
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.Validate(*m); err != nil {
+		fmt.Fprintf(os.Stderr, "cwfvalidate: INVALID: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("jobs:        %d (%d batch, %d dedicated)\n", len(w.Jobs), w.NumBatch(), w.NumDedicated())
+	fmt.Printf("commands:    %d (%s)\n", len(w.Commands), commandMix(w.Commands))
+	fmt.Printf("offered load on %d procs: %.3f\n", *m, w.Load(*m))
+
+	if len(w.Jobs) > 0 {
+		sizes := make([]float64, 0, len(w.Jobs))
+		runs := make([]float64, 0, len(w.Jobs))
+		overEst := 0
+		for _, j := range w.Jobs {
+			sizes = append(sizes, float64(j.Size))
+			runs = append(runs, float64(j.EffectiveRuntime()))
+			if j.Actual > 0 && j.Dur > j.Actual {
+				overEst++
+			}
+		}
+		fmt.Printf("job size:    %s procs\n", fiveNum(sizes))
+		fmt.Printf("job runtime: %s s\n", fiveNum(runs))
+		fmt.Printf("span:        %d .. %d s\n", w.Jobs[0].Arrival, lastEnd(w.Jobs))
+		if overEst > 0 {
+			fmt.Printf("estimates:   %d/%d jobs over-estimated\n", overEst, len(w.Jobs))
+		} else {
+			fmt.Printf("estimates:   exact (estimate = runtime)\n")
+		}
+	}
+	if *hist && len(w.Jobs) > 0 {
+		sizes := make([]float64, 0, len(w.Jobs))
+		runs := make([]float64, 0, len(w.Jobs))
+		gaps := make([]float64, 0, len(w.Jobs))
+		for i, j := range w.Jobs {
+			sizes = append(sizes, float64(j.Size))
+			runs = append(runs, float64(j.EffectiveRuntime()))
+			if i > 0 {
+				gaps = append(gaps, float64(j.Arrival-w.Jobs[i-1].Arrival))
+			}
+		}
+		fmt.Println()
+		fmt.Println(plot.Histogram("job size (processors)", sizes, 10, false))
+		fmt.Println(plot.Histogram("job runtime (s, log bins)", runs, 12, true))
+		fmt.Println(plot.Histogram("inter-arrival gap (s, log bins)", gaps, 12, true))
+	}
+	fmt.Println("OK")
+}
+
+func commandMix(cmds []cwf.Command) string {
+	count := map[cwf.ReqType]int{}
+	for _, c := range cmds {
+		count[c.Type]++
+	}
+	return fmt.Sprintf("ET=%d RT=%d EP=%d RP=%d",
+		count[cwf.ExtendTime], count[cwf.ReduceTime], count[cwf.ExtendProc], count[cwf.ReduceProc])
+}
+
+func lastEnd(jobs []*job.Job) int64 {
+	var last int64
+	for _, j := range jobs {
+		end := j.Arrival + j.Dur
+		if j.Class == job.Dedicated && j.ReqStart > j.Arrival {
+			end = j.ReqStart + j.Dur
+		}
+		if end > last {
+			last = end
+		}
+	}
+	return last
+}
+
+// fiveNum renders min/p25/median/p75/max.
+func fiveNum(xs []float64) string {
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	q := func(p float64) float64 { return ys[int(p*float64(len(ys)-1))] }
+	return fmt.Sprintf("min=%.0f p25=%.0f med=%.0f p75=%.0f max=%.0f",
+		ys[0], q(0.25), q(0.5), q(0.75), ys[len(ys)-1])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cwfvalidate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"elastisched/internal/cwf"
+	"elastisched/internal/job"
+)
+
+func TestFiveNum(t *testing.T) {
+	out := fiveNum([]float64{1, 2, 3, 4, 100})
+	for _, want := range []string{"min=1", "med=3", "max=100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fiveNum missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestCommandMix(t *testing.T) {
+	cmds := []cwf.Command{
+		{Type: cwf.ExtendTime}, {Type: cwf.ExtendTime}, {Type: cwf.ReduceTime}, {Type: cwf.ReduceProc},
+	}
+	out := commandMix(cmds)
+	if out != "ET=2 RT=1 EP=0 RP=1" {
+		t.Errorf("commandMix = %q", out)
+	}
+}
+
+func TestLastEnd(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, Arrival: 0, Dur: 100, ReqStart: -1},
+		{ID: 2, Arrival: 50, Dur: 10, ReqStart: 500, Class: job.Dedicated},
+	}
+	if got := lastEnd(jobs); got != 510 {
+		t.Errorf("lastEnd = %d, want 510", got)
+	}
+}

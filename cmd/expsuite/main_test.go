@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+func TestWorkloadFor(t *testing.T) {
+	p := workloadFor(0.2, 0.9)
+	if p.PS != 0.2 || p.TargetLoad != 0.9 {
+		t.Errorf("workloadFor wrong: PS=%g load=%g", p.PS, p.TargetLoad)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	es "elastisched"
+)
+
+func TestAutoUnit(t *testing.T) {
+	w, err := es.BuildWorkload([]es.JobSpec{
+		{ID: 1, Size: 64, Duration: 10, RequestedStart: -1},
+		{ID: 2, Size: 96, Duration: 10, RequestedStart: -1},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := autoUnit(w, 320); got != 32 {
+		t.Errorf("autoUnit = %d, want 32", got)
+	}
+	w2, _ := es.BuildWorkload([]es.JobSpec{
+		{ID: 1, Size: 7, Duration: 10, RequestedStart: -1},
+	}, nil)
+	if got := autoUnit(w2, 128); got != 1 {
+		t.Errorf("autoUnit = %d, want 1 (gcd of 128 and 7)", got)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := [][3]int{{12, 8, 4}, {7, 128, 1}, {32, 320, 32}, {5, 0, 5}}
+	for _, c := range cases {
+		if got := gcd(c[0], c[1]); got != c[2] {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package elastisched is a library for scheduling batch and heterogeneous
+// jobs with runtime elasticity in a parallel processing environment,
+// reproducing Kumar, Shae & Jamjoom (IPDPS 2012).
+//
+// It provides:
+//
+//   - a discrete-event simulation engine for a BlueGene/P-style machine
+//     (M processors allocated in node groups);
+//   - the paper's scheduler family — LOS, Delayed-LOS and Hybrid-LOS — next
+//     to EASY backfilling and classic baselines, each composable with a
+//     dedicated-job queue (-D) and an Elastic Control Command processor (-E);
+//   - the Cloud Workload Format (CWF): the Standard Workload Format extended
+//     with requested start times and ET/RT/EP/RP elasticity commands;
+//   - a Lublin-model synthetic workload generator; and
+//   - the paper's full evaluation (Figures 1, 5-11; Tables IV-VII) as
+//     runnable experiments.
+//
+// Quick start:
+//
+//	params := elastisched.DefaultWorkloadParams()
+//	params.PS = 0.2          // mostly large jobs
+//	params.TargetLoad = 0.9  // offered load
+//	w, _ := elastisched.GenerateWorkload(params)
+//	res, _ := elastisched.Simulate(w, "Delayed-LOS", elastisched.Options{})
+//	fmt.Println(res.Summary)
+package elastisched
+
+import (
+	"io"
+
+	"elastisched/internal/core"
+	"elastisched/internal/cwf"
+	"elastisched/internal/engine"
+	"elastisched/internal/experiment"
+	"elastisched/internal/job"
+	"elastisched/internal/metrics"
+	"elastisched/internal/sched"
+	"elastisched/internal/swf"
+	"elastisched/internal/trace"
+	"elastisched/internal/workload"
+)
+
+// Re-exported core types. See the corresponding internal packages for the
+// full documentation of each.
+type (
+	// Workload is a parsed or generated CWF workload: job submissions plus
+	// the elastic control command stream.
+	Workload = cwf.Workload
+	// WorkloadParams configures the synthetic generator (paper Section IV-D).
+	WorkloadParams = workload.Params
+	// Summary holds the measured metrics of one run: utilization, mean
+	// wait, slowdown, and diagnostics.
+	Summary = metrics.Summary
+	// Result is the outcome of one simulation run.
+	Result = engine.Result
+	// Scheduler is a scheduling policy usable with the engine.
+	Scheduler = sched.Scheduler
+	// Experiment is a paper figure/table (or extension study) as code.
+	Experiment = experiment.Experiment
+	// ExperimentResult is one completed sweep panel.
+	ExperimentResult = experiment.Result
+	// Trace records per-job placement during a run and renders ASCII/SVG
+	// Gantt charts of the schedule.
+	Trace = trace.Recorder
+)
+
+// NewTrace returns a placement recorder for a machine of m processors in
+// groups of unit; attach it via Options.Trace.
+func NewTrace(m, unit int) *Trace { return trace.NewRecorder(m, unit) }
+
+// DefaultWorkloadParams returns the paper's experimental configuration:
+// a 320-processor BlueGene/P in groups of 32, Table I runtime parameters
+// and Table II arrival parameters.
+func DefaultWorkloadParams() WorkloadParams { return workload.DefaultParams() }
+
+// SDSCLikeParams returns parameters mimicking the SDSC SP2 archive log used
+// in the paper's Figure 1.
+func SDSCLikeParams() WorkloadParams { return workload.SDSCLike() }
+
+// GenerateWorkload produces a synthetic CWF workload.
+func GenerateWorkload(p WorkloadParams) (*Workload, error) { return workload.Generate(p) }
+
+// ParseCWF reads a Cloud Workload Format stream (plain SWF is accepted).
+func ParseCWF(r io.Reader) (*Workload, error) { return cwf.Parse(r) }
+
+// WriteCWF emits a workload as CWF text.
+func WriteCWF(w io.Writer, wl *Workload) error { return cwf.Write(w, wl) }
+
+// ParseSWF reads a Standard Workload Format archive log and wraps it as a
+// (batch-only, non-elastic) workload.
+func ParseSWF(r io.Reader) (*Workload, error) {
+	log, err := swf.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return cwf.FromSWF(log), nil
+}
+
+// JobSpec describes one job for BuildWorkload.
+type JobSpec struct {
+	// ID must be unique and positive.
+	ID int
+	// Size is the processor demand (quantized up to the machine unit when
+	// simulated).
+	Size int
+	// Duration is the user-estimated execution time in seconds.
+	Duration int64
+	// Arrival is the submit time in seconds.
+	Arrival int64
+	// RequestedStart, when >= Arrival, makes this a dedicated/interactive
+	// job with a rigid start time; use -1 (or any negative) for batch jobs.
+	RequestedStart int64
+}
+
+// CommandSpec describes one Elastic Control Command for BuildWorkload.
+type CommandSpec struct {
+	JobID int
+	// Issue is when the user issues the command.
+	Issue int64
+	// Type is "ET", "RT", "EP" or "RP".
+	Type string
+	// Amount is seconds (ET/RT) or processors (EP/RP).
+	Amount int64
+}
+
+// BuildWorkload constructs a workload programmatically, for scenarios not
+// covered by the synthetic generator or an archive trace.
+func BuildWorkload(jobs []JobSpec, cmds []CommandSpec) (*Workload, error) {
+	w := &cwf.Workload{}
+	for _, s := range jobs {
+		j := &job.Job{
+			ID: s.ID, Size: s.Size, Dur: s.Duration, Arrival: s.Arrival,
+			ReqStart: -1, Class: job.Batch,
+		}
+		if s.RequestedStart >= 0 {
+			j.Class = job.Dedicated
+			j.ReqStart = s.RequestedStart
+		}
+		w.Jobs = append(w.Jobs, j)
+	}
+	for _, c := range cmds {
+		t, err := cwf.ParseReqType(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		w.Commands = append(w.Commands, cwf.Command{JobID: c.JobID, Issue: c.Issue, Type: t, Amount: c.Amount})
+	}
+	w.Sort()
+	return w, nil
+}
+
+// Options configures Simulate.
+type Options struct {
+	// M and Unit give the machine geometry; zero values default to the
+	// paper's 320 processors in groups of 32.
+	M, Unit int
+	// Cs is the maximum skip count for Delayed-LOS/Hybrid-LOS (0 = default).
+	Cs int
+	// Lookahead bounds the DP window (0 = the LOS paper's 50).
+	Lookahead int
+	// MaxECCPerJob caps elastic commands per job (0 = unlimited).
+	MaxECCPerJob int
+	// Paranoid validates machine invariants at every instant.
+	Paranoid bool
+	// Trace, when non-nil, records every placement for Gantt rendering.
+	Trace *Trace
+	// Contiguous requires contiguous node-group allocations (BlueGene-style
+	// partitioning): fragmentation can then delay capacity-feasible jobs.
+	Contiguous bool
+	// Migrate enables on-the-fly defragmentation (compaction) when a
+	// contiguous placement fails.
+	Migrate bool
+}
+
+// AlgorithmNames lists every algorithm accepted by Simulate: the paper's
+// Table III (EASY/LOS/Delayed-LOS/Hybrid-LOS and their -D/-E/-DE variants)
+// plus FCFS, SJF, LJF, CONS and Adaptive.
+func AlgorithmNames() []string { return experiment.Names() }
+
+// Simulate runs the workload under the named algorithm and returns the
+// measured result. -E variants process the workload's elastic control
+// commands; others ignore them (counted in Result.DroppedECC).
+func Simulate(w *Workload, algorithm string, opt Options) (*Result, error) {
+	algo, err := experiment.ByName(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if opt.M == 0 {
+		opt.M = 320
+	}
+	if opt.Unit == 0 {
+		opt.Unit = 32
+	}
+	pt := experiment.Point{Cs: opt.Cs, Lookahead: opt.Lookahead}
+	cfg := engine.Config{
+		M:            opt.M,
+		Unit:         opt.Unit,
+		Scheduler:    algo.New(pt),
+		ProcessECC:   algo.ECC,
+		MaxECCPerJob: opt.MaxECCPerJob,
+		Paranoid:     opt.Paranoid,
+		Contiguous:   opt.Contiguous,
+		Migrate:      opt.Migrate,
+	}
+	if opt.Trace != nil {
+		cfg.Observer = opt.Trace
+	}
+	return engine.Run(w, cfg)
+}
+
+// SimulateWith runs the workload under a caller-provided policy
+// implementation (anything satisfying the Scheduler interface), for
+// experimenting with custom scheduling ideas against the same engine,
+// workloads and metrics as the built-in algorithms. processECC attaches
+// the Elastic Control Command processor (the policy's -E behaviour).
+func SimulateWith(w *Workload, s Scheduler, processECC bool, opt Options) (*Result, error) {
+	if opt.M == 0 {
+		opt.M = 320
+	}
+	if opt.Unit == 0 {
+		opt.Unit = 32
+	}
+	cfg := engine.Config{
+		M:            opt.M,
+		Unit:         opt.Unit,
+		Scheduler:    s,
+		ProcessECC:   processECC,
+		MaxECCPerJob: opt.MaxECCPerJob,
+		Paranoid:     opt.Paranoid,
+		Contiguous:   opt.Contiguous,
+		Migrate:      opt.Migrate,
+	}
+	if opt.Trace != nil {
+		cfg.Observer = opt.Trace
+	}
+	return engine.Run(w, cfg)
+}
+
+// NewScheduler constructs a named policy directly (for use with custom
+// engines or inspection). The boolean reports whether the name denotes an
+// -E variant that expects an ECC processor.
+func NewScheduler(algorithm string, cs int) (Scheduler, bool, error) {
+	algo, err := experiment.ByName(algorithm)
+	if err != nil {
+		return nil, false, err
+	}
+	return algo.New(experiment.Point{Cs: cs}), algo.ECC, nil
+}
+
+// NewDelayedLOS returns the paper's Delayed-LOS (Algorithm 1) with maximum
+// skip count cs.
+func NewDelayedLOS(cs int) Scheduler { return core.NewDelayedLOS(cs) }
+
+// NewHybridLOS returns the paper's Hybrid-LOS (Algorithm 2) with maximum
+// skip count cs.
+func NewHybridLOS(cs int) Scheduler { return core.NewHybridLOS(cs) }
+
+// CalibrateCs empirically finds the maximum skip count minimizing
+// Delayed-LOS's mean waiting time for a workload configuration — the
+// calibration the paper performs before each load sweep. csMax <= 0 sweeps
+// 1..20; empty seeds use the default three.
+func CalibrateCs(params WorkloadParams, csMax int, seeds []int64) (int, error) {
+	best, _, err := experiment.CalibrateCs(params, csMax, seeds, 0)
+	return best, err
+}
+
+// Experiments returns the full evaluation suite: Figures 1 and 5-11 with
+// their improvement tables (Tables IV-VII), plus the extension studies.
+func Experiments() []*Experiment { return experiment.All() }
+
+// ExperimentByID resolves one experiment ("fig7", "table5", "lookahead"...).
+func ExperimentByID(id string) (*Experiment, error) { return experiment.ByID(id) }

@@ -1,0 +1,237 @@
+package elastisched_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	es "elastisched"
+)
+
+func smallWorkload(t *testing.T, mut func(*es.WorkloadParams)) *es.Workload {
+	t.Helper()
+	p := es.DefaultWorkloadParams()
+	p.N = 100
+	p.TargetLoad = 0.85
+	if mut != nil {
+		mut(&p)
+	}
+	w, err := es.GenerateWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSimulateEveryAlgorithm(t *testing.T) {
+	batch := smallWorkload(t, nil)
+	hetero := smallWorkload(t, func(p *es.WorkloadParams) { p.PD = 0.4 })
+	elastic := smallWorkload(t, func(p *es.WorkloadParams) { p.PE = 0.2; p.PR = 0.1 })
+	heteroElastic := smallWorkload(t, func(p *es.WorkloadParams) { p.PD = 0.4; p.PE = 0.2; p.PR = 0.1 })
+
+	for _, name := range es.AlgorithmNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, _, err := es.NewScheduler(name, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := batch
+			if s.Heterogeneous() {
+				w = hetero
+				if strings.HasSuffix(name, "E") && strings.Contains(name, "-") {
+					w = heteroElastic
+				}
+			} else if strings.HasSuffix(name, "-E") {
+				w = elastic
+			}
+			res, err := es.Simulate(w, name, es.Options{Cs: 7, Paranoid: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Summary.JobsFinished != 100 {
+				t.Fatalf("finished %d/100", res.Summary.JobsFinished)
+			}
+		})
+	}
+}
+
+func TestSimulateUnknownAlgorithm(t *testing.T) {
+	if _, err := es.Simulate(smallWorkload(t, nil), "NOPE", es.Options{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSimulateDefaultsGeometry(t *testing.T) {
+	res, err := es.Simulate(smallWorkload(t, nil), "EASY", es.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.MachineSize != 320 {
+		t.Errorf("default machine %d, want 320", res.Summary.MachineSize)
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	w, err := es.BuildWorkload([]es.JobSpec{
+		{ID: 1, Size: 64, Duration: 100, Arrival: 0, RequestedStart: -1},
+		{ID: 2, Size: 96, Duration: 50, Arrival: 10, RequestedStart: 200},
+	}, []es.CommandSpec{
+		{JobID: 1, Issue: 20, Type: "ET", Amount: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumBatch() != 1 || w.NumDedicated() != 1 || len(w.Commands) != 1 {
+		t.Fatalf("built workload wrong: %d batch, %d ded, %d cmds",
+			w.NumBatch(), w.NumDedicated(), len(w.Commands))
+	}
+	res, err := es.Simulate(w, "Hybrid-LOS-E", es.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.JobsFinished != 2 || res.ECC.Applied != 1 {
+		t.Errorf("result wrong: %+v", res.Summary)
+	}
+}
+
+func TestBuildWorkloadBadCommandType(t *testing.T) {
+	_, err := es.BuildWorkload(
+		[]es.JobSpec{{ID: 1, Size: 64, Duration: 100, RequestedStart: -1}},
+		[]es.CommandSpec{{JobID: 1, Issue: 5, Type: "ZZ", Amount: 1}},
+	)
+	if err == nil {
+		t.Fatal("bad command type accepted")
+	}
+}
+
+func TestCWFRoundTripThroughFacade(t *testing.T) {
+	w := smallWorkload(t, func(p *es.WorkloadParams) { p.PD = 0.3; p.PE = 0.2; p.PR = 0.1 })
+	var buf bytes.Buffer
+	if err := es.WriteCWF(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := es.ParseCWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := es.Simulate(w, "Hybrid-LOS-E", es.Options{Cs: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := es.Simulate(w2, "Hybrid-LOS-E", es.Options{Cs: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Summary != r2.Summary {
+		t.Fatal("round-tripped workload simulates differently")
+	}
+}
+
+func TestParseSWFFacade(t *testing.T) {
+	swf := `; header
+1 0 -1 100 64 -1 -1 64 100 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 10 -1 50 32 -1 -1 32 50 -1 1 -1 -1 -1 -1 -1 -1 -1
+`
+	w, err := es.ParseSWF(strings.NewReader(swf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 2 {
+		t.Fatalf("parsed %d jobs", len(w.Jobs))
+	}
+	res, err := es.Simulate(w, "LOS", es.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.JobsFinished != 2 {
+		t.Error("SWF replay incomplete")
+	}
+}
+
+func TestNewSchedulerECCFlag(t *testing.T) {
+	_, ecc, err := es.NewScheduler("Delayed-LOS-E", 7)
+	if err != nil || !ecc {
+		t.Error("Delayed-LOS-E should carry the ECC flag")
+	}
+	_, ecc, err = es.NewScheduler("Delayed-LOS", 7)
+	if err != nil || ecc {
+		t.Error("Delayed-LOS should not carry the ECC flag")
+	}
+}
+
+func TestConstructorsDirect(t *testing.T) {
+	if es.NewDelayedLOS(7).Name() != "Delayed-LOS" {
+		t.Error("NewDelayedLOS wrong")
+	}
+	if es.NewHybridLOS(7).Name() != "Hybrid-LOS" {
+		t.Error("NewHybridLOS wrong")
+	}
+}
+
+func TestExperimentsExposed(t *testing.T) {
+	if len(es.Experiments()) < 12 {
+		t.Error("experiment suite incomplete")
+	}
+	if _, err := es.ExperimentByID("table4"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSDSCLikeParams(t *testing.T) {
+	p := es.SDSCLikeParams()
+	if p.M != 128 || p.Unit != 1 {
+		t.Errorf("SDSC params wrong: M=%d unit=%d", p.M, p.Unit)
+	}
+}
+
+func TestCalibrateCsFacade(t *testing.T) {
+	p := es.DefaultWorkloadParams()
+	p.N = 60
+	p.PS = 0.2
+	p.TargetLoad = 0.9
+	best, err := es.CalibrateCs(p, 4, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 1 || best > 4 {
+		t.Errorf("calibrated C_s = %d", best)
+	}
+}
+
+func TestSimulateContiguousOptions(t *testing.T) {
+	w := smallWorkload(t, nil)
+	frag, err := es.Simulate(w, "EASY", es.Options{Contiguous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := es.Simulate(w, "EASY", es.Options{Contiguous: true, Migrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scatter, err := es.Simulate(w, "EASY", es.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.Summary.MeanWait < scatter.Summary.MeanWait {
+		t.Error("fragmented run waits less than scatter")
+	}
+	if mig.Summary.MeanWait > frag.Summary.MeanWait {
+		t.Error("migration did not help")
+	}
+}
+
+func TestSimulateWithTrace(t *testing.T) {
+	w := smallWorkload(t, nil)
+	rec := es.NewTrace(320, 32)
+	res, err := es.Simulate(w, "Delayed-LOS", es.Options{Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Spans()) != res.Summary.JobsFinished {
+		t.Errorf("trace has %d spans, summary says %d jobs", len(rec.Spans()), res.Summary.JobsFinished)
+	}
+	if rec.ASCII(60) == "" || rec.SVG(400, 200) == "" {
+		t.Error("trace rendering empty")
+	}
+}

@@ -1,0 +1,62 @@
+package elastisched_test
+
+import (
+	"fmt"
+
+	es "elastisched"
+)
+
+// ExampleSimulate runs the paper's Delayed-LOS scheduler on a tiny
+// hand-built workload: the motivating example of Figure 2, where skipping
+// the 7-group head job lets the 4+6-group pair fill the whole machine.
+func ExampleSimulate() {
+	w, _ := es.BuildWorkload([]es.JobSpec{
+		{ID: 1, Size: 7 * 32, Duration: 3600, Arrival: 0, RequestedStart: -1},
+		{ID: 2, Size: 4 * 32, Duration: 3600, Arrival: 0, RequestedStart: -1},
+		{ID: 3, Size: 6 * 32, Duration: 3600, Arrival: 0, RequestedStart: -1},
+	}, nil)
+
+	los, _ := es.Simulate(w, "LOS", es.Options{})
+	delayed, _ := es.Simulate(w, "Delayed-LOS", es.Options{Cs: 7})
+
+	fmt.Printf("LOS mean wait:         %.0f s\n", los.Summary.MeanWait)
+	fmt.Printf("Delayed-LOS mean wait: %.0f s\n", delayed.Summary.MeanWait)
+	// Output:
+	// LOS mean wait:         2400 s
+	// Delayed-LOS mean wait: 1200 s
+}
+
+// ExampleBuildWorkload mixes a batch job, a dedicated job with a rigid
+// start, and an Elastic Control Command extending a running job.
+func ExampleBuildWorkload() {
+	w, _ := es.BuildWorkload([]es.JobSpec{
+		{ID: 1, Size: 160, Duration: 600, Arrival: 0, RequestedStart: -1},
+		{ID: 2, Size: 96, Duration: 300, Arrival: 0, RequestedStart: 1000},
+	}, []es.CommandSpec{
+		{JobID: 1, Issue: 100, Type: "ET", Amount: 300},
+	})
+
+	res, _ := es.Simulate(w, "Hybrid-LOS-E", es.Options{})
+	fmt.Printf("jobs finished: %d, dedicated on time: %.0f%%, ECCs applied: %d\n",
+		res.Summary.JobsFinished, 100*res.Summary.DedicatedOnTime, res.ECC.Applied)
+	// Output:
+	// jobs finished: 2, dedicated on time: 100%, ECCs applied: 1
+}
+
+// ExampleGenerateWorkload draws a synthetic trace from the paper's
+// Lublin-based model and reports its composition.
+func ExampleGenerateWorkload() {
+	p := es.DefaultWorkloadParams()
+	p.Seed = 7
+	p.N = 100
+	p.PD = 0.5 // half dedicated (paper Figure 9 regime)
+	p.PE = 0.2 // extension commands
+	p.PR = 0.1 // reduction commands
+	p.TargetLoad = 0.9
+
+	w, _ := es.GenerateWorkload(p)
+	fmt.Printf("%d jobs (%d dedicated), %d elastic commands, load %.1f\n",
+		len(w.Jobs), w.NumDedicated(), len(w.Commands), w.Load(320))
+	// Output:
+	// 100 jobs (53 dedicated), 32 elastic commands, load 0.9
+}

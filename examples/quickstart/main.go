@@ -1,0 +1,48 @@
+// Quickstart: generate a synthetic cloud workload with the paper's Lublin
+// model, run the paper's Delayed-LOS scheduler against EASY backfilling and
+// LOS, and print the three headline metrics (utilization, mean waiting
+// time, slowdown).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	es "elastisched"
+)
+
+func main() {
+	// The paper's machine: a BlueGene/P with 320 processors allocated in
+	// node groups of 32. P_S = 0.2 means large jobs dominate — the regime
+	// where Delayed-LOS's packing freedom matters most (paper Figure 7).
+	params := es.DefaultWorkloadParams()
+	params.Seed = 42
+	params.N = 500
+	params.PS = 0.2
+	params.TargetLoad = 0.9
+
+	w, err := es.GenerateWorkload(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d batch jobs, offered load %.2f on %d processors\n\n",
+		len(w.Jobs), w.Load(params.M), params.M)
+
+	fmt.Printf("%-14s %12s %16s %10s\n", "algorithm", "utilization", "mean wait (s)", "slowdown")
+	for _, algo := range []string{"EASY", "LOS", "Delayed-LOS"} {
+		res, err := es.Simulate(w, algo, es.Options{Cs: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summary
+		fmt.Printf("%-14s %12.4f %16.1f %10.3f\n", algo, s.Utilization, s.MeanWait, s.Slowdown)
+	}
+
+	fmt.Println("\nDelayed-LOS may skip the head job up to C_s times when a better")
+	fmt.Println("packing exists (paper Algorithm 1), which is why its waiting time")
+	fmt.Println("drops below both baselines on large-job-heavy workloads.")
+}

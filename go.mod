@@ -1,0 +1,3 @@
+module elastisched
+
+go 1.22

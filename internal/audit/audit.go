@@ -1,0 +1,176 @@
+// Package audit independently verifies a recorded schedule against its
+// workload: an oracle separate from the engine's own bookkeeping. Given the
+// placement spans captured by trace.Recorder, it re-checks, instant by
+// instant, that the schedule was *feasible* and *lawful*:
+//
+//   - no instant overcommits the machine;
+//   - every job starts at or after its arrival;
+//   - dedicated jobs never start before their requested start time;
+//   - every submitted job was placed exactly once and actually ran;
+//   - without elastic commands, each job occupies the machine for exactly
+//     its effective runtime (actual capped by the estimate);
+//   - allocations respect the machine's node-group quantum and no two jobs
+//     share a node group at the same instant.
+//
+// Integration tests run every scheduling policy through this auditor, so a
+// bookkeeping bug in the engine and a matching bug in the metrics cannot
+// mask each other.
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"elastisched/internal/cwf"
+	"elastisched/internal/job"
+	"elastisched/internal/trace"
+)
+
+// Report is the outcome of an audit. Violations is empty for a lawful
+// schedule.
+type Report struct {
+	Violations []string
+	// PeakBusy is the maximum processors in use at any instant.
+	PeakBusy int
+	// Spans is the number of placements audited.
+	Spans int
+}
+
+// OK reports whether the audit found no violations.
+func (r Report) OK() bool { return len(r.Violations) == 0 }
+
+// Error renders the report as an error (nil when OK).
+func (r Report) Error() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("audit: %d violations, first: %s", len(r.Violations), r.Violations[0])
+}
+
+// Options tune the audit.
+type Options struct {
+	// M and Unit give the machine geometry.
+	M, Unit int
+	// Elastic relaxes the exact-runtime check: ET/RT commands legitimately
+	// change durations mid-run.
+	Elastic bool
+	// SizeElastic additionally skips the capacity/group sweep and size
+	// checks: EP/RP commands change allocations mid-run, so the dispatch
+	// snapshot in a span no longer describes the whole lifetime.
+	SizeElastic bool
+}
+
+// Check audits the spans of one run against the workload it came from.
+func Check(w *cwf.Workload, spans []trace.Span, opt Options) Report {
+	rep := Report{Spans: len(spans)}
+	add := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+	if opt.M <= 0 || opt.Unit <= 0 || opt.M%opt.Unit != 0 {
+		add("bad machine geometry M=%d unit=%d", opt.M, opt.Unit)
+		return rep
+	}
+
+	byID := make(map[int]*job.Job, len(w.Jobs))
+	for _, j := range w.Jobs {
+		byID[j.ID] = j
+	}
+
+	// Per-span lawfulness.
+	seen := make(map[int]bool, len(spans))
+	for _, sp := range spans {
+		j, ok := byID[sp.JobID]
+		if !ok {
+			add("job %d placed but never submitted", sp.JobID)
+			continue
+		}
+		if seen[sp.JobID] {
+			add("job %d placed twice", sp.JobID)
+			continue
+		}
+		seen[sp.JobID] = true
+		if sp.Start < j.Arrival {
+			add("job %d started at %d before arrival %d", sp.JobID, sp.Start, j.Arrival)
+		}
+		if j.Class == job.Dedicated && sp.Start < j.ReqStart {
+			add("dedicated job %d started at %d before requested start %d", sp.JobID, sp.Start, j.ReqStart)
+		}
+		if sp.End <= sp.Start {
+			add("job %d has empty span [%d, %d)", sp.JobID, sp.Start, sp.End)
+		}
+		if !opt.Elastic {
+			if got, want := sp.End-sp.Start, j.EffectiveRuntime(); got != want {
+				add("job %d ran %d s, expected %d", sp.JobID, got, want)
+			}
+			if sp.Size < j.Size || sp.Size%opt.Unit != 0 {
+				add("job %d placed on %d procs, submitted %d (unit %d)", sp.JobID, sp.Size, j.Size, opt.Unit)
+			}
+		}
+		if !opt.SizeElastic && len(sp.Groups)*opt.Unit != sp.Size {
+			add("job %d holds %d groups for size %d (unit %d)", sp.JobID, len(sp.Groups), sp.Size, opt.Unit)
+		}
+		for _, g := range sp.Groups {
+			if g < 0 || g >= opt.M/opt.Unit {
+				add("job %d holds out-of-range group %d", sp.JobID, g)
+			}
+		}
+	}
+	for id := range byID {
+		if !seen[id] {
+			add("job %d submitted but never placed", id)
+		}
+	}
+
+	if opt.SizeElastic {
+		return rep
+	}
+
+	// Capacity and group-exclusivity over time: sweep start/end edges.
+	type edge struct {
+		t     int64
+		start bool
+		span  *trace.Span
+	}
+	edges := make([]edge, 0, 2*len(spans))
+	for i := range spans {
+		edges = append(edges, edge{spans[i].Start, true, &spans[i]}, edge{spans[i].End, false, &spans[i]})
+	}
+	sort.Slice(edges, func(i, k int) bool {
+		if edges[i].t != edges[k].t {
+			return edges[i].t < edges[k].t
+		}
+		// Process releases before starts at the same instant: a job may
+		// start exactly when another ends.
+		return !edges[i].start && edges[k].start
+	})
+	busy := 0
+	groupOwner := make(map[int]int) // group -> jobID
+	for _, e := range edges {
+		if e.start {
+			busy += len(e.span.Groups) * opt.Unit
+			if busy > opt.M {
+				add("machine overcommitted at t=%d: %d/%d busy", e.t, busy, opt.M)
+			}
+			if busy > rep.PeakBusy {
+				rep.PeakBusy = busy
+			}
+			for _, g := range e.span.Groups {
+				if owner, taken := groupOwner[g]; taken {
+					add("group %d double-booked at t=%d by jobs %d and %d", g, e.t, owner, e.span.JobID)
+				}
+				groupOwner[g] = e.span.JobID
+			}
+		} else {
+			busy -= len(e.span.Groups) * opt.Unit
+			for _, g := range e.span.Groups {
+				if groupOwner[g] == e.span.JobID {
+					delete(groupOwner, g)
+				}
+			}
+		}
+	}
+	if busy != 0 {
+		add("schedule ends with %d processors still marked busy", busy)
+	}
+	return rep
+}

@@ -1,0 +1,169 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"elastisched/internal/cwf"
+	"elastisched/internal/job"
+	"elastisched/internal/trace"
+)
+
+func opts() Options { return Options{M: 320, Unit: 32} }
+
+func wlOf(jobs ...*job.Job) *cwf.Workload {
+	w := &cwf.Workload{Jobs: jobs}
+	w.Sort()
+	return w
+}
+
+func bj(id, size int, dur, arr int64) *job.Job {
+	return &job.Job{ID: id, Size: size, Dur: dur, Arrival: arr, ReqStart: -1, Class: job.Batch}
+}
+
+func span(id, size int, start, end int64, groups ...int) trace.Span {
+	return trace.Span{JobID: id, Size: size, Start: start, End: end, Groups: groups, ReqStart: -1}
+}
+
+func TestCleanScheduleOK(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0), bj(2, 64, 50, 10))
+	spans := []trace.Span{
+		span(1, 64, 0, 100, 0, 1),
+		span(2, 64, 10, 60, 2, 3),
+	}
+	rep := Check(w, spans, opts())
+	if !rep.OK() {
+		t.Fatalf("clean schedule flagged: %v", rep.Violations)
+	}
+	if rep.PeakBusy != 128 || rep.Spans != 2 {
+		t.Errorf("peak=%d spans=%d", rep.PeakBusy, rep.Spans)
+	}
+	if rep.Error() != nil {
+		t.Error("Error() should be nil for OK report")
+	}
+}
+
+func TestDetectsStartBeforeArrival(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 50))
+	rep := Check(w, []trace.Span{span(1, 64, 10, 110, 0, 1)}, opts())
+	wantViolation(t, rep, "before arrival")
+}
+
+func TestDetectsDedicatedEarlyStart(t *testing.T) {
+	d := &job.Job{ID: 1, Size: 64, Dur: 100, Arrival: 0, ReqStart: 500, Class: job.Dedicated}
+	w := wlOf(d)
+	sp := span(1, 64, 400, 500, 0, 1)
+	sp.Class = job.Dedicated
+	sp.ReqStart = 500
+	rep := Check(w, []trace.Span{sp}, opts())
+	wantViolation(t, rep, "before requested start")
+}
+
+func TestDetectsOvercommit(t *testing.T) {
+	// Two 192-proc jobs overlapping on a 320-proc machine.
+	w := wlOf(bj(1, 192, 100, 0), bj(2, 192, 100, 0))
+	spans := []trace.Span{
+		span(1, 192, 0, 100, 0, 1, 2, 3, 4, 5),
+		span(2, 192, 50, 150, 4, 5, 6, 7, 8, 9),
+	}
+	rep := Check(w, spans, opts())
+	wantViolation(t, rep, "overcommitted")
+	wantViolation(t, rep, "double-booked")
+}
+
+func TestAllowsBackToBackOnSameGroups(t *testing.T) {
+	w := wlOf(bj(1, 320, 100, 0), bj(2, 320, 100, 0))
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	spans := []trace.Span{
+		span(1, 320, 0, 100, all...),
+		span(2, 320, 100, 200, all...), // starts exactly at the release
+	}
+	rep := Check(w, spans, opts())
+	if !rep.OK() {
+		t.Fatalf("back-to-back flagged: %v", rep.Violations)
+	}
+}
+
+func TestDetectsWrongRuntime(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0))
+	rep := Check(w, []trace.Span{span(1, 64, 0, 60, 0, 1)}, opts())
+	wantViolation(t, rep, "ran 60")
+}
+
+func TestElasticSkipsRuntimeCheck(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0))
+	o := opts()
+	o.Elastic = true
+	rep := Check(w, []trace.Span{span(1, 64, 0, 60, 0, 1)}, o)
+	if !rep.OK() {
+		t.Fatalf("elastic runtime change flagged: %v", rep.Violations)
+	}
+}
+
+func TestRespectsActualRuntime(t *testing.T) {
+	j := bj(1, 64, 100, 0)
+	j.Actual = 40 // premature termination
+	w := wlOf(j)
+	rep := Check(w, []trace.Span{span(1, 64, 0, 40, 0, 1)}, opts())
+	if !rep.OK() {
+		t.Fatalf("premature termination flagged: %v", rep.Violations)
+	}
+}
+
+func TestDetectsMissingAndPhantomJobs(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0))
+	rep := Check(w, []trace.Span{span(9, 64, 0, 100, 0, 1)}, opts())
+	wantViolation(t, rep, "never submitted")
+	wantViolation(t, rep, "never placed")
+}
+
+func TestDetectsDoublePlacement(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0))
+	spans := []trace.Span{span(1, 64, 0, 100, 0, 1), span(1, 64, 200, 300, 0, 1)}
+	rep := Check(w, spans, opts())
+	wantViolation(t, rep, "placed twice")
+}
+
+func TestDetectsGroupSizeMismatch(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0))
+	rep := Check(w, []trace.Span{span(1, 64, 0, 100, 0)}, opts()) // one group for 64 procs
+	wantViolation(t, rep, "holds 1 groups")
+}
+
+func TestDetectsOutOfRangeGroup(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0))
+	rep := Check(w, []trace.Span{span(1, 64, 0, 100, 0, 99)}, opts())
+	wantViolation(t, rep, "out-of-range")
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	rep := Check(wlOf(), nil, Options{M: 100, Unit: 32})
+	wantViolation(t, rep, "geometry")
+}
+
+func TestSizeElasticSkipsSweep(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0), bj(2, 320, 100, 0))
+	// Overlapping placements that would overcommit; with SizeElastic the
+	// sweep is skipped (resizes make dispatch snapshots unreliable).
+	spans := []trace.Span{
+		span(1, 64, 0, 100, 0, 1),
+		span(2, 320, 0, 100, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9),
+	}
+	o := opts()
+	o.Elastic = true
+	o.SizeElastic = true
+	rep := Check(w, spans, o)
+	if !rep.OK() {
+		t.Fatalf("size-elastic sweep not skipped: %v", rep.Violations)
+	}
+}
+
+func wantViolation(t *testing.T, rep Report, substr string) {
+	t.Helper()
+	for _, v := range rep.Violations {
+		if strings.Contains(v, substr) {
+			return
+		}
+	}
+	t.Errorf("no violation containing %q; got %v", substr, rep.Violations)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"elastisched/internal/sched"
+)
+
+// Adaptive implements the dynamic algorithm-selection policy the paper
+// sketches at the end of Section V-A: for workloads dominated by small jobs
+// Delayed-LOS and EASY perform alike (and both beat LOS), while for
+// large-job-heavy workloads Delayed-LOS wins — so select between Delayed-LOS
+// and EASY from the observed proportion of small jobs.
+//
+// The policy keeps an exponentially weighted estimate of the small-job
+// fraction over arriving work (a job is "small" if its size is at most
+// SmallFrac of the machine) and delegates each cycle to EASY when the
+// estimate exceeds SwitchAt, and to Delayed-LOS otherwise.
+type Adaptive struct {
+	// Cs is the Delayed-LOS threshold used when delegating to Delayed-LOS.
+	Cs int
+	// SmallFrac classifies a job as small when size <= SmallFrac * M.
+	SmallFrac float64
+	// SwitchAt is the small-job-fraction above which EASY is used.
+	SwitchAt float64
+	// Alpha is the EWMA weight for each newly observed job.
+	Alpha float64
+
+	delayed *DelayedLOS
+	easy    *sched.EASY
+
+	est    float64
+	seen   map[int]bool
+	inited bool
+}
+
+// NewAdaptive returns the selection policy with the defaults suggested by
+// the paper's figures: small = at most 30% of the machine, switch to EASY
+// when more than 70% of recent jobs are small.
+func NewAdaptive(cs int) *Adaptive {
+	return &Adaptive{Cs: cs, SmallFrac: 0.3, SwitchAt: 0.7, Alpha: 0.05}
+}
+
+// Name implements sched.Scheduler.
+func (a *Adaptive) Name() string { return "Adaptive" }
+
+// Heterogeneous implements sched.Scheduler; the selector is batch-only.
+func (a *Adaptive) Heterogeneous() bool { return false }
+
+// Mode reports which underlying policy the current estimate selects.
+func (a *Adaptive) Mode() string {
+	if a.est > a.SwitchAt {
+		return "EASY"
+	}
+	return "Delayed-LOS"
+}
+
+// Schedule observes newly queued jobs and delegates the cycle.
+func (a *Adaptive) Schedule(ctx *sched.Context) {
+	if !a.inited {
+		a.delayed = NewDelayedLOS(a.Cs)
+		a.easy = &sched.EASY{}
+		a.seen = make(map[int]bool)
+		a.est = 1 // optimistic: assume small-job regime until observed
+		a.inited = true
+	}
+	small := float64(ctx.M()) * a.SmallFrac
+	for _, j := range ctx.Batch.Jobs() {
+		if a.seen[j.ID] {
+			continue
+		}
+		a.seen[j.ID] = true
+		obs := 0.0
+		if float64(j.Size) <= small {
+			obs = 1
+		}
+		a.est = (1-a.Alpha)*a.est + a.Alpha*obs
+	}
+	if a.est > a.SwitchAt {
+		a.easy.Schedule(ctx)
+		return
+	}
+	a.delayed.Schedule(ctx)
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"elastisched/internal/sched"
+	"elastisched/internal/testkit"
+)
+
+func TestAdaptiveStartsInEASYMode(t *testing.T) {
+	a := NewAdaptive(7)
+	h := testkit.New(320, 32)
+	h.AddBatch(1, 128, 100)
+	h.Cycle(a)
+	if a.Mode() != "EASY" {
+		t.Errorf("initial mode %q, want EASY (optimistic small-job prior)", a.Mode())
+	}
+	wantIDsOrder(t, h.StartedIDs(), []int{1})
+}
+
+func TestAdaptiveSwitchesToDelayedOnLargeJobs(t *testing.T) {
+	a := NewAdaptive(7)
+	a.Alpha = 0.5 // fast adaptation for the test
+	h := testkit.New(320, 32)
+	// A stream of large jobs drives the small-job estimate down.
+	for i := 1; i <= 8; i++ {
+		h.AddBatch(i, 256, 1000)
+	}
+	h.Cycle(a)
+	if a.Mode() != "Delayed-LOS" {
+		t.Errorf("mode after large-job burst %q, want Delayed-LOS (est %.3f)", a.Mode(), a.est)
+	}
+}
+
+func TestAdaptiveObservesEachJobOnce(t *testing.T) {
+	a := NewAdaptive(7)
+	a.Alpha = 0.5
+	h := testkit.New(320, 32)
+	h.AddRunning(9, 320, 100) // nothing can start; queue persists
+	h.AddBatch(1, 256, 1000)
+	h.Cycle(a)
+	est1 := a.est
+	h.Cycle(a) // same queue re-observed: estimate must not move
+	if a.est != est1 {
+		t.Errorf("estimate drifted on re-observation: %g -> %g", est1, a.est)
+	}
+}
+
+func TestAdaptiveDelegatesDelayedPacking(t *testing.T) {
+	a := NewAdaptive(7)
+	a.Alpha = 1 // adopt the last observation outright
+	h := testkit.New(320, 32)
+	// Prime with a large job so the selector is in Delayed-LOS mode, then
+	// verify the Figure 2 packing.
+	h.AddBatch(1, 7*32, 1000)
+	h.AddBatch(2, 4*32, 1000)
+	h.AddBatch(3, 6*32, 1000)
+	h.Cycle(a)
+	if a.Mode() != "Delayed-LOS" {
+		t.Fatalf("mode %q", a.Mode())
+	}
+	wantIDSet(t, h.StartedIDs(), []int{2, 3})
+}
+
+func TestAdaptiveFlags(t *testing.T) {
+	a := NewAdaptive(7)
+	if a.Name() != "Adaptive" || a.Heterogeneous() {
+		t.Error("flags wrong")
+	}
+}
+
+// The built-in policies honor the scheduler contract; any new policy should
+// add an equivalent test (see testkit.CheckSchedulerContract).
+func TestDelayedLOSContract(t *testing.T) {
+	testkit.CheckSchedulerContract(t, func() sched.Scheduler { return NewDelayedLOS(7) },
+		testkit.ContractOptions{Elastic: true})
+}
+
+func TestHybridLOSContract(t *testing.T) {
+	testkit.CheckSchedulerContract(t, func() sched.Scheduler { return NewHybridLOS(7) },
+		testkit.ContractOptions{Heterogeneous: true, Elastic: true})
+}
+
+func TestAdaptiveContract(t *testing.T) {
+	testkit.CheckSchedulerContract(t, func() sched.Scheduler { return NewAdaptive(7) },
+		testkit.ContractOptions{})
+}

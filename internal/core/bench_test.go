@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"elastisched/internal/job"
+)
+
+func randJobs(n int, r *rand.Rand) []*job.Job {
+	out := make([]*job.Job, n)
+	for i := range out {
+		out[i] = &job.Job{
+			ID:       i + 1,
+			Size:     32 * (1 + r.Intn(10)),
+			Dur:      int64(1 + r.Intn(10000)),
+			ReqStart: -1,
+		}
+	}
+	return out
+}
+
+// BenchmarkBasicDP measures one utilization-maximizing knapsack over the
+// LOS paper's 50-job lookahead window on the 320-processor machine.
+func BenchmarkBasicDP(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	cands := randJobs(50, r)
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BasicDP(cands, 320, &s)
+	}
+}
+
+// BenchmarkReservationDP measures the two-constraint knapsack (quantized
+// to 32-processor node groups).
+func BenchmarkReservationDP(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	cands := randJobs(50, r)
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReservationDP(cands, 320, 160, 5000, 0, &s)
+	}
+}
+
+// BenchmarkReservationDPUnquantized measures the SDSC-like worst case:
+// unit-1 sizes blow the DP state up to ~50x129x129.
+func BenchmarkReservationDPUnquantized(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	cands := make([]*job.Job, 50)
+	for i := range cands {
+		size := 1 << r.Intn(7)
+		if r.Float64() < 0.3 {
+			size = 1 + r.Intn(127)
+		}
+		cands[i] = &job.Job{ID: i + 1, Size: size, Dur: int64(1 + r.Intn(10000)), ReqStart: -1}
+	}
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReservationDP(cands, 127, 100, 5000, 0, &s)
+	}
+}

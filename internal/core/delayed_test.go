@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"elastisched/internal/testkit"
+)
+
+func TestDelayedLOSPaperFigure2(t *testing.T) {
+	// The motivating example: Delayed-LOS skips the 7-group head and packs
+	// 4+6 = 10 groups (Alternative-(b)).
+	h := testkit.New(320, 32)
+	head := h.AddBatch(1, 7*32, 1000)
+	h.AddBatch(2, 4*32, 1000)
+	h.AddBatch(3, 6*32, 1000)
+	h.Cycle(NewDelayedLOS(7))
+	wantIDSet(t, h.StartedIDs(), []int{2, 3})
+	if h.Mach.Used() != 320 {
+		t.Errorf("utilization %d, want 320 (the paper's Alternative-(b))", h.Mach.Used())
+	}
+	if head.SCount != 1 {
+		t.Errorf("skipped head scount = %d, want 1", head.SCount)
+	}
+}
+
+func TestDelayedLOSHeadStartsWhenInOptimum(t *testing.T) {
+	// Capacity allows head + others: head selected, no skip charged.
+	h := testkit.New(320, 32)
+	head := h.AddBatch(1, 128, 100)
+	h.AddBatch(2, 96, 100)
+	h.AddBatch(3, 96, 100)
+	h.Cycle(NewDelayedLOS(7))
+	wantIDSet(t, h.StartedIDs(), []int{1, 2, 3})
+	if head.SCount != 0 {
+		t.Errorf("head scount = %d, want 0", head.SCount)
+	}
+}
+
+func TestBumpSkipOncePerInstant(t *testing.T) {
+	// Within one instant the engine may cycle the scheduler several times;
+	// the head is charged at most one skip per instant.
+	h := testkit.New(320, 32)
+	head := h.AddBatch(1, 7*32, 1000)
+	ctx := h.Ctx()
+	bumpSkip(ctx, head)
+	bumpSkip(ctx, head)
+	if head.SCount != 1 {
+		t.Fatalf("scount = %d after two bumps at one instant, want 1", head.SCount)
+	}
+	h.Now = 50
+	bumpSkip(h.Ctx(), head)
+	if head.SCount != 2 {
+		t.Fatalf("scount = %d after a bump at a later instant, want 2", head.SCount)
+	}
+}
+
+func TestDelayedLOSForcesHeadAtThreshold(t *testing.T) {
+	// Once scount reaches C_s the head starts right away even though
+	// skipping it would utilize more.
+	h := testkit.New(320, 32)
+	head := h.AddBatch(1, 7*32, 1000)
+	head.SCount = 2 // at threshold
+	h.AddBatch(2, 4*32, 1000)
+	h.AddBatch(3, 6*32, 1000)
+	h.Cycle(NewDelayedLOS(2))
+	ids := h.StartedIDs()
+	if len(ids) == 0 || ids[0] != 1 {
+		t.Fatalf("head not forced at threshold: started %v", ids)
+	}
+}
+
+func TestDelayedLOSSkipAccumulatesAcrossInstants(t *testing.T) {
+	cs := 3
+	d := NewDelayedLOS(cs)
+	h := testkit.New(320, 32)
+	head := h.AddBatch(1, 7*32, 1000)
+	h.AddBatch(2, 4*32, 1000)
+	h.AddBatch(3, 6*32, 1000)
+	h.Cycle(d) // packs 2+3, skip 1
+	if head.SCount != 1 {
+		t.Fatalf("scount = %d, want 1", head.SCount)
+	}
+	// Jobs 2 and 3 finish; new pair arrives; head skipped again...
+	h.Complete(h.Started[0], 10)
+	h.Complete(h.Started[1], 10)
+	h.AddBatch(4, 4*32, 1000)
+	h.AddBatch(5, 6*32, 1000)
+	h.Cycle(d)
+	if head.SCount != 2 {
+		t.Fatalf("scount = %d, want 2", head.SCount)
+	}
+	h.Complete(h.Started[0], 20)
+	h.Complete(h.Started[1], 20)
+	h.AddBatch(6, 4*32, 1000)
+	h.AddBatch(7, 6*32, 1000)
+	h.Cycle(d)
+	if head.SCount != 3 {
+		t.Fatalf("scount = %d, want 3", head.SCount)
+	}
+	// Threshold reached: next instant the head must start first.
+	h.Complete(h.Started[0], 30)
+	h.Complete(h.Started[1], 30)
+	h.AddBatch(8, 4*32, 1000)
+	h.AddBatch(9, 6*32, 1000)
+	h.Cycle(d)
+	ids := h.StartedIDs()
+	if len(ids) == 0 || ids[0] != 1 {
+		t.Fatalf("head not started after C_s skips: %v", ids)
+	}
+}
+
+func TestDelayedLOSReservationWhenHeadTooBig(t *testing.T) {
+	// Head exceeds free capacity: Reservation_DP packs under the head's
+	// shadow; the head's scount is NOT charged (Algorithm 1 lines 12-20).
+	h := testkit.New(320, 32)
+	h.AddRunning(9, 160, 100)
+	head := h.AddBatch(1, 320, 1000)
+	h.AddBatch(2, 96, 50)
+	h.AddBatch(3, 96, 5000)
+	h.Cycle(NewDelayedLOS(7))
+	wantIDSet(t, h.StartedIDs(), []int{2})
+	if head.SCount != 0 {
+		t.Errorf("scount charged in reservation branch: %d", head.SCount)
+	}
+}
+
+func TestDelayedLOSZeroCsBehavesLikeHeadFirst(t *testing.T) {
+	// C_s = 0: the head is always started when it fits (scount 0 >= 0).
+	h := testkit.New(320, 32)
+	h.AddBatch(1, 7*32, 1000)
+	h.AddBatch(2, 4*32, 1000)
+	h.AddBatch(3, 6*32, 1000)
+	h.Cycle(NewDelayedLOS(0))
+	ids := h.StartedIDs()
+	if ids[0] != 1 {
+		t.Fatalf("C_s=0 did not start head first: %v", ids)
+	}
+}
+
+func TestDelayedLOSSCountNeverExceedsCs(t *testing.T) {
+	d := NewDelayedLOS(2)
+	h := testkit.New(320, 32)
+	head := h.AddBatch(1, 7*32, 1000)
+	h.AddBatch(2, 4*32, 1000)
+	h.AddBatch(3, 6*32, 1000)
+	for i := 0; i < 5; i++ {
+		h.Now = int64(i * 10)
+		h.Once(d)
+		if head.SCount > 2 {
+			t.Fatalf("scount %d exceeded C_s=2", head.SCount)
+		}
+	}
+}
+
+func TestDelayedLOSFlags(t *testing.T) {
+	d := NewDelayedLOS(7)
+	if d.Name() != "Delayed-LOS" || d.Heterogeneous() {
+		t.Error("flags wrong")
+	}
+	if d.Cs != 7 || d.Lookahead != DefaultLookahead {
+		t.Error("constructor defaults wrong")
+	}
+}
+
+func TestDelayedLOSLookaheadBound(t *testing.T) {
+	// With lookahead 1 only the head is a candidate: it starts (it is the
+	// whole window's optimum).
+	d := NewDelayedLOS(7)
+	d.Lookahead = 1
+	h := testkit.New(320, 32)
+	h.AddBatch(1, 7*32, 1000)
+	h.AddBatch(2, 4*32, 1000)
+	h.AddBatch(3, 6*32, 1000)
+	h.Cycle(d)
+	ids := h.StartedIDs()
+	if len(ids) == 0 || ids[0] != 1 {
+		t.Fatalf("lookahead=1 should start the head: %v", ids)
+	}
+}
+
+func TestDelayedLOSContiguousFragmentation(t *testing.T) {
+	// Contiguous machine with a hole pattern: running jobs hold groups
+	// 0 (id 11) and 2 (id 13); free groups are 1 and 3..9 (run of 7).
+	// A head needing 8 groups fits capacity (9 free) but not contiguously:
+	// Delayed-LOS must not start it and must not panic or livelock.
+	h := testkit.NewContiguous(320, 32)
+	h.AddRunning(11, 32, 100) // group 0
+	h.AddRunning(12, 32, 100) // group 1 (released below)
+	h.AddRunning(13, 32, 100) // group 2
+	h.Complete(h.Active.Find(12), 10)
+	h.Now = 10
+	head := h.AddBatch(1, 8*32, 1000)
+	head.SCount = 7         // forced-start branch: Fits must veto it
+	h.AddBatch(2, 32, 1000) // fits in the hole
+	h.Cycle(NewDelayedLOS(7))
+	for _, j := range h.Started {
+		if j.ID == 1 {
+			t.Fatal("fragmented head started on contiguous machine")
+		}
+	}
+	if len(h.Started) == 0 {
+		t.Fatal("small job should still fill the hole")
+	}
+}
+
+func TestLOSContiguousToleratesPartialDPFailure(t *testing.T) {
+	// DP selects a capacity-feasible set; contiguity rejects part of it.
+	// The cycle must complete with the placeable subset started.
+	h := testkit.NewContiguous(320, 32)
+	h.AddRunning(11, 32, 100) // group 0
+	h.AddRunning(12, 32, 100) // group 1
+	h.AddRunning(13, 32, 100) // group 2
+	h.Complete(h.Active.Find(12), 10)
+	h.Now = 10
+	h.AddRunning(14, 7*32, 100) // groups 3..9: only group 1 free now
+	h.AddBatch(1, 64, 50)       // 2 groups: cannot place (only 1-group hole)
+	h.AddBatch(2, 32, 50)       // fits the hole
+	h.Cycle(NewLOSPlus())
+	ids := h.StartedIDs()
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("started %v, want [2]", ids)
+	}
+}

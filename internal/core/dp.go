@@ -1,0 +1,208 @@
+// Package core implements the paper's primary contribution: the LOS family
+// of dynamic-programming schedulers — LOS (Shmueli & Feitelson's Lookahead
+// Optimizing Scheduler, the baseline), Delayed-LOS (Algorithm 1), and
+// Hybrid-LOS (Algorithms 2-3) — plus the Basic_DP and Reservation_DP
+// packing programs they share.
+package core
+
+import (
+	"elastisched/internal/job"
+)
+
+// DefaultLookahead bounds the DP candidate window, the LOS paper's
+// complexity containment (50 jobs keeps packing quality with tractable
+// runtime).
+const DefaultLookahead = 50
+
+// Scratch holds reusable DP buffers so per-cycle scheduling does not
+// allocate. A Scratch (and therefore a scheduler that embeds one) must not
+// be shared between concurrently running simulations.
+type Scratch struct {
+	buf []int32
+}
+
+func (s *Scratch) grow(n int) []int32 {
+	if cap(s.buf) < n {
+		s.buf = make([]int32, n)
+	}
+	s.buf = s.buf[:n]
+	for i := range s.buf {
+		s.buf[i] = 0
+	}
+	return s.buf
+}
+
+// gcdInt returns the greatest common divisor of a and b.
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// quantum returns the largest g dividing every candidate size and every
+// capacity bound, used to compress the DP capacity axes. For the simulated
+// BlueGene/P (all sizes multiples of 32) this shrinks the Reservation_DP
+// state by 32x32.
+func quantum(cands []*job.Job, caps ...int) int {
+	g := 0
+	for _, c := range caps {
+		if c > 0 {
+			g = gcdInt(g, c)
+		}
+	}
+	for _, j := range cands {
+		g = gcdInt(g, j.Size)
+	}
+	if g <= 0 {
+		g = 1
+	}
+	return g
+}
+
+// BasicDP is the paper's Basic_DP: choose the subset of waiting jobs that
+// maximizes current utilization, i.e. a 0/1 knapsack over the candidate
+// window with weight = value = job size and capacity m. Candidates must
+// already fit individually (size <= m); WaitingWindow guarantees that.
+//
+// The traceback prefers including earlier-queued jobs: the head job is
+// selected whenever *some* maximum-utilization subset contains it, which is
+// the property Delayed-LOS's skip count relies on.
+func BasicDP(cands []*job.Job, m int, s *Scratch) []*job.Job {
+	if len(cands) == 0 || m <= 0 {
+		return nil
+	}
+	// Fast path: everything fits together.
+	total := 0
+	for _, j := range cands {
+		total += j.Size
+	}
+	if total <= m {
+		return append([]*job.Job(nil), cands...)
+	}
+
+	g := quantum(cands, m)
+	n := len(cands)
+	C := m / g
+	w := make([]int, n)
+	for i, j := range cands {
+		w[i] = j.Size / g
+	}
+	// dp[i*(C+1)+c] = max utilization using jobs i..n-1 with capacity c.
+	dp := s.grow((n + 1) * (C + 1))
+	for i := n - 1; i >= 0; i-- {
+		row := dp[i*(C+1):]
+		next := dp[(i+1)*(C+1):]
+		wi := int32(w[i])
+		for c := 0; c <= C; c++ {
+			best := next[c]
+			if w[i] <= c {
+				if v := wi + next[c-w[i]]; v > best {
+					best = v
+				}
+			}
+			row[c] = best
+		}
+	}
+	// Traceback, preferring inclusion (earlier jobs first).
+	sel := make([]*job.Job, 0, n)
+	c := C
+	for i := 0; i < n; i++ {
+		if w[i] <= c && dp[i*(C+1)+c] == int32(w[i])+dp[(i+1)*(C+1)+c-w[i]] {
+			sel = append(sel, cands[i])
+			c -= w[i]
+		}
+	}
+	return sel
+}
+
+// ReservationDP is the paper's Reservation_DP: maximize current utilization
+// subject to two constraints — the current free capacity m, and the freeze
+// end capacity frec available at the freeze end time fret. A candidate that
+// finishes strictly before fret (now + dur < fret) has zero freeze demand
+// (frenum = 0); one that would still run at fret demands its full size from
+// the freeze capacity, exactly the paper's
+//
+//	frenum <- (t + dur < fret) ? 0 : num.
+//
+// This is a 0/1 knapsack with two capacity dimensions, solved exactly over
+// the candidate window.
+func ReservationDP(cands []*job.Job, m, frec int, fret, now int64, s *Scratch) []*job.Job {
+	if len(cands) == 0 || m <= 0 {
+		return nil
+	}
+	if frec < 0 {
+		frec = 0
+	}
+	// frenum per candidate.
+	n := len(cands)
+	fnum := make([]int, n)
+	total1, total2 := 0, 0
+	for i, j := range cands {
+		if now+j.Dur < fret {
+			fnum[i] = 0
+		} else {
+			fnum[i] = j.Size
+		}
+		total1 += j.Size
+		total2 += fnum[i]
+	}
+	// Fast path: all candidates fit both constraints.
+	if total1 <= m && total2 <= frec {
+		return append([]*job.Job(nil), cands...)
+	}
+
+	g := quantum(cands, m, frec)
+	C1 := m / g
+	C2 := frec / g
+	w1 := make([]int, n)
+	w2 := make([]int, n)
+	for i, j := range cands {
+		w1[i] = j.Size / g
+		w2[i] = fnum[i] / g
+	}
+	stride := C2 + 1
+	plane := (C1 + 1) * stride
+	dp := s.grow((n + 1) * plane)
+	for i := n - 1; i >= 0; i-- {
+		cur := dp[i*plane : (i+1)*plane]
+		next := dp[(i+1)*plane : (i+2)*plane]
+		wi1, wi2 := w1[i], w2[i]
+		v := int32(wi1)
+		for c1 := 0; c1 <= C1; c1++ {
+			rowOff := c1 * stride
+			for c2 := 0; c2 <= C2; c2++ {
+				best := next[rowOff+c2]
+				if wi1 <= c1 && wi2 <= c2 {
+					if x := v + next[(c1-wi1)*stride+c2-wi2]; x > best {
+						best = x
+					}
+				}
+				cur[rowOff+c2] = best
+			}
+		}
+	}
+	sel := make([]*job.Job, 0, n)
+	c1, c2 := C1, C2
+	for i := 0; i < n; i++ {
+		if w1[i] <= c1 && w2[i] <= c2 {
+			with := int32(w1[i]) + dp[(i+1)*plane+(c1-w1[i])*stride+c2-w2[i]]
+			if dp[i*plane+c1*stride+c2] == with {
+				sel = append(sel, cands[i])
+				c1 -= w1[i]
+				c2 -= w2[i]
+			}
+		}
+	}
+	return sel
+}
+
+// Contains reports whether set includes j (by identity).
+func Contains(set []*job.Job, j *job.Job) bool {
+	for _, x := range set {
+		if x == j {
+			return true
+		}
+	}
+	return false
+}

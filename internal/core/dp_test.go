@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"elastisched/internal/job"
+)
+
+func mkJobs(sizes ...int) []*job.Job {
+	out := make([]*job.Job, len(sizes))
+	for i, s := range sizes {
+		out[i] = &job.Job{ID: i + 1, Size: s, Dur: 1000, ReqStart: -1}
+	}
+	return out
+}
+
+func ids(jobs []*job.Job) []int {
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}
+
+func sumSize(jobs []*job.Job) int {
+	t := 0
+	for _, j := range jobs {
+		t += j.Size
+	}
+	return t
+}
+
+func wantIDs(t *testing.T, got []*job.Job, want ...int) {
+	t.Helper()
+	g := ids(got)
+	if len(g) != len(want) {
+		t.Fatalf("selected %v, want %v", g, want)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("selected %v, want %v", g, want)
+		}
+	}
+}
+
+func TestBasicDPPaperFigure2(t *testing.T) {
+	// The paper's motivating example: free capacity 10 (x32), queue
+	// [7, 4, 6]: the optimal packing skips the head and uses 4+6=10.
+	var s Scratch
+	got := BasicDP(mkJobs(7*32, 4*32, 6*32), 320, &s)
+	wantIDs(t, got, 2, 3)
+	if sumSize(got) != 320 {
+		t.Errorf("utilization %d, want 320", sumSize(got))
+	}
+}
+
+func TestBasicDPFastPathAllFit(t *testing.T) {
+	var s Scratch
+	got := BasicDP(mkJobs(32, 64, 96), 320, &s)
+	wantIDs(t, got, 1, 2, 3)
+}
+
+func TestBasicDPEmpty(t *testing.T) {
+	var s Scratch
+	if got := BasicDP(nil, 320, &s); got != nil {
+		t.Errorf("empty candidates gave %v", got)
+	}
+	if got := BasicDP(mkJobs(32), 0, &s); got != nil {
+		t.Errorf("zero capacity gave %v", got)
+	}
+}
+
+func TestBasicDPPrefersHeadOnTies(t *testing.T) {
+	// Capacity 96: {96} and {32,64} are both optimal; the head must win so
+	// Delayed-LOS's skip count is only charged when skipping is necessary.
+	var s Scratch
+	got := BasicDP(mkJobs(96, 32, 64), 96, &s)
+	wantIDs(t, got, 1)
+}
+
+func TestBasicDPPrefersEarlierJobsOnTies(t *testing.T) {
+	// Capacity 64: {32a,32b} vs {32b,32c} — earlier pair wins.
+	var s Scratch
+	got := BasicDP(mkJobs(32, 32, 32), 64, &s)
+	wantIDs(t, got, 1, 2)
+}
+
+func TestBasicDPOptimalValue(t *testing.T) {
+	// Brute-force comparison on small instances.
+	r := rand.New(rand.NewSource(4))
+	var s Scratch
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(10)
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = 32 * (1 + r.Intn(10))
+		}
+		m := 32 * (1 + r.Intn(10))
+		cands := mkJobs(sizes...)
+		eligible := cands[:0]
+		for _, j := range cands {
+			if j.Size <= m {
+				eligible = append(eligible, j)
+			}
+		}
+		got := BasicDP(append([]*job.Job(nil), eligible...), m, &s)
+		if sumSize(got) > m {
+			t.Fatalf("trial %d: selection %v exceeds capacity %d", trial, ids(got), m)
+		}
+		best := 0
+		for mask := 0; mask < 1<<len(eligible); mask++ {
+			tot := 0
+			for i := range eligible {
+				if mask&(1<<i) != 0 {
+					tot += eligible[i].Size
+				}
+			}
+			if tot <= m && tot > best {
+				best = tot
+			}
+		}
+		if sumSize(got) != best {
+			t.Fatalf("trial %d: DP utilization %d, optimum %d (sizes %v, m %d)",
+				trial, sumSize(got), best, sizes, m)
+		}
+	}
+}
+
+func TestReservationDPRespectsBothConstraints(t *testing.T) {
+	// fret=100. Job 1 (96, short) ends before fret: frenum 0. Job 2 (96,
+	// long): frenum 96. Job 3 (96, long): frenum 96. m=288, frec=96: all
+	// three fit m, but only one long job fits the freeze.
+	jobs := []*job.Job{
+		{ID: 1, Size: 96, Dur: 50, ReqStart: -1},
+		{ID: 2, Size: 96, Dur: 500, ReqStart: -1},
+		{ID: 3, Size: 96, Dur: 500, ReqStart: -1},
+	}
+	var s Scratch
+	got := ReservationDP(jobs, 288, 96, 100, 0, &s)
+	wantIDs(t, got, 1, 2)
+}
+
+func TestReservationDPStrictBoundary(t *testing.T) {
+	// A job ending exactly at fret consumes freeze capacity (the paper's
+	// "t + dur < fret ? 0 : num").
+	jobs := []*job.Job{{ID: 1, Size: 96, Dur: 100, ReqStart: -1}}
+	var s Scratch
+	got := ReservationDP(jobs, 320, 0, 100, 0, &s)
+	if len(got) != 0 {
+		t.Errorf("boundary job selected against zero freeze capacity: %v", ids(got))
+	}
+	got = ReservationDP(jobs, 320, 96, 100, 0, &s)
+	wantIDs(t, got, 1)
+}
+
+func TestReservationDPZeroFreezeOnlyShortJobs(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, Size: 160, Dur: 50, ReqStart: -1},
+		{ID: 2, Size: 160, Dur: 5000, ReqStart: -1},
+	}
+	var s Scratch
+	got := ReservationDP(jobs, 320, 0, 100, 0, &s)
+	wantIDs(t, got, 1)
+}
+
+func TestReservationDPNegativeFreezeClamped(t *testing.T) {
+	jobs := []*job.Job{{ID: 1, Size: 32, Dur: 10, ReqStart: -1}}
+	var s Scratch
+	got := ReservationDP(jobs, 320, -50, 100, 0, &s)
+	wantIDs(t, got, 1) // short job unaffected by freeze
+}
+
+func TestReservationDPFastPath(t *testing.T) {
+	jobs := []*job.Job{
+		{ID: 1, Size: 32, Dur: 5000, ReqStart: -1},
+		{ID: 2, Size: 64, Dur: 5000, ReqStart: -1},
+	}
+	var s Scratch
+	got := ReservationDP(jobs, 320, 96, 100, 0, &s)
+	wantIDs(t, got, 1, 2)
+}
+
+func TestReservationDPEmpty(t *testing.T) {
+	var s Scratch
+	if got := ReservationDP(nil, 320, 100, 50, 0, &s); got != nil {
+		t.Error("empty candidates selected something")
+	}
+}
+
+func TestReservationDPOptimalValue(t *testing.T) {
+	// Brute-force the two-constraint knapsack on small instances.
+	r := rand.New(rand.NewSource(5))
+	var s Scratch
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(9)
+		jobs := make([]*job.Job, n)
+		for i := range jobs {
+			jobs[i] = &job.Job{
+				ID:       i + 1,
+				Size:     32 * (1 + r.Intn(6)),
+				Dur:      int64(r.Intn(200)),
+				ReqStart: -1,
+			}
+		}
+		m := 32 * (1 + r.Intn(10))
+		frec := 32 * r.Intn(8)
+		fret := int64(100)
+		eligible := jobs[:0]
+		for _, j := range jobs {
+			if j.Size <= m {
+				eligible = append(eligible, j)
+			}
+		}
+		got := ReservationDP(append([]*job.Job(nil), eligible...), m, frec, fret, 0, &s)
+		// Feasibility.
+		tot1, tot2 := 0, 0
+		for _, j := range got {
+			tot1 += j.Size
+			if j.Dur >= fret {
+				tot2 += j.Size
+			}
+		}
+		if tot1 > m || tot2 > frec {
+			t.Fatalf("trial %d: infeasible selection (%d/%d, %d/%d)", trial, tot1, m, tot2, frec)
+		}
+		// Optimality.
+		best := 0
+		for mask := 0; mask < 1<<len(eligible); mask++ {
+			s1, s2 := 0, 0
+			for i := range eligible {
+				if mask&(1<<i) != 0 {
+					s1 += eligible[i].Size
+					if eligible[i].Dur >= fret {
+						s2 += eligible[i].Size
+					}
+				}
+			}
+			if s1 <= m && s2 <= frec && s1 > best {
+				best = s1
+			}
+		}
+		if tot1 != best {
+			t.Fatalf("trial %d: DP %d, optimum %d", trial, tot1, best)
+		}
+	}
+}
+
+func TestScratchReuseIsDeterministic(t *testing.T) {
+	var s Scratch
+	jobs := mkJobs(7*32, 4*32, 6*32, 3*32, 5*32)
+	a := ids(BasicDP(jobs, 320, &s))
+	// Pollute the scratch with a different problem.
+	ReservationDP(mkJobs(32, 64), 96, 32, 50, 0, &s)
+	b := ids(BasicDP(jobs, 320, &s))
+	if len(a) != len(b) {
+		t.Fatal("scratch reuse changed the result")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("scratch reuse changed the result")
+		}
+	}
+}
+
+func TestQuantumGCD(t *testing.T) {
+	if g := quantum(mkJobs(64, 96), 320); g != 32 {
+		t.Errorf("quantum = %d, want 32", g)
+	}
+	if g := quantum(mkJobs(3, 5), 7); g != 1 {
+		t.Errorf("quantum = %d, want 1", g)
+	}
+	if g := quantum(nil); g != 1 {
+		t.Errorf("quantum of nothing = %d, want 1", g)
+	}
+}
+
+func TestContains(t *testing.T) {
+	jobs := mkJobs(32, 64)
+	if !Contains(jobs, jobs[0]) || Contains(jobs, &job.Job{ID: 1}) {
+		t.Error("Contains uses identity, not ID")
+	}
+}
+
+func TestBasicDPUnquantizedSizes(t *testing.T) {
+	// SDSC-like machine: unit 1, arbitrary power-of-two + serial sizes.
+	var s Scratch
+	got := BasicDP(mkJobs(100, 17, 11, 3), 128, &s)
+	if sumSize(got) != 128 {
+		t.Errorf("utilization %d, want 128 (100+17+11)", sumSize(got))
+	}
+}

@@ -1,0 +1,345 @@
+package cwf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"elastisched/internal/job"
+	"elastisched/internal/swf"
+)
+
+const sample = `; CWF sample
+1 0 -1 100 64 -1 -1 64 100 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 S -1
+2 10 -1 200 32 -1 -1 32 200 -1 1 -1 -1 -1 -1 -1 -1 -1 500 S -1
+1 60 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 ET 300
+2 70 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 RT 50
+`
+
+func TestParseSplitsJobsAndCommands(t *testing.T) {
+	w, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 2 || len(w.Commands) != 2 {
+		t.Fatalf("jobs=%d commands=%d, want 2, 2", len(w.Jobs), len(w.Commands))
+	}
+	if w.NumBatch() != 1 || w.NumDedicated() != 1 {
+		t.Errorf("batch=%d dedicated=%d, want 1, 1", w.NumBatch(), w.NumDedicated())
+	}
+	j := w.Jobs[1]
+	if j.ID != 2 || j.Class != job.Dedicated || j.ReqStart != 500 || j.Size != 32 {
+		t.Errorf("dedicated job parsed wrong: %+v", j)
+	}
+	c := w.Commands[0]
+	if c.JobID != 1 || c.Issue != 60 || c.Type != ExtendTime || c.Amount != 300 {
+		t.Errorf("ET command parsed wrong: %+v", c)
+	}
+}
+
+func TestParsePlainSWFLines(t *testing.T) {
+	line := "1 0 -1 100 64 -1 -1 64 100 -1 1 -1 -1 -1 -1 -1 -1 -1"
+	w, err := Parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Jobs) != 1 || w.Jobs[0].Class != job.Batch {
+		t.Fatal("18-field line should parse as batch submission")
+	}
+}
+
+func TestParseWrongFieldCount(t *testing.T) {
+	line := "1 0 -1 100 64 -1 -1 64 100 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 S"
+	if _, err := Parse(strings.NewReader(line)); err == nil {
+		t.Error("20-field line accepted")
+	}
+}
+
+func TestReqTypeRoundTrip(t *testing.T) {
+	for _, typ := range []ReqType{Submit, ExtendTime, ReduceTime, ExtendProc, ReduceProc} {
+		got, err := ParseReqType(typ.String())
+		if err != nil || got != typ {
+			t.Errorf("round trip of %v failed: %v %v", typ, got, err)
+		}
+	}
+	if _, err := ParseReqType("XX"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if got, err := ParseReqType(" et "); err != nil || got != ExtendTime {
+		t.Error("case/space-insensitive parse failed")
+	}
+}
+
+func TestIsECC(t *testing.T) {
+	if Submit.IsECC() {
+		t.Error("S is not an ECC")
+	}
+	for _, typ := range []ReqType{ExtendTime, ReduceTime, ExtendProc, ReduceProc} {
+		if !typ.IsECC() {
+			t.Errorf("%v should be an ECC", typ)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	w, _ := Parse(strings.NewReader(sample))
+	if err := w.Validate(320); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	if err := w.Validate(32); err == nil {
+		t.Error("64-proc job on 32-proc machine accepted")
+	}
+}
+
+func TestValidateDuplicateID(t *testing.T) {
+	w := &Workload{Jobs: []*job.Job{
+		{ID: 1, Size: 32, Dur: 10, ReqStart: -1},
+		{ID: 1, Size: 32, Dur: 10, ReqStart: -1},
+	}}
+	if err := w.Validate(320); err == nil {
+		t.Error("duplicate job ID accepted")
+	}
+}
+
+func TestValidateOrphanCommand(t *testing.T) {
+	w := &Workload{
+		Jobs:     []*job.Job{{ID: 1, Size: 32, Dur: 10, ReqStart: -1}},
+		Commands: []Command{{JobID: 9, Issue: 5, Type: ExtendTime, Amount: 10}},
+	}
+	if err := w.Validate(320); err == nil {
+		t.Error("command for unknown job accepted")
+	}
+}
+
+func TestValidateBadAmount(t *testing.T) {
+	w := &Workload{
+		Jobs:     []*job.Job{{ID: 1, Size: 32, Dur: 10, ReqStart: -1}},
+		Commands: []Command{{JobID: 1, Issue: 5, Type: ExtendTime, Amount: 0}},
+	}
+	if err := w.Validate(320); err == nil {
+		t.Error("zero-amount command accepted")
+	}
+}
+
+func TestSortOrders(t *testing.T) {
+	w := &Workload{
+		Jobs: []*job.Job{
+			{ID: 2, Size: 32, Dur: 1, Arrival: 100, ReqStart: -1},
+			{ID: 1, Size: 32, Dur: 1, Arrival: 50, ReqStart: -1},
+		},
+		Commands: []Command{
+			{JobID: 1, Issue: 300, Type: ExtendTime, Amount: 1},
+			{JobID: 2, Issue: 200, Type: ReduceTime, Amount: 1},
+		},
+	}
+	w.Sort()
+	if w.Jobs[0].ID != 1 || w.Commands[0].JobID != 2 {
+		t.Error("Sort did not order by arrival/issue")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	w, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.Jobs) != len(w.Jobs) || len(w2.Commands) != len(w.Commands) {
+		t.Fatalf("round trip changed counts: %d/%d vs %d/%d",
+			len(w2.Jobs), len(w2.Commands), len(w.Jobs), len(w.Commands))
+	}
+	for i := range w.Jobs {
+		a, b := w.Jobs[i], w2.Jobs[i]
+		if a.ID != b.ID || a.Size != b.Size || a.Dur != b.Dur || a.Arrival != b.Arrival ||
+			a.Class != b.Class || a.ReqStart != b.ReqStart {
+			t.Errorf("job %d changed: %v vs %v", i, a, b)
+		}
+	}
+	for i := range w.Commands {
+		if w.Commands[i] != w2.Commands[i] {
+			t.Errorf("command %d changed: %v vs %v", i, w.Commands[i], w2.Commands[i])
+		}
+	}
+}
+
+func TestFromSWF(t *testing.T) {
+	log := &swf.Log{Header: []string{"h"}}
+	good := swf.NewRecord(1)
+	good.SubmitTime = 0
+	good.ReqProcs = 4
+	good.RunTime = 100
+	incomplete := swf.NewRecord(2) // no procs, no runtime
+	log.Records = append(log.Records, good, incomplete)
+	w := FromSWF(log)
+	if len(w.Jobs) != 1 || w.Jobs[0].ID != 1 {
+		t.Fatalf("FromSWF kept %d jobs, want 1", len(w.Jobs))
+	}
+	if len(w.Header) != 1 {
+		t.Error("header lost")
+	}
+}
+
+func TestRecordToJobEstimateFallback(t *testing.T) {
+	rec := Record{Record: swf.NewRecord(1), ReqStartTime: -1}
+	rec.SubmitTime = 5
+	rec.UsedProcs = 4
+	rec.RunTime = 77
+	j := RecordToJob(rec)
+	if j.Size != 4 || j.Dur != 77 || j.Arrival != 5 || j.Class != job.Batch {
+		t.Errorf("fallback conversion wrong: %+v", j)
+	}
+}
+
+func TestJobToRecordDedicated(t *testing.T) {
+	j := &job.Job{ID: 3, Size: 96, Dur: 60, Arrival: 10, ReqStart: 99, Class: job.Dedicated}
+	rec := JobToRecord(j)
+	if rec.ReqStartTime != 99 || rec.ReqProcs != 96 || rec.ReqTime != 60 || rec.Type != Submit {
+		t.Errorf("JobToRecord wrong: %+v", rec)
+	}
+}
+
+func TestFormatLineFieldCount(t *testing.T) {
+	j := &job.Job{ID: 1, Size: 32, Dur: 10, Arrival: 0, ReqStart: -1}
+	line := FormatLine(JobToRecord(j))
+	if n := len(strings.Fields(line)); n != 21 {
+		t.Errorf("formatted line has %d fields, want 21", n)
+	}
+}
+
+func TestLoadDefinition(t *testing.T) {
+	// One job using the whole machine for the whole span: load 1.
+	w := &Workload{Jobs: []*job.Job{{ID: 1, Size: 320, Dur: 100, Arrival: 0, ReqStart: -1}}}
+	if got := w.Load(320); got != 1 {
+		t.Errorf("load = %g, want 1", got)
+	}
+	// Two such jobs back to back: area doubles, span doubles via arrival.
+	w.Jobs = append(w.Jobs, &job.Job{ID: 2, Size: 320, Dur: 100, Arrival: 100, ReqStart: -1})
+	if got := w.Load(320); got != 1 {
+		t.Errorf("load = %g, want 1", got)
+	}
+	// Half-size jobs: load halves.
+	for _, j := range w.Jobs {
+		j.Size = 160
+	}
+	if got := w.Load(320); got != 0.5 {
+		t.Errorf("load = %g, want 0.5", got)
+	}
+}
+
+func TestLoadDegenerate(t *testing.T) {
+	if (&Workload{}).Load(320) != 0 {
+		t.Error("empty workload load should be 0")
+	}
+	w := &Workload{Jobs: []*job.Job{{ID: 1, Size: 32, Dur: 10, ReqStart: -1}}}
+	if w.Load(0) != 0 {
+		t.Error("zero machine load should be 0")
+	}
+}
+
+func TestLoadAccountsDedicatedStart(t *testing.T) {
+	// A dedicated job far in the future stretches the span.
+	w := &Workload{Jobs: []*job.Job{
+		{ID: 1, Size: 320, Dur: 100, Arrival: 0, ReqStart: -1},
+		{ID: 2, Size: 320, Dur: 100, Arrival: 0, ReqStart: 300, Class: job.Dedicated},
+	}}
+	// span = 400 (0 .. 300+100), area = 2*320*100.
+	want := float64(2*320*100) / (400 * 320)
+	if got := w.Load(320); got != want {
+		t.Errorf("load = %g, want %g", got, want)
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	c := Command{JobID: 1, Issue: 2, Type: ExtendTime, Amount: 3}
+	if c.String() == "" {
+		t.Error("empty command string")
+	}
+}
+
+func TestActualRuntimeRoundTrip(t *testing.T) {
+	w := &Workload{Jobs: []*job.Job{
+		{ID: 1, Size: 64, Dur: 200, Actual: 90, Arrival: 0, ReqStart: -1},
+		{ID: 2, Size: 64, Dur: 100, Arrival: 5, ReqStart: -1},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Jobs[0].Dur != 200 || w2.Jobs[0].Actual != 90 {
+		t.Errorf("estimate/actual lost: dur=%d actual=%d", w2.Jobs[0].Dur, w2.Jobs[0].Actual)
+	}
+	if w2.Jobs[1].Dur != 100 || w2.Jobs[1].Actual != 0 {
+		t.Errorf("exact job changed: dur=%d actual=%d", w2.Jobs[1].Dur, w2.Jobs[1].Actual)
+	}
+}
+
+func TestRecordToJobSeparatesEstimateFromActual(t *testing.T) {
+	rec := Record{Record: swf.NewRecord(1), ReqStartTime: -1}
+	rec.SubmitTime = 0
+	rec.ReqProcs = 8
+	rec.ReqTime = 300 // user asked for 300s
+	rec.RunTime = 120 // actually ran 120s
+	j := RecordToJob(rec)
+	if j.Dur != 300 || j.Actual != 120 {
+		t.Errorf("dur=%d actual=%d, want 300, 120", j.Dur, j.Actual)
+	}
+}
+
+func TestLoadUsesEffectiveRuntime(t *testing.T) {
+	// Over-estimated job: load counts the actual 50s, not the 100s ask.
+	w := &Workload{Jobs: []*job.Job{
+		{ID: 1, Size: 320, Dur: 100, Actual: 50, Arrival: 0, ReqStart: -1},
+	}}
+	// Span still runs to arrival+dur (the kill-by horizon).
+	want := float64(320*50) / float64(320*100)
+	if got := w.Load(320); got != want {
+		t.Errorf("load = %g, want %g", got, want)
+	}
+}
+
+func TestWorkloadMaxNodes(t *testing.T) {
+	w := &Workload{Header: []string{"MaxNodes: 320", "other"}}
+	if w.MaxNodes() != 320 {
+		t.Errorf("MaxNodes = %d, want 320", w.MaxNodes())
+	}
+	if (&Workload{}).MaxNodes() != 0 {
+		t.Error("undeclared MaxNodes should be 0")
+	}
+}
+
+func TestSizeCommandCount(t *testing.T) {
+	w := &Workload{Commands: []Command{
+		{Type: ExtendTime}, {Type: ExtendProc}, {Type: ReduceProc}, {Type: ReduceTime},
+	}}
+	if got := w.SizeCommandCount(); got != 2 {
+		t.Errorf("SizeCommandCount = %d, want 2", got)
+	}
+}
+
+func TestSortTieBreaksByID(t *testing.T) {
+	w := &Workload{
+		Jobs: []*job.Job{
+			{ID: 5, Size: 32, Dur: 1, Arrival: 100, ReqStart: -1},
+			{ID: 2, Size: 32, Dur: 1, Arrival: 100, ReqStart: -1},
+		},
+		Commands: []Command{
+			{JobID: 5, Issue: 10, Type: ExtendTime, Amount: 1},
+			{JobID: 2, Issue: 10, Type: ExtendTime, Amount: 1},
+		},
+	}
+	w.Sort()
+	if w.Jobs[0].ID != 2 || w.Commands[0].JobID != 2 {
+		t.Error("equal-time entries should order by ID")
+	}
+}

@@ -1,0 +1,60 @@
+package cwf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseLine checks the CWF line parser never panics and that every
+// accepted submission survives a format/parse round trip.
+func FuzzParseLine(f *testing.F) {
+	f.Add("1 0 -1 100 64 -1 -1 64 100 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 S -1")
+	f.Add("1 60 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 ET 300")
+	f.Add("2 10 -1 200 32 -1 -1 32 200 -1 1 -1 -1 -1 -1 -1 -1 -1 500 S -1")
+	f.Add("1 0 -1 100 64 -1 -1 64 100 -1 1 -1 -1 -1 -1 -1 -1 -1")
+	f.Add("")
+	f.Add("x y z")
+	f.Add("1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 RP 1e9")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		out := FormatLine(rec)
+		rec2, err := ParseLine(out)
+		if err != nil {
+			t.Fatalf("formatted line does not re-parse: %v\n%s", err, out)
+		}
+		if rec2.JobID != rec.JobID || rec2.Type != rec.Type || rec2.Amount != rec.Amount ||
+			rec2.ReqStartTime != rec.ReqStartTime {
+			t.Fatalf("round trip changed record: %+v vs %+v", rec, rec2)
+		}
+	})
+}
+
+// FuzzParse checks the stream parser never panics on arbitrary input and
+// that well-formed output re-parses to the same counts.
+func FuzzParse(f *testing.F) {
+	f.Add("; header\n1 0 -1 100 64 -1 -1 64 100 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 S -1\n")
+	f.Add("1 0 -1 100 64 -1 -1 64 100 -1 1 -1 -1 -1 -1 -1 -1 -1 -1 S -1\n1 60 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 ET 300\n")
+	f.Add(";;; \n\n\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		w, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, w); err != nil {
+			t.Fatalf("write of parsed workload failed: %v", err)
+		}
+		w2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip does not re-parse: %v", err)
+		}
+		if len(w2.Jobs) != len(w.Jobs) || len(w2.Commands) != len(w.Commands) {
+			t.Fatalf("round trip changed counts: %d/%d -> %d/%d",
+				len(w.Jobs), len(w.Commands), len(w2.Jobs), len(w2.Commands))
+		}
+	})
+}

@@ -1,0 +1,107 @@
+// Package energy converts measured utilization into the energy terms the
+// paper motivates its results with ("improved utilization of the order of
+// even 4% can lead to huge energy savings", Section I-C): given a
+// per-processor power model, it computes the energy a run consumed and the
+// savings one scheduler's schedule realizes over another's for the same
+// work.
+//
+// The model is the standard two-level node power model: a busy processor
+// draws Busy watts, an idle one Idle watts, scaled by the facility PUE.
+// Because the same jobs run in every comparison, the busy energy is (near)
+// identical; what a better-packing scheduler saves is *idle* energy — it
+// finishes the same work in a shorter span.
+package energy
+
+import (
+	"fmt"
+
+	"elastisched/internal/metrics"
+)
+
+// PowerModel is the per-processor electrical model.
+type PowerModel struct {
+	// BusyWatts is the draw of a processor executing a job.
+	BusyWatts float64
+	// IdleWatts is the draw of a powered-on idle processor.
+	IdleWatts float64
+	// PUE is the facility power usage effectiveness multiplier (>= 1).
+	PUE float64
+}
+
+// BlueGeneP returns a model in the published BlueGene/P envelope:
+// roughly 24 W per processor core-group share busy, 16 W idle, at a
+// typical 2008-era facility PUE of 1.6.
+func BlueGeneP() PowerModel {
+	return PowerModel{BusyWatts: 24, IdleWatts: 16, PUE: 1.6}
+}
+
+// Validate rejects non-physical models.
+func (p PowerModel) Validate() error {
+	if p.BusyWatts <= 0 || p.IdleWatts < 0 || p.BusyWatts < p.IdleWatts {
+		return fmt.Errorf("energy: implausible power model %+v", p)
+	}
+	if p.PUE < 1 {
+		return fmt.Errorf("energy: PUE %g below 1", p.PUE)
+	}
+	return nil
+}
+
+// Report is the energy accounting of one run.
+type Report struct {
+	// BusyKWh and IdleKWh split the machine energy over the measurement
+	// window; TotalKWh includes the PUE overhead.
+	BusyKWh  float64
+	IdleKWh  float64
+	TotalKWh float64
+	// SpanHours is the measurement window length.
+	SpanHours float64
+}
+
+// Compute derives the energy report from a run summary: utilization gives
+// the busy processor-hours, the window and machine size give the rest.
+func Compute(s metrics.Summary, pm PowerModel) (Report, error) {
+	if err := pm.Validate(); err != nil {
+		return Report{}, err
+	}
+	span := float64(s.WindowEnd-s.WindowStart) / 3600 // hours
+	if span < 0 {
+		return Report{}, fmt.Errorf("energy: negative window %d..%d", s.WindowStart, s.WindowEnd)
+	}
+	procHours := span * float64(s.MachineSize)
+	busy := s.Utilization * procHours
+	idle := procHours - busy
+	r := Report{
+		BusyKWh:   busy * pm.BusyWatts / 1000,
+		IdleKWh:   idle * pm.IdleWatts / 1000,
+		SpanHours: span,
+	}
+	r.TotalKWh = (r.BusyKWh + r.IdleKWh) * pm.PUE
+	return r, nil
+}
+
+// Savings compares two runs of the same workload: target against baseline.
+// Positive SavedKWh means the target spent less energy delivering the same
+// jobs (it packed the work into a shorter or denser schedule).
+type Savings struct {
+	Target, Baseline Report
+	SavedKWh         float64
+	SavedPercent     float64
+}
+
+// Compare computes the savings of target over baseline for the same
+// workload under one power model.
+func Compare(target, baseline metrics.Summary, pm PowerModel) (Savings, error) {
+	tr, err := Compute(target, pm)
+	if err != nil {
+		return Savings{}, err
+	}
+	br, err := Compute(baseline, pm)
+	if err != nil {
+		return Savings{}, err
+	}
+	s := Savings{Target: tr, Baseline: br, SavedKWh: br.TotalKWh - tr.TotalKWh}
+	if br.TotalKWh > 0 {
+		s.SavedPercent = 100 * s.SavedKWh / br.TotalKWh
+	}
+	return s, nil
+}

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"testing"
+
+	"elastisched/internal/workload"
+)
+
+// BenchmarkSimulate500 measures end-to-end simulation throughput of one
+// paper-sized run (500 jobs, Load 0.9) per scheduling policy.
+func BenchmarkSimulate500(b *testing.B) {
+	p := workload.DefaultParams()
+	p.N = 500
+	p.PS = 0.5
+	p.PE = 0.2
+	p.PR = 0.1
+	p.TargetLoad = 0.9
+	batch, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.PD = 0.3
+	hetero, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"FCFS", "EASY", "CONS", "LOS", "Delayed-LOS", "EASY-D", "LOS-D", "Hybrid-LOS"} {
+		b.Run(name, func(b *testing.B) {
+			w := batch
+			if freshScheduler(name).Heterogeneous() {
+				w = hetero
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := Run(w, Config{
+					M: 320, Unit: 32, Scheduler: freshScheduler(name), ProcessECC: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(r.Events), "events")
+					b.ReportMetric(float64(r.Cycles), "cycles")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadGenerate measures the Lublin-model generator.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	p := workload.DefaultParams()
+	p.N = 500
+	p.PD = 0.3
+	p.PE = 0.2
+	p.PR = 0.1
+	p.TargetLoad = 0.9
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		if _, err := workload.Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,417 @@
+// Package engine runs one scheduling simulation: it feeds a CWF workload
+// through the event kernel, maintains the paper's queues (W^b, W^d, A) and
+// the machine, invokes the scheduling policy at every event instant until a
+// fixed point, and applies Elastic Control Commands through the ECC
+// processor for -E algorithm variants.
+//
+// This is the role the GridSim + ALEA pair plays in the paper's Java
+// framework (Figure 3).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"elastisched/internal/cwf"
+	"elastisched/internal/ecc"
+	"elastisched/internal/job"
+	"elastisched/internal/machine"
+	"elastisched/internal/metrics"
+	"elastisched/internal/sched"
+	"elastisched/internal/simkit"
+)
+
+// Config describes one run.
+type Config struct {
+	// M is the machine size in processors; Unit the allocation quantum.
+	M, Unit int
+	// Scheduler is the policy under test. A fresh instance per run: policies
+	// carry scratch state and are not safe to share across runs.
+	Scheduler sched.Scheduler
+	// ProcessECC attaches the ECC processor (the scheduler's -E variant).
+	// When false, commands in the workload are dropped and counted.
+	ProcessECC bool
+	// MaxECCPerJob caps commands per job (0 = unlimited).
+	MaxECCPerJob int
+	// Paranoid verifies machine invariants at every instant (slow; tests).
+	Paranoid bool
+	// MaxCyclesPerInstant bounds the scheduler fixed-point loop; exceeding
+	// it means the policy livelocked. 0 uses a generous default.
+	MaxCyclesPerInstant int
+	// Observer, when non-nil, receives placement events (dispatches,
+	// completions, resizes) — e.g. a trace.Recorder for Gantt rendering.
+	Observer Observer
+	// Contiguous requires every allocation to be a contiguous node-group
+	// run (BlueGene-style partitioning, Section II): fragmentation can
+	// then block capacity-feasible placements.
+	Contiguous bool
+	// Migrate enables on-the-fly defragmentation (Krevat et al.): when a
+	// contiguous placement fails, running jobs are compacted toward group
+	// zero and the placement retried.
+	Migrate bool
+	// DebugLog, when non-nil, receives one line per simulation event
+	// (arrival, dispatch, completion, ECC) — the scheduler-debugging
+	// trace. Slows the run; for tooling and tests.
+	DebugLog io.Writer
+}
+
+// Observer receives placement events during a run.
+type Observer interface {
+	// JobStarted fires at dispatch; groups are the node groups allocated.
+	JobStarted(j *job.Job, now int64, groups []int)
+	// JobFinished fires when the job leaves the machine.
+	JobFinished(j *job.Job, now int64)
+	// JobResized fires after an EP/RP command changed the allocation.
+	JobResized(j *job.Job, now int64, newSize int)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Summary metrics.Summary
+	ECC     ecc.Stats
+	// DroppedECC counts commands ignored because ProcessECC was off.
+	DroppedECC int
+	// Events is the number of kernel events dispatched; Cycles the number
+	// of scheduler invocations.
+	Events uint64
+	Cycles uint64
+	// Migrations counts jobs moved by defragmentation (Migrate mode);
+	// FragmentedRejections counts placements refused due to fragmentation.
+	Migrations           int
+	FragmentedRejections int
+	// PeakFragmentedWaste is the largest free-but-unusable capacity seen at
+	// any instant (free processors beyond the longest contiguous run;
+	// always 0 on scatter machines).
+	PeakFragmentedWaste int
+}
+
+// state is the live simulation.
+type state struct {
+	cfg Config
+	eng *simkit.Engine
+
+	mach   *machine.Machine
+	batch  *job.BatchQueue
+	ded    *job.DedicatedQueue
+	active *job.ActiveList
+
+	completion  map[int]*simkit.Event
+	collector   *metrics.Collector
+	proc        *ecc.Processor
+	dropped     int
+	cycles      uint64
+	fragRejects int
+	peakWaste   int
+}
+
+// Run executes the workload under the configuration and returns the
+// measured result. The workload is not mutated: jobs are cloned first, so
+// the same workload can be replayed under every algorithm of a comparison.
+func Run(w *cwf.Workload, cfg Config) (*Result, error) {
+	if cfg.Scheduler == nil {
+		return nil, errors.New("engine: no scheduler configured")
+	}
+	if cfg.Unit <= 0 {
+		cfg.Unit = 1
+	}
+	if cfg.MaxCyclesPerInstant <= 0 {
+		cfg.MaxCyclesPerInstant = 1 << 20
+	}
+	if err := w.Validate(cfg.M); err != nil {
+		return nil, err
+	}
+	hasDed := w.NumDedicated() > 0
+	if hasDed && !cfg.Scheduler.Heterogeneous() {
+		return nil, fmt.Errorf("engine: workload has dedicated jobs but %s is batch-only", cfg.Scheduler.Name())
+	}
+
+	newMachine := machine.New
+	if cfg.Contiguous {
+		newMachine = machine.NewContiguous
+	}
+	mach := newMachine(cfg.M, cfg.Unit)
+	if cfg.Contiguous && cfg.Migrate {
+		mach.EnableMigration()
+	}
+	s := &state{
+		cfg:        cfg,
+		eng:        simkit.New(),
+		mach:       mach,
+		batch:      job.NewBatchQueue(),
+		ded:        job.NewDedicatedQueue(),
+		active:     job.NewActiveList(),
+		completion: make(map[int]*simkit.Event),
+		collector:  metrics.NewCollector(cfg.M),
+	}
+	if cfg.ProcessECC {
+		s.proc = ecc.NewProcessor(cfg.MaxECCPerJob)
+	}
+
+	// Clone jobs (quantizing sizes to the machine unit) and schedule the
+	// arrival stream.
+	for _, orig := range w.Jobs {
+		j := *orig
+		q, err := s.mach.Quantize(j.Size)
+		if err != nil {
+			return nil, fmt.Errorf("engine: job %d: %v", j.ID, err)
+		}
+		j.Size = q
+		jj := &j
+		s.eng.At(jj.Arrival, func(now int64) { s.arrive(jj, now) })
+	}
+	for _, c := range w.Commands {
+		cc := c
+		s.eng.At(cc.Issue, func(now int64) { s.command(cc, now) })
+	}
+
+	// Main loop: drain each instant's events, then schedule to fixed point.
+	for {
+		if _, ok := s.eng.StepTimestamp(); !ok {
+			break
+		}
+		if err := s.scheduleInstant(); err != nil {
+			return nil, err
+		}
+		if cfg.Contiguous {
+			if w := s.mach.FragmentedWaste(); w > s.peakWaste {
+				s.peakWaste = w
+			}
+		}
+		if cfg.Paranoid {
+			if err := s.checkInvariants(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if s.active.Len() != 0 || s.batch.Len() != 0 || s.ded.Len() != 0 {
+		return nil, fmt.Errorf("engine: drained event queue with %d running, %d batch-queued, %d dedicated-queued jobs (scheduler deadlock)",
+			s.active.Len(), s.batch.Len(), s.ded.Len())
+	}
+
+	res := &Result{
+		Summary:              s.collector.Summary(),
+		DroppedECC:           s.dropped,
+		Events:               s.eng.Dispatched(),
+		Cycles:               s.cycles,
+		Migrations:           s.mach.Migrations(),
+		FragmentedRejections: s.fragRejects,
+		PeakFragmentedWaste:  s.peakWaste,
+	}
+	if s.proc != nil {
+		res.ECC = s.proc.Stats
+	}
+	return res, nil
+}
+
+// checkInvariants verifies, at the end of an instant, the machine's
+// internal consistency and the paper's Notations-box orderings: W^d sorted
+// by requested start, A sorted by residual (kill-by) time, W^b FIFO by
+// arrival after any rigid prefix, and the machine's used count matching the
+// active list.
+func (s *state) checkInvariants() error {
+	if err := s.mach.CheckInvariants(); err != nil {
+		return err
+	}
+	if used := s.active.UsedProcessors(); used != s.mach.Used() {
+		return fmt.Errorf("engine: active list holds %d procs, machine says %d", used, s.mach.Used())
+	}
+	ded := s.ded.Jobs()
+	for i := 1; i < len(ded); i++ {
+		if ded[i-1].ReqStart > ded[i].ReqStart {
+			return fmt.Errorf("engine: dedicated queue unsorted at %d", i)
+		}
+	}
+	act := s.active.Jobs()
+	for i := 1; i < len(act); i++ {
+		if act[i-1].EndTime > act[i].EndTime {
+			return fmt.Errorf("engine: active list unsorted at %d", i)
+		}
+	}
+	batch := s.batch.Jobs()
+	i := 0
+	for i < len(batch) && batch[i].Rigid {
+		i++
+	}
+	for k := i + 1; k < len(batch); k++ {
+		if batch[k-1].Rigid {
+			return fmt.Errorf("engine: rigid job %d behind non-rigid work", batch[k-1].ID)
+		}
+		if batch[k-1].Arrival > batch[k].Arrival {
+			return fmt.Errorf("engine: batch queue not FIFO at %d", k)
+		}
+	}
+	for _, j := range act {
+		if j.State != job.Running {
+			return fmt.Errorf("engine: job %d in active list with state %v", j.ID, j.State)
+		}
+	}
+	return nil
+}
+
+// scheduleInstant re-invokes the policy until it makes no progress.
+func (s *state) scheduleInstant() error {
+	for iter := 0; ; iter++ {
+		if iter >= s.cfg.MaxCyclesPerInstant {
+			return fmt.Errorf("engine: scheduler %s made progress for %d consecutive cycles at t=%d (livelock)",
+				s.cfg.Scheduler.Name(), iter, s.eng.Now())
+		}
+		ctx := &sched.Context{
+			Now:       s.eng.Now(),
+			Machine:   s.mach,
+			Batch:     s.batch,
+			Dedicated: s.ded,
+			Active:    s.active,
+			StartFn:   s.start,
+		}
+		s.cfg.Scheduler.Schedule(ctx)
+		s.cycles++
+		if !ctx.Progress {
+			return nil
+		}
+	}
+}
+
+// debugf writes one event line to the debug log when attached.
+func (s *state) debugf(format string, args ...any) {
+	if s.cfg.DebugLog != nil {
+		fmt.Fprintf(s.cfg.DebugLog, format+"\n", args...)
+	}
+}
+
+// arrive admits a job to its waiting queue.
+func (s *state) arrive(j *job.Job, now int64) {
+	j.State = job.Waiting
+	j.LastSkip = -1
+	s.debugf("t=%d arrive job=%d class=%s size=%d dur=%d", now, j.ID, j.Class, j.Size, j.Dur)
+	s.collector.JobArrived(j, now)
+	if j.Class == job.Dedicated {
+		s.ded.Push(j)
+		if j.ReqStart > now {
+			// Wake the scheduler at the rigid start time even if no other
+			// event lands there.
+			s.eng.At(j.ReqStart, func(int64) {})
+		}
+		return
+	}
+	s.batch.Push(j)
+}
+
+// start dispatches a waiting job; invoked by the policy via Context.Start.
+// It returns false when a contiguous placement fails due to fragmentation
+// (after a compaction retry if migration is enabled).
+func (s *state) start(j *job.Job) bool {
+	now := s.eng.Now()
+	if err := s.mach.Alloc(j.ID, j.Size); err != nil {
+		if !s.mach.Contiguous() || j.Size > s.mach.Free() {
+			// A policy starting a job beyond free capacity is a bug, not a
+			// recoverable condition.
+			panic(fmt.Sprintf("engine: %s started job that does not fit: %v", s.cfg.Scheduler.Name(), err))
+		}
+		if s.cfg.Migrate {
+			s.mach.Compact()
+			err = s.mach.Alloc(j.ID, j.Size)
+		}
+		if err != nil {
+			s.fragRejects++
+			return false
+		}
+	}
+	j.State = job.Running
+	j.StartTime = now
+	// EndTime is the kill-by time schedulers plan with (estimate-based);
+	// the actual completion may come earlier (premature termination) and
+	// can never come later (overrunning jobs are killed).
+	j.EndTime = now + j.Dur
+	s.completion[j.ID] = s.eng.At(now+j.EffectiveRuntime(), func(t int64) { s.complete(j, t) })
+	s.active.Insert(j)
+	s.debugf("t=%d start job=%d size=%d killby=%d wait=%d", now, j.ID, j.Size, j.EndTime, j.Wait())
+	s.collector.JobStarted(j, now)
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobStarted(j, now, s.mach.OwnedGroups(j.ID))
+	}
+	return true
+}
+
+// complete retires a running job at its kill-by time.
+func (s *state) complete(j *job.Job, now int64) {
+	if err := s.mach.Release(j.ID); err != nil {
+		panic(fmt.Sprintf("engine: completing job %d: %v", j.ID, err))
+	}
+	s.active.Remove(j)
+	delete(s.completion, j.ID)
+	j.State = job.Finished
+	j.FinishTime = now
+	s.debugf("t=%d finish job=%d ran=%d", now, j.ID, j.RunTime())
+	s.collector.JobFinished(j, now)
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobFinished(j, now)
+	}
+}
+
+// command processes one Elastic Control Command event.
+func (s *state) command(c cwf.Command, now int64) {
+	if s.proc == nil {
+		s.dropped++
+		s.debugf("t=%d ecc job=%d %s %d dropped (no processor)", now, c.JobID, c.Type, c.Amount)
+		return
+	}
+	out := s.proc.Apply(c, s)
+	s.debugf("t=%d ecc job=%d %s %d -> %s", now, c.JobID, c.Type, c.Amount, out)
+}
+
+// --- ecc.Target implementation -------------------------------------------
+
+// Now implements ecc.Target.
+func (s *state) Now() int64 { return s.eng.Now() }
+
+// FindWaiting implements ecc.Target.
+func (s *state) FindWaiting(id int) *job.Job {
+	if j := s.batch.Find(id); j != nil {
+		return j
+	}
+	return s.ded.Find(id)
+}
+
+// FindRunning implements ecc.Target.
+func (s *state) FindRunning(id int) *job.Job { return s.active.Find(id) }
+
+// RetimeRunning implements ecc.Target: re-sort the active list and move the
+// completion event to the new effective termination time (the actual
+// runtime capped by the mutated kill-by time).
+func (s *state) RetimeRunning(j *job.Job) {
+	now := s.eng.Now()
+	if j.EndTime < now {
+		j.EndTime = now
+	}
+	s.active.Resort()
+	if ev := s.completion[j.ID]; ev != nil {
+		s.eng.Cancel(ev)
+	}
+	at := j.StartTime + j.EffectiveRuntime()
+	if at < now {
+		at = now
+	}
+	s.completion[j.ID] = s.eng.At(at, func(t int64) { s.complete(j, t) })
+}
+
+// ResizeRunning implements ecc.Target.
+func (s *state) ResizeRunning(j *job.Job, newSize int) error {
+	delta := newSize - j.Size
+	if err := s.mach.Resize(j.ID, newSize); err != nil {
+		return err
+	}
+	j.Size = newSize
+	s.collector.SizeChanged(delta, s.eng.Now())
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobResized(j, s.eng.Now(), newSize)
+	}
+	return nil
+}
+
+// MachineTotal implements ecc.Target.
+func (s *state) MachineTotal() int { return s.mach.Total() }
+
+// MachineUnit implements ecc.Target.
+func (s *state) MachineUnit() int { return s.mach.Unit() }

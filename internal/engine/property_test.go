@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"elastisched/internal/core"
+	"elastisched/internal/cwf"
+	"elastisched/internal/sched"
+	"elastisched/internal/trace"
+	"elastisched/internal/workload"
+)
+
+// runTraced executes the workload and returns the placement spans.
+func runTraced(t *testing.T, w *cwf.Workload, s sched.Scheduler) []trace.Span {
+	t.Helper()
+	rec := trace.NewRecorder(320, 32)
+	if _, err := Run(w, Config{M: 320, Unit: 32, Scheduler: s, Observer: rec, Paranoid: true}); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Spans()
+}
+
+func genBatch(t *testing.T, seed int64, n int, load float64) *cwf.Workload {
+	t.Helper()
+	p := workload.DefaultParams()
+	p.Seed = seed
+	p.N = n
+	p.TargetLoad = load
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestPropertyFCFSStartsInArrivalOrder: under FCFS, start times follow
+// arrival order exactly (no overtaking), for any workload.
+func TestPropertyFCFSStartsInArrivalOrder(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		w := genBatch(t, seed, 200, 0.9)
+		spans := runTraced(t, w, sched.FCFS{})
+		byArrival := append([]trace.Span(nil), spans...)
+		sort.Slice(byArrival, func(i, k int) bool {
+			if byArrival[i].Arrival != byArrival[k].Arrival {
+				return byArrival[i].Arrival < byArrival[k].Arrival
+			}
+			return byArrival[i].JobID < byArrival[k].JobID
+		})
+		for i := 1; i < len(byArrival); i++ {
+			if byArrival[i].Start < byArrival[i-1].Start {
+				t.Fatalf("seed %d: FCFS overtaking: job %d (arr %d) started %d before job %d (arr %d) started %d",
+					seed, byArrival[i].JobID, byArrival[i].Arrival, byArrival[i].Start,
+					byArrival[i-1].JobID, byArrival[i-1].Arrival, byArrival[i-1].Start)
+			}
+		}
+	}
+}
+
+// TestPropertySpanStreamDeterministic: identical runs must produce
+// identical placement streams, job by job and instant by instant (the
+// audit in the integration tests covers lawfulness; this pins determinism
+// at span granularity, stronger than comparing summaries).
+func TestPropertySpanStreamDeterministic(t *testing.T) {
+	w := genBatch(t, 3, 200, 0.9)
+	for _, mk := range []func() sched.Scheduler{
+		func() sched.Scheduler { return &sched.EASY{} },
+		func() sched.Scheduler { return core.NewDelayedLOS(7) },
+	} {
+		a := runTraced(t, w, mk())
+		b := runTraced(t, w, mk())
+		if len(a) != len(b) {
+			t.Fatal("span counts differ across identical runs")
+		}
+		for i := range a {
+			if a[i].JobID != b[i].JobID || a[i].Start != b[i].Start || a[i].End != b[i].End {
+				t.Fatalf("span %d differs: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestPropertyStartsOnlyAtEvents: event-driven policies dispatch only at
+// job arrivals or completions — a start at any other instant would mean
+// the engine invented a scheduling opportunity (or missed one earlier and
+// made it up with a timer).
+func TestPropertyStartsOnlyAtEvents(t *testing.T) {
+	w := genBatch(t, 4, 200, 0.9)
+	for _, mk := range []func() sched.Scheduler{
+		func() sched.Scheduler { return &sched.EASY{} },
+		func() sched.Scheduler { return core.NewLOS(false) },
+		func() sched.Scheduler { return core.NewDelayedLOS(7) },
+	} {
+		spans := runTraced(t, w, mk())
+		events := map[int64]bool{}
+		for _, sp := range spans {
+			events[sp.Arrival] = true
+			events[sp.End] = true
+		}
+		for _, sp := range spans {
+			if !events[sp.Start] {
+				t.Fatalf("job %d started at %d, which is neither an arrival nor a completion instant",
+					sp.JobID, sp.Start)
+			}
+		}
+	}
+}
+
+// TestPropertyWaitConsistency: the trace-derived mean wait must match the
+// collector's summary (two independent accounting paths).
+func TestPropertyWaitConsistency(t *testing.T) {
+	w := genBatch(t, 6, 250, 0.9)
+	rec := trace.NewRecorder(320, 32)
+	r, err := Run(w, Config{M: 320, Unit: 32, Scheduler: core.NewDelayedLOS(7), Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rec.Summarize()
+	if diff := st.MeanWait - r.Summary.MeanWait; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("trace mean wait %.6f != summary %.6f", st.MeanWait, r.Summary.MeanWait)
+	}
+	if st.Jobs != r.Summary.JobsFinished {
+		t.Fatalf("trace jobs %d != summary %d", st.Jobs, r.Summary.JobsFinished)
+	}
+}

@@ -1,0 +1,118 @@
+// Package experiment defines the paper's evaluation as code: one Sweep per
+// figure panel, improvement tables for Tables IV-VII, and a parallel runner
+// that executes every (algorithm, point, seed) combination on a worker pool
+// with deterministic per-run seeding.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"elastisched/internal/core"
+	"elastisched/internal/sched"
+)
+
+// Algorithm names a scheduling policy with an optional ECC processor, as
+// enumerated in the paper's Table III, plus the related-work baselines.
+type Algorithm struct {
+	// Name is the Table III identifier (e.g. "Delayed-LOS-E").
+	Name string
+	// ECC attaches the Elastic Control Command processor (the -E variants).
+	ECC bool
+	// New constructs a fresh policy instance for one run. Policies carry
+	// scratch state, so instances are never shared between runs.
+	New func(pt Point) sched.Scheduler
+}
+
+// registry builds the full algorithm table. cs and lookahead come from the
+// sweep point so C_s calibration sweeps and lookahead ablations are plain
+// parameter sweeps.
+func registry() map[string]Algorithm {
+	easy := func(ded bool) func(Point) sched.Scheduler {
+		return func(Point) sched.Scheduler { return &sched.EASY{Ded: ded} }
+	}
+	los := func(ded bool) func(Point) sched.Scheduler {
+		return func(pt Point) sched.Scheduler {
+			l := core.NewLOS(ded)
+			if pt.Lookahead > 0 {
+				l.Lookahead = pt.Lookahead
+			}
+			return l
+		}
+	}
+	delayed := func(pt Point) sched.Scheduler {
+		d := core.NewDelayedLOS(pt.EffectiveCs())
+		if pt.Lookahead > 0 {
+			d.Lookahead = pt.Lookahead
+		}
+		return d
+	}
+	hybrid := func(pt Point) sched.Scheduler {
+		h := core.NewHybridLOS(pt.EffectiveCs())
+		if pt.Lookahead > 0 {
+			h.SetLookahead(pt.Lookahead)
+		}
+		return h
+	}
+	m := map[string]Algorithm{
+		"EASY":    {Name: "EASY", New: easy(false)},
+		"EASY-D":  {Name: "EASY-D", New: easy(true)},
+		"EASY-E":  {Name: "EASY-E", ECC: true, New: easy(false)},
+		"EASY-DE": {Name: "EASY-DE", ECC: true, New: easy(true)},
+		"LOS":     {Name: "LOS", New: los(false)},
+		"LOS-D":   {Name: "LOS-D", New: los(true)},
+		"LOS-E":   {Name: "LOS-E", ECC: true, New: los(false)},
+		"LOS-DE":  {Name: "LOS-DE", ECC: true, New: los(true)},
+
+		"Delayed-LOS":   {Name: "Delayed-LOS", New: delayed},
+		"Delayed-LOS-E": {Name: "Delayed-LOS-E", ECC: true, New: delayed},
+		"Hybrid-LOS":    {Name: "Hybrid-LOS", New: hybrid},
+		"Hybrid-LOS-E":  {Name: "Hybrid-LOS-E", ECC: true, New: hybrid},
+
+		"LOS+": {Name: "LOS+", New: func(pt Point) sched.Scheduler {
+			l := core.NewLOSPlus()
+			if pt.Lookahead > 0 {
+				l.Lookahead = pt.Lookahead
+			}
+			return l
+		}},
+		"CONS-D": {Name: "CONS-D", New: func(Point) sched.Scheduler { return sched.ConservativeD{} }},
+		"FCFS":   {Name: "FCFS", New: func(Point) sched.Scheduler { return sched.FCFS{} }},
+		"SJF":    {Name: "SJF", New: func(Point) sched.Scheduler { return sched.SJF{} }},
+		"LJF":    {Name: "LJF", New: func(Point) sched.Scheduler { return sched.LJF{} }},
+		"CONS":   {Name: "CONS", New: func(Point) sched.Scheduler { return sched.Conservative{} }},
+		"Adaptive": {Name: "Adaptive", New: func(pt Point) sched.Scheduler {
+			return core.NewAdaptive(pt.EffectiveCs())
+		}},
+	}
+	return m
+}
+
+// ByName resolves a Table III (or baseline) algorithm name.
+func ByName(name string) (Algorithm, error) {
+	a, ok := registry()[name]
+	if !ok {
+		return Algorithm{}, fmt.Errorf("experiment: unknown algorithm %q (known: %v)", name, Names())
+	}
+	return a, nil
+}
+
+// MustByName is ByName for static experiment definitions.
+func MustByName(name string) Algorithm {
+	a, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Names lists the registered algorithm names, sorted.
+func Names() []string {
+	m := registry()
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"elastisched/internal/core"
+	"elastisched/internal/ecc"
+	"elastisched/internal/engine"
+	"elastisched/internal/metrics"
+	"elastisched/internal/workload"
+)
+
+// Point is one x-axis position of a sweep: a workload configuration plus
+// the scheduler parameters used there.
+type Point struct {
+	// X is the plotted x value (offered load, C_s, lookahead depth, ...).
+	X float64
+	// Params generates the workload; Seed is overridden per run.
+	Params workload.Params
+	// Cs is the maximum-skip-count threshold for the LOS family at this
+	// point (<= 0 means core.DefaultCs).
+	Cs int
+	// Lookahead overrides the DP window (0 = algorithm default).
+	Lookahead int
+	// Contiguous/Migrate select the allocation policy (BlueGene-style
+	// partitioning with optional defragmentation).
+	Contiguous bool
+	Migrate    bool
+}
+
+// EffectiveCs resolves the point's C_s.
+func (p Point) EffectiveCs() int {
+	if p.Cs > 0 {
+		return p.Cs
+	}
+	return core.DefaultCs
+}
+
+// Sweep is one figure panel: a set of algorithms evaluated over a set of
+// points, each point averaged over seeds.
+type Sweep struct {
+	ID     string
+	Title  string
+	XLabel string
+
+	Algorithms []Algorithm
+	Points     []Point
+	Seeds      []int64
+}
+
+// Cell is the aggregated outcome of one (algorithm, point) pair.
+type Cell struct {
+	Summary metrics.Summary
+	// PerSeed holds the individual per-seed summaries, in seed order, so
+	// reports can attach confidence intervals and paired significance
+	// tests (the same seed at the same point replays the same workload
+	// under every algorithm).
+	PerSeed []metrics.Summary
+	ECC     ecc.Stats
+	// RealizedLoad is the mean offered load of the generated workloads at
+	// this point (sanity check against Params.TargetLoad).
+	RealizedLoad float64
+	Runs         int
+}
+
+// Result holds a completed sweep: Cells[algo][point].
+type Result struct {
+	Sweep *Sweep
+	Cells [][]Cell
+}
+
+// Run executes the sweep on up to workers goroutines (0 = GOMAXPROCS).
+// Every (algorithm, point, seed) run is independent and deterministically
+// seeded, so the result is identical regardless of worker count.
+func (s *Sweep) Run(workers int) (*Result, error) {
+	if len(s.Algorithms) == 0 || len(s.Points) == 0 {
+		return nil, fmt.Errorf("experiment %s: empty sweep", s.ID)
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	res := &Result{Sweep: s, Cells: make([][]Cell, len(s.Algorithms))}
+	for i := range res.Cells {
+		res.Cells[i] = make([]Cell, len(s.Points))
+	}
+
+	type task struct{ ai, pi int }
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	worker := func() {
+		defer wg.Done()
+		for t := range tasks {
+			cell, err := s.runCell(s.Algorithms[t.ai], s.Points[t.pi], seeds)
+			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("experiment %s, algo %s, point %g: %w",
+					s.ID, s.Algorithms[t.ai].Name, s.Points[t.pi].X, err)
+			}
+			res.Cells[t.ai][t.pi] = cell
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	for ai := range s.Algorithms {
+		for pi := range s.Points {
+			tasks <- task{ai, pi}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// runCell executes one (algorithm, point) pair across all seeds and
+// averages the summaries.
+func (s *Sweep) runCell(a Algorithm, pt Point, seeds []int64) (Cell, error) {
+	sums := make([]metrics.Summary, 0, len(seeds))
+	var eccStats ecc.Stats
+	var loadSum float64
+	for _, seed := range seeds {
+		params := pt.Params
+		params.Seed = seed
+		w, err := workload.Generate(params)
+		if err != nil {
+			return Cell{}, err
+		}
+		loadSum += w.Load(params.M)
+		r, err := engine.Run(w, engine.Config{
+			M:            params.M,
+			Unit:         params.Unit,
+			Scheduler:    a.New(pt),
+			ProcessECC:   a.ECC,
+			MaxECCPerJob: params.MaxECCPerJob,
+			Contiguous:   pt.Contiguous,
+			Migrate:      pt.Migrate,
+		})
+		if err != nil {
+			return Cell{}, err
+		}
+		sums = append(sums, r.Summary)
+		eccStats = addECC(eccStats, r.ECC)
+	}
+	return Cell{
+		Summary:      metrics.Average(sums),
+		PerSeed:      sums,
+		ECC:          eccStats,
+		RealizedLoad: loadSum / float64(len(seeds)),
+		Runs:         len(seeds),
+	}, nil
+}
+
+func addECC(a, b ecc.Stats) ecc.Stats {
+	a.Total += b.Total
+	a.Applied += b.Applied
+	a.Clamped += b.Clamped
+	a.IgnoredFinished += b.IgnoredFinished
+	a.IgnoredUnknown += b.IgnoredUnknown
+	a.IgnoredLimit += b.IgnoredLimit
+	a.IgnoredCapacity += b.IgnoredCapacity
+	a.ExtendedSeconds += b.ExtendedSeconds
+	a.ReducedSeconds += b.ReducedSeconds
+	a.GrownProcs += b.GrownProcs
+	a.ShrunkProcs += b.ShrunkProcs
+	return a
+}

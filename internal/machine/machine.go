@@ -1,0 +1,365 @@
+// Package machine models the parallel machine the paper simulates: IBM's
+// BlueGene/P with M = 320 processors clustered into node groups of 32, so
+// only integer multiples of 32 processors can be assigned to a job.
+//
+// The paper's schedulers treat the machine as a capacity counter (no
+// topology constraints); this package additionally tracks which node groups
+// each job holds, which catches double-allocation bugs and supports
+// visualization and allocation-policy ablations.
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Machine is a fixed pool of processors with quantized allocation.
+type Machine struct {
+	total int
+	unit  int
+	free  int
+	// contiguous requires every allocation to occupy a single run of
+	// adjacent node groups, modelling torus-partitioned systems like
+	// BlueGene (Section II, Krevat et al.). Fragmentation then matters:
+	// enough total capacity may be free yet unallocatable.
+	contiguous bool
+	// groups[i] is the job ID occupying node group i, or -1 when free.
+	groups []int
+	owner  map[int][]int // jobID -> group indices
+	// migratory marks that the owner is willing to Compact on demand: a
+	// capacity-feasible request is then always placeable, so Fits ignores
+	// fragmentation.
+	migratory bool
+	// migrations counts jobs moved by Compact.
+	migrations int
+}
+
+// New returns a machine with total processors allocated in multiples of
+// unit. unit must divide total; pass unit=1 for unquantized machines (e.g.
+// when replaying SWF traces from non-BlueGene systems). Allocations may
+// scatter across node groups (the paper's capacity-only model).
+func New(total, unit int) *Machine {
+	if total <= 0 {
+		panic(fmt.Sprintf("machine: non-positive size %d", total))
+	}
+	if unit <= 0 || total%unit != 0 {
+		panic(fmt.Sprintf("machine: unit %d does not divide total %d", unit, total))
+	}
+	m := &Machine{total: total, unit: unit, free: total}
+	m.groups = make([]int, total/unit)
+	for i := range m.groups {
+		m.groups[i] = -1
+	}
+	m.owner = make(map[int][]int)
+	return m
+}
+
+// NewContiguous returns a machine whose allocations must be contiguous
+// node-group runs (first-fit placement).
+func NewContiguous(total, unit int) *Machine {
+	m := New(total, unit)
+	m.contiguous = true
+	return m
+}
+
+// Contiguous reports whether allocations must be contiguous.
+func (m *Machine) Contiguous() bool { return m.contiguous }
+
+// EnableMigration declares that the owner compacts on placement failure,
+// making Fits capacity-only again.
+func (m *Machine) EnableMigration() { m.migratory = true }
+
+// Migrations returns how many job moves Compact has performed.
+func (m *Machine) Migrations() int { return m.migrations }
+
+// Total returns M, the machine size in processors.
+func (m *Machine) Total() int { return m.total }
+
+// Unit returns the allocation quantum in processors (32 for BlueGene/P).
+func (m *Machine) Unit() int { return m.unit }
+
+// Free returns the number of unallocated processors (m in the paper).
+func (m *Machine) Free() int { return m.free }
+
+// Used returns the number of allocated processors.
+func (m *Machine) Used() int { return m.total - m.free }
+
+// Utilization returns the instantaneous fraction of busy processors.
+func (m *Machine) Utilization() float64 { return float64(m.Used()) / float64(m.total) }
+
+// Fits reports whether size processors could be allocated right now. Under
+// contiguous allocation this checks for a free run, not just free capacity.
+func (m *Machine) Fits(size int) bool {
+	if size <= 0 || size > m.free {
+		return false
+	}
+	if !m.contiguous || m.migratory {
+		return true
+	}
+	need := (size + m.unit - 1) / m.unit
+	return m.longestFreeRun() >= need
+}
+
+// FragmentedWaste returns the free processors unusable by the largest
+// currently placeable contiguous request: free minus the longest free run
+// (always 0 for scatter machines).
+func (m *Machine) FragmentedWaste() int {
+	if !m.contiguous {
+		return 0
+	}
+	return m.free - m.longestFreeRun()*m.unit
+}
+
+// longestFreeRun returns the length of the longest run of free groups.
+func (m *Machine) longestFreeRun() int {
+	best, cur := 0, 0
+	for _, g := range m.groups {
+		if g == -1 {
+			cur++
+			if cur > best {
+				best = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return best
+}
+
+// findRun returns the first index of a free run of length need, or -1.
+func (m *Machine) findRun(need int) int {
+	cur := 0
+	for i, g := range m.groups {
+		if g == -1 {
+			cur++
+			if cur == need {
+				return i - need + 1
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return -1
+}
+
+// Quantize rounds size up to the allocation unit and caps it at the machine
+// size. It returns an error for non-positive sizes.
+func (m *Machine) Quantize(size int) (int, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("machine: non-positive allocation %d", size)
+	}
+	q := ((size + m.unit - 1) / m.unit) * m.unit
+	if q > m.total {
+		return 0, fmt.Errorf("machine: allocation %d exceeds machine size %d", size, m.total)
+	}
+	return q, nil
+}
+
+// Alloc reserves size processors for jobID. size must already be a multiple
+// of the unit (the workload generator guarantees it; trace loaders call
+// Quantize first). It returns an error if the request cannot be satisfied.
+func (m *Machine) Alloc(jobID, size int) error {
+	if size <= 0 || size%m.unit != 0 {
+		return fmt.Errorf("machine: allocation %d for job %d not a multiple of unit %d", size, jobID, m.unit)
+	}
+	if size > m.free {
+		return fmt.Errorf("machine: allocation %d for job %d exceeds free capacity %d", size, jobID, m.free)
+	}
+	if _, dup := m.owner[jobID]; dup {
+		return fmt.Errorf("machine: job %d already holds an allocation", jobID)
+	}
+	need := size / m.unit
+	idx := make([]int, 0, need)
+	if m.contiguous {
+		at := m.findRun(need)
+		if at < 0 {
+			return fmt.Errorf("machine: no contiguous run of %d groups for job %d (free %d, fragmented)", need, jobID, m.free)
+		}
+		for i := at; i < at+need; i++ {
+			m.groups[i] = jobID
+			idx = append(idx, i)
+		}
+	} else {
+		for i := 0; i < len(m.groups) && len(idx) < need; i++ {
+			if m.groups[i] == -1 {
+				m.groups[i] = jobID
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) != need {
+			// free counter said yes but the group map disagrees: corruption.
+			panic(fmt.Sprintf("machine: free=%d but only %d/%d groups available", m.free, len(idx), need))
+		}
+	}
+	m.owner[jobID] = idx
+	m.free -= size
+	return nil
+}
+
+// Compact migrates running jobs toward group 0, coalescing all free groups
+// into one trailing run — the on-the-fly defragmentation of Krevat et al.
+// It returns the number of jobs whose placement changed. Only meaningful
+// (but harmless) on contiguous machines.
+func (m *Machine) Compact() int {
+	// Stable order: jobs sorted by their current first group.
+	type placed struct {
+		id    int
+		first int
+		n     int
+	}
+	jobs := make([]placed, 0, len(m.owner))
+	for id, idx := range m.owner {
+		first := idx[0]
+		for _, g := range idx {
+			if g < first {
+				first = g
+			}
+		}
+		jobs = append(jobs, placed{id, first, len(idx)})
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].first < jobs[k].first })
+	for i := range m.groups {
+		m.groups[i] = -1
+	}
+	moved := 0
+	next := 0
+	for _, p := range jobs {
+		idx := make([]int, 0, p.n)
+		for i := next; i < next+p.n; i++ {
+			m.groups[i] = p.id
+			idx = append(idx, i)
+		}
+		if p.first != next {
+			moved++
+		}
+		m.owner[p.id] = idx
+		next += p.n
+	}
+	m.migrations += moved
+	return moved
+}
+
+// Release frees every processor held by jobID. Releasing a job with no
+// allocation is an error (double release is always a scheduler bug).
+func (m *Machine) Release(jobID int) error {
+	idx, ok := m.owner[jobID]
+	if !ok {
+		return fmt.Errorf("machine: release of job %d which holds no allocation", jobID)
+	}
+	for _, i := range idx {
+		m.groups[i] = -1
+	}
+	m.free += len(idx) * m.unit
+	delete(m.owner, jobID)
+	return nil
+}
+
+// Resize grows or shrinks jobID's allocation to newSize processors (a
+// multiple of the unit). Shrinking always succeeds; growing requires enough
+// free capacity. This supports the paper's future-work EP/RP commands.
+func (m *Machine) Resize(jobID, newSize int) error {
+	idx, ok := m.owner[jobID]
+	if !ok {
+		return fmt.Errorf("machine: resize of job %d which holds no allocation", jobID)
+	}
+	if newSize <= 0 || newSize%m.unit != 0 {
+		return fmt.Errorf("machine: resize to %d not a positive multiple of unit %d", newSize, m.unit)
+	}
+	cur := len(idx) * m.unit
+	switch {
+	case newSize == cur:
+		return nil
+	case newSize < cur:
+		drop := (cur - newSize) / m.unit
+		for _, g := range idx[len(idx)-drop:] {
+			m.groups[g] = -1
+		}
+		m.owner[jobID] = idx[:len(idx)-drop]
+		m.free += cur - newSize
+		return nil
+	default:
+		grow := newSize - cur
+		if grow > m.free {
+			return fmt.Errorf("machine: resize of job %d to %d needs %d free, have %d", jobID, newSize, grow, m.free)
+		}
+		need := grow / m.unit
+		if m.contiguous {
+			// A contiguous job may only grow into the free groups directly
+			// after its run (space continuity, paper Section VI).
+			last := idx[len(idx)-1]
+			for k := 1; k <= need; k++ {
+				if last+k >= len(m.groups) || m.groups[last+k] != -1 {
+					return fmt.Errorf("machine: job %d cannot grow contiguously by %d groups", jobID, need)
+				}
+			}
+			for k := 1; k <= need; k++ {
+				m.groups[last+k] = jobID
+				idx = append(idx, last+k)
+			}
+		} else {
+			added := 0
+			for i := 0; i < len(m.groups) && added < need; i++ {
+				if m.groups[i] == -1 {
+					m.groups[i] = jobID
+					idx = append(idx, i)
+					added++
+				}
+			}
+		}
+		m.owner[jobID] = idx
+		m.free -= grow
+		return nil
+	}
+}
+
+// Held returns the size of jobID's current allocation (0 if none).
+func (m *Machine) Held(jobID int) int {
+	return len(m.owner[jobID]) * m.unit
+}
+
+// OwnedGroups returns a copy of the node-group indices jobID holds.
+func (m *Machine) OwnedGroups(jobID int) []int {
+	idx := m.owner[jobID]
+	out := make([]int, len(idx))
+	copy(out, idx)
+	return out
+}
+
+// Groups returns a copy of the node-group occupancy map (-1 = free).
+func (m *Machine) Groups() []int {
+	out := make([]int, len(m.groups))
+	copy(out, m.groups)
+	return out
+}
+
+// CheckInvariants verifies internal consistency: the free counter matches
+// the group map and the owner index is exact. Used by tests and the
+// engine's paranoid mode.
+func (m *Machine) CheckInvariants() error {
+	freeGroups := 0
+	perJob := map[int]int{}
+	for _, g := range m.groups {
+		if g == -1 {
+			freeGroups++
+		} else {
+			perJob[g]++
+		}
+	}
+	if freeGroups*m.unit != m.free {
+		return fmt.Errorf("machine: free counter %d != free groups %d*%d", m.free, freeGroups, m.unit)
+	}
+	if len(perJob) != len(m.owner) {
+		return fmt.Errorf("machine: owner map has %d jobs, group map has %d", len(m.owner), len(perJob))
+	}
+	for id, idx := range m.owner {
+		if perJob[id] != len(idx) {
+			return fmt.Errorf("machine: job %d owner index %d groups, map says %d", id, len(idx), perJob[id])
+		}
+		for _, g := range idx {
+			if m.groups[g] != id {
+				return fmt.Errorf("machine: group %d owned by %d per index, %d per map", g, id, m.groups[g])
+			}
+		}
+	}
+	return nil
+}

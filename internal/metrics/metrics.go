@@ -1,0 +1,345 @@
+// Package metrics collects the performance measures the paper reports:
+// mean system utilization (time-integrated busy fraction), mean job waiting
+// time, and slowdown defined as (avg wait + avg runtime)/avg runtime
+// (Section V). It also records richer diagnostics — per-class waits,
+// percentiles, per-job bounded slowdown, dedicated on-time rate — used by
+// the extended benches.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"elastisched/internal/job"
+)
+
+// Collector accumulates events during one simulation run.
+type Collector struct {
+	m int
+
+	busy     int
+	lastT    int64
+	area     float64
+	haveT0   bool
+	t0, tEnd int64
+
+	waits       []float64
+	runs        []float64
+	perJobSlow  []float64
+	batchWaits  []float64
+	dedWaits    []float64
+	dedOnTime   int
+	dedTotal    int
+	jobsStarted int
+	jobsDone    int
+	queued      int
+	maxQueued   int
+
+	// busySteps records the busy-count step function (one entry per change)
+	// so steady-state windows can be evaluated after the fact.
+	busySteps []busyStep
+	// perJob records (arrival, finish, wait) per completed job for windowed
+	// wait statistics.
+	perJob []jobPoint
+}
+
+type busyStep struct {
+	t    int64
+	busy int
+}
+
+type jobPoint struct {
+	arrival, finish int64
+	wait            float64
+}
+
+// NewCollector returns a collector for a machine of m processors.
+func NewCollector(m int) *Collector {
+	return &Collector{m: m}
+}
+
+// integrate advances the busy-area integral to time t.
+func (c *Collector) integrate(t int64) {
+	if t > c.lastT {
+		c.area += float64(c.busy) * float64(t-c.lastT)
+		c.lastT = t
+	}
+}
+
+// noteBusy appends to the busy step function (coalescing same-instant
+// changes).
+func (c *Collector) noteBusy(t int64) {
+	if n := len(c.busySteps); n > 0 && c.busySteps[n-1].t == t {
+		c.busySteps[n-1].busy = c.busy
+		return
+	}
+	c.busySteps = append(c.busySteps, busyStep{t, c.busy})
+}
+
+// JobArrived opens the measurement window at the first arrival and tracks
+// the waiting-queue depth.
+func (c *Collector) JobArrived(j *job.Job, t int64) {
+	if !c.haveT0 || t < c.t0 {
+		if !c.haveT0 {
+			c.lastT = t
+		}
+		c.t0 = t
+		c.haveT0 = true
+	}
+	c.queued++
+	if c.queued > c.maxQueued {
+		c.maxQueued = c.queued
+	}
+}
+
+// JobStarted accounts for a dispatch at time t.
+func (c *Collector) JobStarted(j *job.Job, t int64) {
+	c.integrate(t)
+	c.busy += j.Size
+	c.jobsStarted++
+	c.queued--
+	if c.busy > c.m {
+		panic(fmt.Sprintf("metrics: busy %d exceeds machine %d at t=%d", c.busy, c.m, t))
+	}
+	c.noteBusy(t)
+}
+
+// JobFinished accounts for a completion at time t.
+func (c *Collector) JobFinished(j *job.Job, t int64) {
+	c.integrate(t)
+	c.busy -= j.Size
+	if c.busy < 0 {
+		panic(fmt.Sprintf("metrics: negative busy %d at t=%d", c.busy, t))
+	}
+	c.noteBusy(t)
+	c.jobsDone++
+	if t > c.tEnd {
+		c.tEnd = t
+	}
+
+	w := float64(j.Wait())
+	c.perJob = append(c.perJob, jobPoint{arrival: j.Arrival, finish: t, wait: w})
+	r := float64(j.RunTime())
+	c.waits = append(c.waits, w)
+	c.runs = append(c.runs, r)
+	// Per-job bounded slowdown with the conventional 10s floor.
+	den := math.Max(r, 10)
+	c.perJobSlow = append(c.perJobSlow, (w+math.Max(r, 10))/den)
+	if j.Class == job.Dedicated {
+		c.dedTotal++
+		c.dedWaits = append(c.dedWaits, w)
+		if j.Wait() == 0 {
+			c.dedOnTime++
+		}
+	} else {
+		c.batchWaits = append(c.batchWaits, w)
+	}
+}
+
+// SizeChanged accounts for an EP/RP resize of a running job at time t.
+func (c *Collector) SizeChanged(delta int, t int64) {
+	c.integrate(t)
+	c.busy += delta
+	if c.busy < 0 || c.busy > c.m {
+		panic(fmt.Sprintf("metrics: busy %d out of range after resize at t=%d", c.busy, t))
+	}
+	c.noteBusy(t)
+}
+
+// Summary is the digest of one run.
+type Summary struct {
+	Jobs        int
+	MachineSize int
+	// Window is the measurement span: first arrival to last completion.
+	WindowStart, WindowEnd int64
+
+	// Utilization is the paper's mean utilization: busy processor-seconds
+	// over M * window.
+	Utilization float64
+	// MeanWait and MeanRun are in seconds.
+	MeanWait float64
+	MeanRun  float64
+	// Slowdown is the paper's aggregate definition:
+	// (avg wait + avg runtime) / avg runtime.
+	Slowdown float64
+
+	// SteadyUtilization and SteadyMeanWait evaluate the same measures over
+	// the steady-state window only — between the 10th-percentile and
+	// 90th-percentile job completion instants — removing the machine-
+	// filling ramp-up and the final drain, which otherwise depress
+	// utilization identically for every scheduler. SteadyMeanWait covers
+	// jobs that *arrived* within the window.
+	SteadyUtilization float64
+	SteadyMeanWait    float64
+	SteadyWindow      [2]int64
+
+	// MaxQueueDepth is the largest number of jobs simultaneously waiting.
+	MaxQueueDepth int
+
+	// Diagnostics beyond the paper's headline metrics.
+	MedianWait      float64
+	P95Wait         float64
+	MaxWait         float64
+	MeanBoundedSlow float64
+	MeanBatchWait   float64
+	MeanDedWait     float64
+	DedicatedOnTime float64 // fraction started exactly at the requested time
+	DedicatedJobs   int
+	JobsStarted     int
+	JobsFinished    int
+}
+
+// Summary finalizes the run. It must be called after the last completion.
+func (c *Collector) Summary() Summary {
+	s := Summary{
+		Jobs:          c.jobsDone,
+		MachineSize:   c.m,
+		WindowStart:   c.t0,
+		WindowEnd:     c.tEnd,
+		JobsStarted:   c.jobsStarted,
+		JobsFinished:  c.jobsDone,
+		DedicatedJobs: c.dedTotal,
+	}
+	c.integrate(c.tEnd)
+	span := float64(c.tEnd - c.t0)
+	if span > 0 {
+		s.Utilization = c.area / (span * float64(c.m))
+	}
+	s.MeanWait = mean(c.waits)
+	s.MeanRun = mean(c.runs)
+	if s.MeanRun > 0 {
+		s.Slowdown = (s.MeanWait + s.MeanRun) / s.MeanRun
+	}
+	s.MedianWait = quantile(c.waits, 0.5)
+	s.P95Wait = quantile(c.waits, 0.95)
+	for _, w := range c.waits {
+		if w > s.MaxWait {
+			s.MaxWait = w
+		}
+	}
+	s.MeanBoundedSlow = mean(c.perJobSlow)
+	s.MeanBatchWait = mean(c.batchWaits)
+	s.MeanDedWait = mean(c.dedWaits)
+	if c.dedTotal > 0 {
+		s.DedicatedOnTime = float64(c.dedOnTime) / float64(c.dedTotal)
+	}
+	s.SteadyWindow, s.SteadyUtilization, s.SteadyMeanWait = c.steadyState()
+	s.MaxQueueDepth = c.maxQueued
+	return s
+}
+
+// steadyState computes utilization and mean wait over the central window
+// between the 10th- and 90th-percentile completion instants.
+func (c *Collector) steadyState() (window [2]int64, util, wait float64) {
+	n := len(c.perJob)
+	if n < 10 {
+		return [2]int64{c.t0, c.tEnd}, 0, 0
+	}
+	finishes := make([]int64, n)
+	for i, p := range c.perJob {
+		finishes[i] = p.finish
+	}
+	sort.Slice(finishes, func(i, k int) bool { return finishes[i] < finishes[k] })
+	t0 := finishes[n/10]
+	t1 := finishes[n-1-n/10]
+	if t1 <= t0 {
+		return [2]int64{t0, t1}, 0, 0
+	}
+	util = c.WindowUtilization(t0, t1)
+	var sum float64
+	var cnt int
+	for _, p := range c.perJob {
+		if p.arrival >= t0 && p.arrival <= t1 {
+			sum += p.wait
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		wait = sum / float64(cnt)
+	}
+	return [2]int64{t0, t1}, util, wait
+}
+
+// WindowUtilization integrates the recorded busy curve over [t0, t1].
+func (c *Collector) WindowUtilization(t0, t1 int64) float64 {
+	if t1 <= t0 || len(c.busySteps) == 0 {
+		return 0
+	}
+	var area float64
+	for i, st := range c.busySteps {
+		segStart := st.t
+		segEnd := t1
+		if i+1 < len(c.busySteps) && c.busySteps[i+1].t < segEnd {
+			segEnd = c.busySteps[i+1].t
+		}
+		if segStart < t0 {
+			segStart = t0
+		}
+		if segEnd > segStart {
+			area += float64(st.busy) * float64(segEnd-segStart)
+		}
+		if i+1 < len(c.busySteps) && c.busySteps[i+1].t >= t1 {
+			break
+		}
+	}
+	return area / (float64(t1-t0) * float64(c.m))
+}
+
+// String renders the headline metrics.
+func (s Summary) String() string {
+	return fmt.Sprintf("util=%.4f wait=%.1fs run=%.1fs slowdown=%.3f jobs=%d",
+		s.Utilization, s.MeanWait, s.MeanRun, s.Slowdown, s.Jobs)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	i := int(q * float64(len(ys)-1))
+	return ys[i]
+}
+
+// Average combines summaries from repeated seeds into their arithmetic
+// mean, the way each plotted point aggregates runs.
+func Average(sums []Summary) Summary {
+	if len(sums) == 0 {
+		return Summary{}
+	}
+	out := sums[0]
+	n := float64(len(sums))
+	acc := func(get func(*Summary) *float64) {
+		var t float64
+		for i := range sums {
+			t += *get(&sums[i])
+		}
+		*get(&out) = t / n
+	}
+	acc(func(s *Summary) *float64 { return &s.Utilization })
+	acc(func(s *Summary) *float64 { return &s.MeanWait })
+	acc(func(s *Summary) *float64 { return &s.MeanRun })
+	acc(func(s *Summary) *float64 { return &s.Slowdown })
+	acc(func(s *Summary) *float64 { return &s.MedianWait })
+	acc(func(s *Summary) *float64 { return &s.P95Wait })
+	acc(func(s *Summary) *float64 { return &s.MaxWait })
+	acc(func(s *Summary) *float64 { return &s.MeanBoundedSlow })
+	acc(func(s *Summary) *float64 { return &s.MeanBatchWait })
+	acc(func(s *Summary) *float64 { return &s.MeanDedWait })
+	acc(func(s *Summary) *float64 { return &s.DedicatedOnTime })
+	acc(func(s *Summary) *float64 { return &s.SteadyUtilization })
+	acc(func(s *Summary) *float64 { return &s.SteadyMeanWait })
+	return out
+}

@@ -1,0 +1,74 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram renders an ASCII histogram of xs with the given number of bins
+// (log-scaled bins when logX is set, the natural choice for job runtimes
+// spanning seconds to days).
+func Histogram(title string, xs []float64, bins int, logX bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", title, len(xs))
+	if len(xs) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if bins < 1 {
+		bins = 10
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	lo, hi := ys[0], ys[len(ys)-1]
+	transform := func(v float64) float64 { return v }
+	if logX {
+		if lo <= 0 {
+			lo = math.SmallestNonzeroFloat64
+		}
+		transform = math.Log
+	}
+	tlo, thi := transform(lo), transform(hi)
+	if thi <= tlo {
+		thi = tlo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range ys {
+		tv := transform(math.Max(v, lo))
+		i := int((tv - tlo) / (thi - tlo) * float64(bins))
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		counts[i]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	const barWidth = 50
+	for i, c := range counts {
+		frac := float64(i) / float64(bins)
+		next := float64(i+1) / float64(bins)
+		edge0 := tlo + frac*(thi-tlo)
+		edge1 := tlo + next*(thi-tlo)
+		if logX {
+			edge0, edge1 = math.Exp(edge0), math.Exp(edge1)
+		}
+		bar := 0
+		if maxCount > 0 {
+			bar = c * barWidth / maxCount
+		}
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%10.3g-%-10.3g %6d %s\n", edge0, edge1, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

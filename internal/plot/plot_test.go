@@ -1,0 +1,161 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsMarkersAndLegend(t *testing.T) {
+	out := Render("title", "x", "y", []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+	}, 40, 10)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Error("missing legend entries")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing data markers")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render("t", "x", "y", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Error("empty render should say so")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out := Render("t", "x", "y", []Series{{Name: "a", X: []float64{5}, Y: []float64{7}}}, 40, 10)
+	if !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	// Constant y must not divide by zero.
+	out := Render("t", "x", "y", []Series{{Name: "a", X: []float64{0, 1}, Y: []float64{3, 3}}}, 40, 10)
+	if out == "" {
+		t.Error("flat series produced nothing")
+	}
+}
+
+func TestRenderNaNSkipped(t *testing.T) {
+	nan := 0.0
+	nan = nan / nan
+	out := Render("t", "x", "y", []Series{{Name: "a", X: []float64{0, 1}, Y: []float64{nan, 2}}}, 40, 10)
+	if out == "" {
+		t.Error("NaN series produced nothing")
+	}
+}
+
+func TestRenderClampsTinyDimensions(t *testing.T) {
+	out := Render("t", "x", "y", []Series{{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Error("clamped dimensions too small")
+	}
+}
+
+func TestManySeriesCycleMarkers(t *testing.T) {
+	series := make([]Series, 10)
+	for i := range series {
+		series[i] = Series{Name: string(rune('a' + i)), X: []float64{float64(i)}, Y: []float64{float64(i)}}
+	}
+	out := Render("t", "x", "y", series, 60, 12)
+	if out == "" {
+		t.Error("many series produced nothing")
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 2, 3, 10}
+	out := Histogram("sizes", xs, 5, false)
+	if !strings.Contains(out, "sizes (n=7)") {
+		t.Errorf("missing title: %s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("missing bars")
+	}
+}
+
+func TestHistogramLogBins(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000, 10000}
+	out := Histogram("runtimes", xs, 4, true)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + 4 bins
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// With log bins, each decade-spaced point lands in its own bin region:
+	// every bin must be non-empty except possibly rounding edges.
+	bars := strings.Count(out, "#")
+	if bars < 4 {
+		t.Errorf("log binning collapsed: %s", out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	if !strings.Contains(Histogram("x", nil, 5, false), "no data") {
+		t.Error("empty histogram should say so")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	out := Histogram("const", []float64{5, 5, 5}, 3, false)
+	if !strings.Contains(out, "3") {
+		t.Errorf("constant data mishandled: %s", out)
+	}
+	out = Histogram("neg-log", []float64{0, 1, 2}, 3, true)
+	if out == "" {
+		t.Error("zero value with log bins crashed rendering")
+	}
+}
+
+func TestSVGLinesWellFormed(t *testing.T) {
+	svg := SVGLines("fig", "Load", "wait (s)", []Series{
+		{Name: "EASY", X: []float64{0.5, 0.9}, Y: []float64{100, 50000}},
+		{Name: "Delayed-LOS", X: []float64{0.5, 0.9}, Y: []float64{90, 38000}},
+	}, 600, 400)
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG chart not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{"polyline", "circle", "EASY", "Delayed-LOS", "Load", "wait (s)"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGLinesEmpty(t *testing.T) {
+	svg := SVGLines("t", "x", "y", nil, 0, 0)
+	if !strings.Contains(svg, "no data") || !strings.Contains(svg, `width="720"`) {
+		t.Error("empty SVG chart wrong")
+	}
+}
+
+func TestSVGLinesEscapesLabels(t *testing.T) {
+	svg := SVGLines("a<b", "x&y", "q\"z", []Series{{Name: "s'1", X: []float64{1}, Y: []float64{1}}}, 300, 200)
+	for _, bad := range []string{"a<b", "x&y", "q\"z>"} {
+		if strings.Contains(svg, bad) {
+			t.Errorf("unescaped %q in SVG", bad)
+		}
+	}
+}
+
+func TestCompactNum(t *testing.T) {
+	cases := map[float64]string{0.5: "0.5", 1500: "1.5k", 25000: "25k", 3400000: "3.4M"}
+	for v, want := range cases {
+		if got := compactNum(v); got != want {
+			t.Errorf("compactNum(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgSeriesPalette colors series in SVG charts.
+var svgSeriesPalette = []string{
+	"#4e79a7", "#e15759", "#59a14f", "#f28e2b", "#b07aa1", "#76b7b2",
+}
+
+// SVGLines renders the series as an SVG line chart with markers, axes and a
+// legend — the file-format counterpart of Render, used by expsuite to emit
+// the reproduced figures as images.
+func SVGLines(title, xlabel, ylabel string, series []Series, width, height int) string {
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 420
+	}
+	const (
+		left   = 70
+		right  = 20
+		top    = 40
+		bottom = 60
+	)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="13">%s</text>`+"\n", width/2, xmlEscape(title))
+	if !any {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">(no data)</text>`+"\n", width/2, height/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+	px := func(x float64) float64 { return left + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return top + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	// Axes and gridlines with tick labels.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n", left, top+plotH, width-right, top+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="black"/>`+"\n", left, top, left, top+plotH)
+	for i := 0; i <= 4; i++ {
+		fy := minY + float64(i)/4*(maxY-minY)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#dddddd"/>`+"\n", left, py(fy), width-right, py(fy))
+		fmt.Fprintf(&b, `<text x="%d" y="%g" text-anchor="end">%s</text>`+"\n", left-6, py(fy)+4, compactNum(fy))
+		fx := minX + float64(i)/4*(maxX-minX)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n", px(fx), top+plotH+16, compactNum(fx))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", width/2, height-8, xmlEscape(xlabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		top+plotH/2, top+plotH/2, xmlEscape(ylabel))
+
+	// Series: polyline + circle markers.
+	for si, s := range series {
+		color := svgSeriesPalette[si%len(svgSeriesPalette)]
+		pts := make([]string, 0, len(s.X))
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+		// Legend entry.
+		ly := top + 14*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", width-right-130, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", width-right-115, ly+9, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// compactNum renders an axis tick value briefly (1.2k, 3.4M).
+func compactNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// xmlEscape escapes the five XML special characters.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

@@ -1,0 +1,85 @@
+package sched
+
+import "elastisched/internal/job"
+
+// FCFS is plain first-come first-served: jobs start strictly in queue order;
+// the head blocks everything behind it.
+type FCFS struct{}
+
+// Name implements Scheduler.
+func (FCFS) Name() string { return "FCFS" }
+
+// Heterogeneous implements Scheduler; FCFS is batch-only.
+func (FCFS) Heterogeneous() bool { return false }
+
+// Schedule starts head jobs while they fit.
+func (FCFS) Schedule(ctx *Context) {
+	for {
+		h := ctx.Batch.Head()
+		if h == nil || !ctx.Fits(h.Size) || !ctx.Start(h) {
+			return
+		}
+	}
+}
+
+// SJF is shortest-job-first by user-estimated runtime (Section II related
+// work): the waiting queue is scanned in increasing duration order and any
+// fitting job starts. No reservations, so large jobs can starve.
+type SJF struct{}
+
+// Name implements Scheduler.
+func (SJF) Name() string { return "SJF" }
+
+// Heterogeneous implements Scheduler; SJF is batch-only.
+func (SJF) Heterogeneous() bool { return false }
+
+// Schedule starts the shortest fitting job, one per pass (the engine's
+// fixed-point loop continues until nothing fits).
+func (SJF) Schedule(ctx *Context) {
+	best := pick(ctx, func(a, b *job.Job) bool {
+		if a.Dur != b.Dur {
+			return a.Dur < b.Dur
+		}
+		return a.Arrival < b.Arrival
+	})
+	if best != nil {
+		ctx.Start(best)
+	}
+}
+
+// LJF is largest-job-first by size (Section II related work), motivated by
+// first-fit-decreasing bin packing.
+type LJF struct{}
+
+// Name implements Scheduler.
+func (LJF) Name() string { return "LJF" }
+
+// Heterogeneous implements Scheduler; LJF is batch-only.
+func (LJF) Heterogeneous() bool { return false }
+
+// Schedule starts the largest fitting job, one per pass.
+func (LJF) Schedule(ctx *Context) {
+	best := pick(ctx, func(a, b *job.Job) bool {
+		if a.Size != b.Size {
+			return a.Size > b.Size
+		}
+		return a.Arrival < b.Arrival
+	})
+	if best != nil {
+		ctx.Start(best)
+	}
+}
+
+// pick returns the placeable waiting job that wins under less, or nil.
+func pick(ctx *Context, less func(a, b *job.Job) bool) *job.Job {
+	var best *job.Job
+	for _, j := range ctx.Batch.Jobs() {
+		if !ctx.Fits(j.Size) {
+			continue
+		}
+		if best == nil || less(j, best) {
+			best = j
+		}
+	}
+	return best
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"testing"
+
+	"elastisched/internal/job"
+	"elastisched/internal/machine"
+)
+
+// harness builds scheduler contexts without the full engine: Start allocates
+// the machine and moves the job to the active list, so single-instant
+// scheduling decisions can be asserted precisely.
+type harness struct {
+	t    *testing.T
+	now  int64
+	mach *machine.Machine
+
+	batch  *job.BatchQueue
+	ded    *job.DedicatedQueue
+	active *job.ActiveList
+
+	started []*job.Job
+}
+
+func newHarness(t *testing.T, m, unit int) *harness {
+	return &harness{
+		t:      t,
+		mach:   machine.New(m, unit),
+		batch:  job.NewBatchQueue(),
+		ded:    job.NewDedicatedQueue(),
+		active: job.NewActiveList(),
+	}
+}
+
+// addBatch queues a waiting batch job.
+func (h *harness) addBatch(id, size int, dur int64) *job.Job {
+	j := &job.Job{ID: id, Size: size, Dur: dur, ReqStart: -1, Class: job.Batch, LastSkip: -1}
+	h.batch.Push(j)
+	return j
+}
+
+// addDed queues a waiting dedicated job.
+func (h *harness) addDed(id, size int, dur, start int64) *job.Job {
+	j := &job.Job{ID: id, Size: size, Dur: dur, ReqStart: start, Class: job.Dedicated, LastSkip: -1}
+	h.ded.Push(j)
+	return j
+}
+
+// addRunning places a job on the machine ending at end.
+func (h *harness) addRunning(id, size int, end int64) *job.Job {
+	j := &job.Job{ID: id, Size: size, Dur: end - h.now, ReqStart: -1, Class: job.Batch, State: job.Running, EndTime: end}
+	if err := h.mach.Alloc(id, size); err != nil {
+		h.t.Fatalf("harness: %v", err)
+	}
+	h.active.Insert(j)
+	return j
+}
+
+// ctx builds a fresh context at the harness's current time.
+func (h *harness) ctx() *Context {
+	c := &Context{
+		Now:       h.now,
+		Machine:   h.mach,
+		Batch:     h.batch,
+		Dedicated: h.ded,
+		Active:    h.active,
+	}
+	c.StartFn = func(j *job.Job) bool {
+		if err := h.mach.Alloc(j.ID, j.Size); err != nil {
+			if h.mach.Contiguous() {
+				return false
+			}
+			h.t.Fatalf("harness start: %v", err)
+		}
+		j.State = job.Running
+		j.StartTime = h.now
+		j.EndTime = h.now + j.Dur
+		h.active.Insert(j)
+		h.started = append(h.started, j)
+		return true
+	}
+	return c
+}
+
+// cycle invokes the scheduler to a fixed point, like the engine does.
+func (h *harness) cycle(s Scheduler) []*job.Job {
+	h.started = nil
+	for i := 0; ; i++ {
+		if i > 10000 {
+			h.t.Fatal("harness: scheduler livelock")
+		}
+		c := h.ctx()
+		s.Schedule(c)
+		if !c.Progress {
+			break
+		}
+	}
+	return h.started
+}
+
+// startedIDs returns the IDs started by the last cycle, in order.
+func (h *harness) startedIDs() []int {
+	out := make([]int, 0, len(h.started))
+	for _, j := range h.started {
+		out = append(out, j.ID)
+	}
+	return out
+}
+
+// wantStarted asserts exactly these IDs started (order-sensitive).
+func (h *harness) wantStarted(ids ...int) {
+	h.t.Helper()
+	got := h.startedIDs()
+	if len(got) != len(ids) {
+		h.t.Fatalf("started %v, want %v", got, ids)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			h.t.Fatalf("started %v, want %v", got, ids)
+		}
+	}
+}
+
+// wantStartedSet asserts these IDs started in any order.
+func (h *harness) wantStartedSet(ids ...int) {
+	h.t.Helper()
+	got := map[int]bool{}
+	for _, j := range h.started {
+		got[j.ID] = true
+	}
+	if len(got) != len(ids) {
+		h.t.Fatalf("started %v, want set %v", h.startedIDs(), ids)
+	}
+	for _, id := range ids {
+		if !got[id] {
+			h.t.Fatalf("started %v, want set %v", h.startedIDs(), ids)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"elastisched/internal/job"
+)
+
+// Profile is a step function of free machine capacity over future time,
+// built from running jobs and extended with reservations. Conservative
+// backfilling uses it to give every waiting job a reservation; it is also
+// handy for tests that need to reason about future capacity.
+type Profile struct {
+	m     int
+	times []int64 // step boundaries, ascending; times[0] is the horizon start
+	free  []int   // free[i] applies on [times[i], times[i+1])
+}
+
+// NewProfile builds the free-capacity profile implied by the running jobs:
+// capacity steps up at each kill-by time.
+func NewProfile(now int64, m int, active *job.ActiveList) *Profile {
+	p := &Profile{m: m, times: []int64{now}, free: []int{m}}
+	for _, a := range active.Jobs() {
+		p.Reserve(now, a.EndTime, a.Size)
+	}
+	return p
+}
+
+// FreeAt returns the free capacity at time t (t >= horizon start).
+func (p *Profile) FreeAt(t int64) int {
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] > t }) - 1
+	if i < 0 {
+		return p.m
+	}
+	return p.free[i]
+}
+
+// Reserve subtracts size processors over [from, to). It panics if the
+// reservation overcommits the machine — callers must check with CanPlace
+// or EarliestFit first.
+func (p *Profile) Reserve(from, to int64, size int) {
+	if from >= to {
+		return
+	}
+	p.split(from)
+	p.split(to)
+	for i := range p.times {
+		if p.times[i] >= from && p.times[i] < to {
+			p.free[i] -= size
+			if p.free[i] < 0 {
+				panic(fmt.Sprintf("sched: profile overcommitted at t=%d (%d free)", p.times[i], p.free[i]))
+			}
+		}
+	}
+}
+
+// split ensures t is a step boundary.
+func (p *Profile) split(t int64) {
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] >= t })
+	if i < len(p.times) && p.times[i] == t {
+		return
+	}
+	if i == 0 {
+		// t precedes the horizon: capacity before the horizon is not
+		// tracked; clamp to the horizon start.
+		return
+	}
+	p.times = append(p.times, 0)
+	copy(p.times[i+1:], p.times[i:])
+	p.times[i] = t
+	p.free = append(p.free, 0)
+	copy(p.free[i+1:], p.free[i:])
+	p.free[i] = p.free[i-1]
+}
+
+// CanPlace reports whether size processors are free over [from, from+dur).
+func (p *Profile) CanPlace(from int64, dur int64, size int) bool {
+	end := from + dur
+	for i := range p.times {
+		segEnd := int64(1<<62 - 1)
+		if i+1 < len(p.times) {
+			segEnd = p.times[i+1]
+		}
+		if segEnd <= from {
+			continue
+		}
+		if p.times[i] >= end {
+			break
+		}
+		if p.free[i] < size {
+			return false
+		}
+	}
+	return true
+}
+
+// EarliestFit returns the earliest time >= from at which a (size, dur) job
+// fits. Candidate starts are the step boundaries.
+func (p *Profile) EarliestFit(from int64, dur int64, size int) int64 {
+	if size > p.m {
+		panic(fmt.Sprintf("sched: job of size %d cannot ever fit machine %d", size, p.m))
+	}
+	if p.CanPlace(from, dur, size) {
+		return from
+	}
+	for i := range p.times {
+		t := p.times[i]
+		if t <= from {
+			continue
+		}
+		if p.CanPlace(t, dur, size) {
+			return t
+		}
+	}
+	// After the last boundary the machine is idle.
+	return p.times[len(p.times)-1]
+}
+
+// Conservative is conservative backfilling: every waiting job gets a
+// reservation at its earliest feasible start given all earlier jobs'
+// reservations; a job starts now only if its reservation is now. Unlike
+// EASY, no start may delay *any* earlier-arrived job.
+type Conservative struct{}
+
+// Name implements Scheduler.
+func (Conservative) Name() string { return "CONS" }
+
+// Heterogeneous implements Scheduler; conservative is batch-only here.
+func (Conservative) Heterogeneous() bool { return false }
+
+// Schedule rebuilds the reservation profile and starts every job whose
+// earliest feasible start is the current time.
+func (Conservative) Schedule(ctx *Context) {
+	prof := NewProfile(ctx.Now, ctx.M(), ctx.Active)
+	queue := append([]*job.Job(nil), ctx.Batch.Jobs()...)
+	for _, j := range queue {
+		at := prof.EarliestFit(ctx.Now, j.Dur, j.Size)
+		prof.Reserve(at, at+j.Dur, j.Size)
+		if at == ctx.Now {
+			ctx.Start(j)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package simkit
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw kernel dispatch rate: schedule and
+// drain 10k events per iteration.
+func BenchmarkEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for k := Time(0); k < 10000; k++ {
+			e.At(k, func(Time) {})
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkCancelHeavy measures cancellation churn: half the scheduled
+// events are cancelled before the drain.
+func BenchmarkCancelHeavy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		evs := make([]*Event, 0, 10000)
+		for k := Time(0); k < 10000; k++ {
+			evs = append(evs, e.At(k, func(Time) {}))
+		}
+		for k := 0; k < len(evs); k += 2 {
+			e.Cancel(evs[k])
+		}
+		e.Run()
+	}
+}

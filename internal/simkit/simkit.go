@@ -1,0 +1,201 @@
+// Package simkit provides a minimal deterministic discrete-event simulation
+// kernel: a monotonic clock and a cancellable priority event queue.
+//
+// It plays the role GridSim/ALEA play in the paper's Java framework: events
+// (job arrival, job completion, dedicated-job due times, elastic control
+// commands) are delivered in non-decreasing time order, with FIFO ordering
+// among events that share a timestamp. Event handles can be cancelled, which
+// is required when an Elastic Control Command moves a running job's kill-by
+// time and its completion event must be rescheduled.
+package simkit
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulation time in integer seconds. Integer time keeps event
+// ordering exact and runs reproducible for a given seed.
+type Time = int64
+
+// Handler is the callback attached to a scheduled event.
+type Handler func(now Time)
+
+// Event is a scheduled occurrence. Events are ordered by (Time, sequence);
+// the sequence number preserves FIFO order of same-time events.
+type Event struct {
+	time      Time
+	seq       uint64
+	index     int // heap index; -1 once popped or cancelled
+	cancelled bool
+	fn        Handler
+}
+
+// Time returns the time the event fires (or was going to fire).
+func (e *Event) Time() Time { return e.time }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Engine is the event loop. The zero value is not usable; use New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stepped uint64 // events dispatched
+}
+
+// New returns an empty engine with the clock at 0.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Dispatched returns the number of events dispatched so far.
+func (e *Engine) Dispatched() uint64 { return e.stepped }
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// (t < Now) is an error in the caller; the engine panics to surface the bug
+// instead of silently reordering history.
+func (e *Engine) At(t Time, fn Handler) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("simkit: scheduling event at %d before now %d", t, e.now))
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Time, fn Handler) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		return false
+	}
+	ev.cancelled = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Step dispatches the single earliest pending event and advances the clock
+// to its timestamp. It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.time
+		e.stepped++
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// StepTimestamp dispatches every event that shares the earliest pending
+// timestamp, including events scheduled *at that same timestamp* by the
+// handlers themselves. It returns the timestamp and true, or (0, false) if
+// the queue was empty. This is the granularity at which the scheduler is
+// re-invoked: once per distinct simulated instant.
+func (e *Engine) StepTimestamp() (Time, bool) {
+	t, ok := e.PeekTime()
+	if !ok {
+		return 0, false
+	}
+	for {
+		nt, ok := e.PeekTime()
+		if !ok || nt != t {
+			break
+		}
+		e.Step()
+	}
+	return t, true
+}
+
+// PeekTime returns the timestamp of the earliest pending event.
+func (e *Engine) PeekTime() (Time, bool) {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if ev.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return ev.time, true
+	}
+	return 0, false
+}
+
+// Run dispatches events until the queue is empty and returns the final
+// clock value.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with timestamps <= deadline and then stops,
+// leaving later events pending. The clock is left at the last dispatched
+// event (it does not jump to the deadline).
+func (e *Engine) RunUntil(deadline Time) {
+	for {
+		t, ok := e.PeekTime()
+		if !ok || t > deadline {
+			return
+		}
+		e.Step()
+	}
+}
+
+// eventHeap is a min-heap on (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

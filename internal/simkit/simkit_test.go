@@ -1,0 +1,271 @@
+package simkit
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 5, 25} {
+		at := at
+		e.At(at, func(now Time) { got = append(got, now) })
+	}
+	e.Run()
+	want := []Time{5, 10, 20, 25, 30}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events dispatched out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	e.At(7, func(now Time) {
+		if now != 7 {
+			t.Errorf("handler saw now=%d, want 7", now)
+		}
+	})
+	if e.Now() != 0 {
+		t.Fatalf("initial clock %d, want 0", e.Now())
+	}
+	e.Run()
+	if e.Now() != 7 {
+		t.Errorf("final clock %d, want 7", e.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var at Time
+	e.At(10, func(Time) {
+		e.After(5, func(now Time) { at = now })
+	})
+	e.Run()
+	if at != 15 {
+		t.Errorf("After(5) from t=10 fired at %d, want 15", at)
+	}
+}
+
+func TestCancelPreventsDispatch(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(10, func(Time) { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() false after cancel")
+	}
+}
+
+func TestCancelTwiceIsFalse(t *testing.T) {
+	e := New()
+	ev := e.At(10, func(Time) {})
+	e.Cancel(ev)
+	if e.Cancel(ev) {
+		t.Error("second Cancel returned true")
+	}
+	if e.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelFiredEventIsFalse(t *testing.T) {
+	e := New()
+	ev := e.At(1, func(Time) {})
+	e.Run()
+	if e.Cancel(ev) {
+		t.Error("Cancel of already-fired event returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []Time
+	evs := make([]*Event, 0, 10)
+	for i := Time(1); i <= 10; i++ {
+		i := i
+		evs = append(evs, e.At(i, func(now Time) { got = append(got, now) }))
+	}
+	e.Cancel(evs[4]) // t=5
+	e.Cancel(evs[7]) // t=8
+	e.Run()
+	for _, ts := range got {
+		if ts == 5 || ts == 8 {
+			t.Fatalf("cancelled timestamp %d fired", ts)
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("dispatched %d, want 8", len(got))
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func(Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling before now did not panic")
+			}
+		}()
+		e.At(5, func(Time) {})
+	})
+	e.Run()
+}
+
+func TestStepTimestampBatchesOneInstant(t *testing.T) {
+	e := New()
+	count5, count9 := 0, 0
+	e.At(5, func(Time) { count5++ })
+	e.At(5, func(Time) {
+		count5++
+		// Cascade at the same instant: must be included in this batch.
+		e.At(5, func(Time) { count5++ })
+	})
+	e.At(9, func(Time) { count9++ })
+
+	ts, ok := e.StepTimestamp()
+	if !ok || ts != 5 {
+		t.Fatalf("StepTimestamp = (%d, %v), want (5, true)", ts, ok)
+	}
+	if count5 != 3 || count9 != 0 {
+		t.Fatalf("after first instant: count5=%d count9=%d, want 3, 0", count5, count9)
+	}
+	ts, ok = e.StepTimestamp()
+	if !ok || ts != 9 || count9 != 1 {
+		t.Fatalf("second instant = (%d, %v) count9=%d, want (9, true) 1", ts, ok, count9)
+	}
+	if _, ok := e.StepTimestamp(); ok {
+		t.Error("StepTimestamp on empty queue returned ok")
+	}
+}
+
+func TestRunUntilLeavesLaterEventsPending(t *testing.T) {
+	e := New()
+	fired := map[Time]bool{}
+	for _, at := range []Time{1, 5, 10, 15} {
+		at := at
+		e.At(at, func(Time) { fired[at] = true })
+	}
+	e.RunUntil(10)
+	if !fired[1] || !fired[5] || !fired[10] {
+		t.Errorf("events at/before deadline not all fired: %v", fired)
+	}
+	if fired[15] {
+		t.Error("event after deadline fired")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestPeekTimeSkipsCancelled(t *testing.T) {
+	e := New()
+	ev := e.At(3, func(Time) {})
+	e.At(8, func(Time) {})
+	e.Cancel(ev)
+	if tm, ok := e.PeekTime(); !ok || tm != 8 {
+		t.Errorf("PeekTime = (%d, %v), want (8, true)", tm, ok)
+	}
+}
+
+func TestDispatchedCounter(t *testing.T) {
+	e := New()
+	for i := Time(0); i < 5; i++ {
+		e.At(i, func(Time) {})
+	}
+	e.Run()
+	if e.Dispatched() != 5 {
+		t.Errorf("Dispatched = %d, want 5", e.Dispatched())
+	}
+}
+
+func TestHandlersCanScheduleChains(t *testing.T) {
+	e := New()
+	depth := 0
+	var chain func(now Time)
+	chain = func(now Time) {
+		depth++
+		if depth < 100 {
+			e.After(1, chain)
+		}
+	}
+	e.At(0, chain)
+	end := e.Run()
+	if depth != 100 {
+		t.Errorf("chain depth %d, want 100", depth)
+	}
+	if end != 99 {
+		t.Errorf("final time %d, want 99", end)
+	}
+}
+
+// Property: for any set of event times, dispatch order is the sorted order.
+func TestPropertyDispatchSorted(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New()
+		var got []Time
+		for _, x := range times {
+			at := Time(x)
+			e.At(at, func(now Time) { got = append(got, now) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling a random subset removes exactly those events.
+func TestPropertyCancelSubset(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		e := New()
+		n := 1 + r.Intn(50)
+		fired := 0
+		evs := make([]*Event, n)
+		for i := 0; i < n; i++ {
+			evs[i] = e.At(Time(r.Intn(100)), func(Time) { fired++ })
+		}
+		cancelled := 0
+		for _, ev := range evs {
+			if r.Float64() < 0.3 {
+				if e.Cancel(ev) {
+					cancelled++
+				}
+			}
+		}
+		e.Run()
+		if fired != n-cancelled {
+			t.Fatalf("trial %d: fired %d, want %d", trial, fired, n-cancelled)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// RegIncGamma is the regularized lower incomplete gamma function P(a, x),
+// via the series expansion for x < a+1 and the Lentz continued fraction for
+// the complement otherwise (Numerical Recipes 6.2).
+func RegIncGamma(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaCF(a, x)
+	}
+}
+
+// gammaSeries evaluates P(a,x) by its series representation.
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaCF evaluates Q(a,x) = 1-P(a,x) by continued fraction.
+func gammaCF(a, x float64) float64 {
+	const fpmin = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// GammaCDF is the CDF of a Gamma(alpha, beta) distribution (shape alpha,
+// scale beta) at x.
+func GammaCDF(alpha, beta, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegIncGamma(alpha, x/beta)
+}
+
+// KSOneSample computes the Kolmogorov-Smirnov statistic D between a sample
+// and a theoretical CDF, and the asymptotic p-value — the goodness-of-fit
+// check the paper's workload-model source (Lublin & Feitelson) employs.
+func KSOneSample(sample []float64, cdf func(float64) float64) (d, p float64, err error) {
+	n := len(sample)
+	if n == 0 {
+		return 0, 0, errors.New("stats: KS on empty sample")
+	}
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	for i, x := range xs {
+		f := cdf(x)
+		lo := f - float64(i)/float64(n)
+		hi := float64(i+1)/float64(n) - f
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	en := math.Sqrt(float64(n))
+	return d, ksPValue((en + 0.12 + 0.11/en) * d), nil
+}
+
+// KSTwoSample computes the two-sample KS statistic and asymptotic p-value.
+func KSTwoSample(a, b []float64) (d, p float64, err error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, errors.New("stats: KS on empty sample")
+	}
+	xs := append([]float64(nil), a...)
+	ys := append([]float64(nil), b...)
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	var i, j int
+	for i < len(xs) && j < len(ys) {
+		x1, x2 := xs[i], ys[j]
+		if x1 <= x2 {
+			i++
+		}
+		if x2 <= x1 {
+			j++
+		}
+		if diff := math.Abs(float64(i)/float64(len(xs)) - float64(j)/float64(len(ys))); diff > d {
+			d = diff
+		}
+	}
+	en := math.Sqrt(float64(len(xs)) * float64(len(ys)) / float64(len(xs)+len(ys)))
+	return d, ksPValue((en + 0.12 + 0.11/en) * d), nil
+}
+
+// ksPValue is the asymptotic Kolmogorov distribution complement
+// Q_KS(lambda) = 2 sum_{k>=1} (-1)^{k-1} e^{-2 k^2 lambda^2}.
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	a2 := -2 * lambda * lambda
+	sum := 0.0
+	sign := 1.0
+	prev := 0.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(a2*float64(k)*float64(k))
+		sum += term
+		if math.Abs(term) <= 1e-12*math.Abs(prev) || math.Abs(term) < 1e-14 {
+			break
+		}
+		prev = term
+		sign = -sign
+	}
+	p := 2 * sum
+	return Clamp01(p)
+}
+
+// Clamp01 bounds v to [0, 1].
+func Clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

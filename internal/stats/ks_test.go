@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"elastisched/internal/dist"
+)
+
+func TestRegIncGammaKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^-x.
+	for _, x := range []float64{0.5, 1, 3} {
+		approx(t, RegIncGamma(1, x), 1-math.Exp(-x), 1e-10, "P(1,x)")
+	}
+	// P(a, 0) = 0; large x -> 1.
+	if RegIncGamma(2, 0) != 0 {
+		t.Error("P(2,0) != 0")
+	}
+	approx(t, RegIncGamma(2, 100), 1, 1e-10, "P(2,100)")
+	// Chi-squared identity: P(1/2, x/2) at x=3.841 (95th pct of chi2_1).
+	approx(t, RegIncGamma(0.5, 3.841/2), 0.95, 5e-4, "chi2 95th pct")
+	if !math.IsNaN(RegIncGamma(-1, 1)) {
+		t.Error("negative shape should be NaN")
+	}
+}
+
+func TestGammaCDFMedian(t *testing.T) {
+	// Median of Gamma(1, b) is b*ln 2.
+	approx(t, GammaCDF(1, 3, 3*math.Ln2), 0.5, 1e-10, "exp median")
+	// CDF is monotone and within [0,1].
+	prev := 0.0
+	for x := 0.0; x <= 50; x += 0.5 {
+		v := GammaCDF(4.2, 0.94, x)
+		if v < prev-1e-12 || v < 0 || v > 1 {
+			t.Fatalf("GammaCDF not monotone in [0,1] at %g: %g", x, v)
+		}
+		prev = v
+	}
+}
+
+func TestKSOneSampleMatchingDistribution(t *testing.T) {
+	// Gamma samples against their own CDF: p should not be tiny.
+	r := rand.New(rand.NewSource(8))
+	g := dist.Gamma{Alpha: 4.2, Beta: 0.94}
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = g.Sample(r)
+	}
+	d, p, err := KSOneSample(xs, func(x float64) float64 { return GammaCDF(4.2, 0.94, x) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.05 {
+		t.Errorf("KS D = %g too large for matching distribution", d)
+	}
+	if p < 0.01 {
+		t.Errorf("KS p = %g rejects its own distribution", p)
+	}
+}
+
+func TestKSOneSampleMismatchedDistribution(t *testing.T) {
+	// Exponential samples against a Gamma(4.2,.94) CDF: strongly rejected.
+	r := rand.New(rand.NewSource(9))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.ExpFloat64()
+	}
+	_, p, err := KSOneSample(xs, func(x float64) float64 { return GammaCDF(4.2, 0.94, x) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("KS p = %g fails to reject a wrong distribution", p)
+	}
+}
+
+func TestKSTwoSample(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := dist.Gamma{Alpha: 3, Beta: 2}
+	a := make([]float64, 1500)
+	b := make([]float64, 1500)
+	c := make([]float64, 1500)
+	for i := range a {
+		a[i] = g.Sample(r)
+		b[i] = g.Sample(r)
+		c[i] = g.Sample(r) + 2 // shifted
+	}
+	_, pSame, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSame < 0.01 {
+		t.Errorf("two-sample KS rejects identical distributions: p=%g", pSame)
+	}
+	_, pDiff, err := KSTwoSample(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pDiff > 1e-6 {
+		t.Errorf("two-sample KS misses a shift: p=%g", pDiff)
+	}
+}
+
+func TestKSErrorsAndBounds(t *testing.T) {
+	if _, _, err := KSOneSample(nil, func(float64) float64 { return 0 }); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, err := KSTwoSample(nil, []float64{1}); err == nil {
+		t.Error("empty two-sample accepted")
+	}
+	if ksPValue(0) != 1 {
+		t.Error("lambda=0 should give p=1")
+	}
+	if p := ksPValue(5); p < 0 || p > 1e-10 {
+		t.Errorf("huge lambda p = %g", p)
+	}
+	if Clamp01(-1) != 0 || Clamp01(2) != 1 || Clamp01(0.5) != 0.5 {
+		t.Error("Clamp01 wrong")
+	}
+}

@@ -1,0 +1,83 @@
+package testkit
+
+import (
+	"testing"
+
+	"elastisched/internal/audit"
+	"elastisched/internal/engine"
+	"elastisched/internal/sched"
+	"elastisched/internal/trace"
+	"elastisched/internal/workload"
+)
+
+// ContractOptions configure CheckSchedulerContract.
+type ContractOptions struct {
+	// Heterogeneous feeds dedicated jobs (requires a -D-capable policy).
+	Heterogeneous bool
+	// Elastic injects ET/RT commands and attaches the ECC processor.
+	Elastic bool
+	// Seeds to run (default 1..2); N jobs per run (default 120).
+	Seeds []int64
+	N     int
+}
+
+// CheckSchedulerContract runs a policy through the scheduler contract: on
+// randomized workloads at realistic load it must finish every job, keep the
+// machine invariants at every instant, and produce a schedule the
+// independent auditor accepts. Use it as the one-call test for any new
+// policy implementation:
+//
+//	func TestMyPolicyContract(t *testing.T) {
+//	    testkit.CheckSchedulerContract(t, func() sched.Scheduler { return NewMyPolicy() },
+//	        testkit.ContractOptions{})
+//	}
+func CheckSchedulerContract(t *testing.T, mk func() sched.Scheduler, opt ContractOptions) {
+	t.Helper()
+	seeds := opt.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2}
+	}
+	n := opt.N
+	if n <= 0 {
+		n = 120
+	}
+	for _, seed := range seeds {
+		for _, load := range []float64{0.7, 1.0} {
+			p := workload.DefaultParams()
+			p.Seed = seed
+			p.N = n
+			p.TargetLoad = load
+			if opt.Heterogeneous {
+				p.PD = 0.4
+			}
+			if opt.Elastic {
+				p.PE, p.PR = 0.2, 0.1
+			}
+			w, err := workload.Generate(p)
+			if err != nil {
+				t.Fatalf("contract: %v", err)
+			}
+			s := mk()
+			if opt.Heterogeneous && !s.Heterogeneous() {
+				t.Fatalf("contract: policy %s is batch-only but Heterogeneous was requested", s.Name())
+			}
+			rec := trace.NewRecorder(p.M, p.Unit)
+			r, err := engine.Run(w, engine.Config{
+				M: p.M, Unit: p.Unit, Scheduler: s,
+				ProcessECC: opt.Elastic, Paranoid: true, Observer: rec,
+			})
+			if err != nil {
+				t.Fatalf("contract: seed %d load %.1f: %v", seed, load, err)
+			}
+			if r.Summary.JobsFinished != n {
+				t.Fatalf("contract: seed %d load %.1f: finished %d/%d", seed, load, r.Summary.JobsFinished, n)
+			}
+			rep := audit.Check(w, rec.Spans(), audit.Options{
+				M: p.M, Unit: p.Unit, Elastic: opt.Elastic,
+			})
+			if err := rep.Error(); err != nil {
+				t.Fatalf("contract: seed %d load %.1f: %v", seed, load, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package testkit provides a miniature scheduling harness for tests that
+// need to drive scheduler policies cycle by cycle without the full engine:
+// a machine, the three queues, and a fixed-point cycle driver whose Start
+// callback allocates the machine and tracks dispatch order.
+package testkit
+
+import (
+	"fmt"
+
+	"elastisched/internal/job"
+	"elastisched/internal/machine"
+	"elastisched/internal/sched"
+)
+
+// Harness is a single-instant scheduling fixture.
+type Harness struct {
+	Now  int64
+	Mach *machine.Machine
+
+	Batch  *job.BatchQueue
+	Ded    *job.DedicatedQueue
+	Active *job.ActiveList
+
+	Started []*job.Job
+}
+
+// New returns a harness over an m-processor machine with the given unit.
+func New(m, unit int) *Harness {
+	return &Harness{
+		Mach:   machine.New(m, unit),
+		Batch:  job.NewBatchQueue(),
+		Ded:    job.NewDedicatedQueue(),
+		Active: job.NewActiveList(),
+	}
+}
+
+// NewContiguous returns a harness whose machine requires contiguous
+// node-group allocations.
+func NewContiguous(m, unit int) *Harness {
+	h := New(m, unit)
+	h.Mach = machine.NewContiguous(m, unit)
+	return h
+}
+
+// AddBatch queues a waiting batch job.
+func (h *Harness) AddBatch(id, size int, dur int64) *job.Job {
+	j := &job.Job{ID: id, Size: size, Dur: dur, ReqStart: -1, Class: job.Batch, LastSkip: -1}
+	h.Batch.Push(j)
+	return j
+}
+
+// AddDed queues a waiting dedicated job with a rigid start time.
+func (h *Harness) AddDed(id, size int, dur, start int64) *job.Job {
+	j := &job.Job{ID: id, Size: size, Dur: dur, ReqStart: start, Class: job.Dedicated, LastSkip: -1}
+	h.Ded.Push(j)
+	return j
+}
+
+// AddRunning places a job on the machine ending at end.
+func (h *Harness) AddRunning(id, size int, end int64) *job.Job {
+	j := &job.Job{ID: id, Size: size, Dur: end - h.Now, ReqStart: -1, Class: job.Batch,
+		State: job.Running, EndTime: end}
+	if err := h.Mach.Alloc(id, size); err != nil {
+		panic(fmt.Sprintf("testkit: %v", err))
+	}
+	h.Active.Insert(j)
+	return j
+}
+
+// Ctx builds a fresh scheduling context at the current instant.
+func (h *Harness) Ctx() *sched.Context {
+	c := &sched.Context{
+		Now:       h.Now,
+		Machine:   h.Mach,
+		Batch:     h.Batch,
+		Dedicated: h.Ded,
+		Active:    h.Active,
+	}
+	c.StartFn = func(j *job.Job) bool {
+		if err := h.Mach.Alloc(j.ID, j.Size); err != nil {
+			if h.Mach.Contiguous() {
+				return false
+			}
+			panic(fmt.Sprintf("testkit start: %v", err))
+		}
+		j.State = job.Running
+		j.StartTime = h.Now
+		j.EndTime = h.Now + j.Dur
+		h.Active.Insert(j)
+		h.Started = append(h.Started, j)
+		return true
+	}
+	return c
+}
+
+// Cycle invokes the scheduler to a fixed point, as the engine does, and
+// returns the jobs started this instant in dispatch order.
+func (h *Harness) Cycle(s sched.Scheduler) []*job.Job {
+	h.Started = nil
+	for i := 0; ; i++ {
+		if i > 10000 {
+			panic("testkit: scheduler livelock")
+		}
+		c := h.Ctx()
+		s.Schedule(c)
+		if !c.Progress {
+			break
+		}
+	}
+	return h.Started
+}
+
+// Once invokes the scheduler exactly one cycle (no fixed point) and reports
+// whether it made progress.
+func (h *Harness) Once(s sched.Scheduler) bool {
+	c := h.Ctx()
+	s.Schedule(c)
+	return c.Progress
+}
+
+// StartedIDs returns the IDs started by the last Cycle, in order.
+func (h *Harness) StartedIDs() []int {
+	out := make([]int, 0, len(h.Started))
+	for _, j := range h.Started {
+		out = append(out, j.ID)
+	}
+	return out
+}
+
+// Complete retires a running job at time t, freeing its processors.
+func (h *Harness) Complete(j *job.Job, t int64) {
+	if err := h.Mach.Release(j.ID); err != nil {
+		panic(fmt.Sprintf("testkit complete: %v", err))
+	}
+	h.Active.Remove(j)
+	j.State = job.Finished
+	j.FinishTime = t
+	if t > h.Now {
+		h.Now = t
+	}
+}

@@ -1,0 +1,307 @@
+// Package trace records per-job placement during a simulation run and
+// renders it as a schedule Gantt chart — node groups over time — in ASCII
+// (for terminals) and SVG (for reports). Attach a Recorder to the engine
+// via Config.Observer.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elastisched/internal/job"
+)
+
+// Resize is one EP/RP size change of a running job.
+type Resize struct {
+	Time    int64
+	NewSize int
+}
+
+// Span is the recorded life of one dispatched job.
+type Span struct {
+	JobID    int
+	Class    job.Class
+	Size     int // size at dispatch
+	Arrival  int64
+	ReqStart int64 // -1 for batch jobs
+	Start    int64
+	End      int64
+	Groups   []int // node groups held at dispatch
+	Resizes  []Resize
+}
+
+// Wait returns the span's waiting time under the paper's definition.
+func (s Span) Wait() int64 {
+	if s.Class == job.Dedicated && s.ReqStart >= 0 {
+		w := s.Start - s.ReqStart
+		if w < 0 {
+			w = 0
+		}
+		return w
+	}
+	return s.Start - s.Arrival
+}
+
+// Recorder implements the engine's Observer interface and accumulates
+// spans. The zero value is unusable; use NewRecorder.
+type Recorder struct {
+	m, unit int
+	open    map[int]*Span
+	spans   []Span
+}
+
+// NewRecorder returns a recorder for a machine of m processors in groups
+// of unit.
+func NewRecorder(m, unit int) *Recorder {
+	return &Recorder{m: m, unit: unit, open: make(map[int]*Span)}
+}
+
+// JobStarted implements engine.Observer.
+func (r *Recorder) JobStarted(j *job.Job, now int64, groups []int) {
+	r.open[j.ID] = &Span{
+		JobID: j.ID, Class: j.Class, Size: j.Size,
+		Arrival: j.Arrival, ReqStart: j.ReqStart,
+		Start: now, Groups: groups,
+	}
+}
+
+// JobFinished implements engine.Observer.
+func (r *Recorder) JobFinished(j *job.Job, now int64) {
+	sp, ok := r.open[j.ID]
+	if !ok {
+		return
+	}
+	delete(r.open, j.ID)
+	sp.End = now
+	r.spans = append(r.spans, *sp)
+}
+
+// JobResized implements engine.Observer.
+func (r *Recorder) JobResized(j *job.Job, now int64, newSize int) {
+	if sp, ok := r.open[j.ID]; ok {
+		sp.Resizes = append(sp.Resizes, Resize{Time: now, NewSize: newSize})
+	}
+}
+
+// Spans returns the completed spans sorted by start time (ties by ID).
+func (r *Recorder) Spans() []Span {
+	out := append([]Span(nil), r.spans...)
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Start != out[k].Start {
+			return out[i].Start < out[k].Start
+		}
+		return out[i].JobID < out[k].JobID
+	})
+	return out
+}
+
+// Machine returns the recorded machine geometry.
+func (r *Recorder) Machine() (m, unit int) { return r.m, r.unit }
+
+// Window returns the recorded time range [first start, last end].
+func (r *Recorder) Window() (start, end int64) {
+	first := true
+	for _, sp := range r.spans {
+		if first || sp.Start < start {
+			start = sp.Start
+		}
+		if first || sp.End > end {
+			end = sp.End
+		}
+		first = false
+	}
+	return start, end
+}
+
+// glyphs used for jobs in the ASCII chart, cycled by job ID.
+const glyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+// ASCII renders the schedule as rows of node groups over a width-column
+// time axis. Dedicated jobs are bracketed in the legend.
+func (r *Recorder) ASCII(width int) string {
+	spans := r.Spans()
+	var b strings.Builder
+	if len(spans) == 0 {
+		return "(empty schedule)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	start, end := r.Window()
+	if end <= start {
+		end = start + 1
+	}
+	scale := float64(width) / float64(end-start)
+	rows := r.m / r.unit
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, sp := range spans {
+		g := glyphs[(sp.JobID-1+len(glyphs))%len(glyphs)]
+		c0 := int(float64(sp.Start-start) * scale)
+		c1 := int(float64(sp.End-start) * scale)
+		if c1 <= c0 {
+			c1 = c0 + 1
+		}
+		if c1 > width {
+			c1 = width
+		}
+		for _, grp := range sp.Groups {
+			if grp < 0 || grp >= rows {
+				continue
+			}
+			for c := c0; c < c1; c++ {
+				grid[grp][c] = g
+			}
+		}
+	}
+	fmt.Fprintf(&b, "schedule %d..%d on %d procs (%d groups of %d)\n", start, end, r.m, rows, r.unit)
+	for i := rows - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "grp%02d %s\n", i, string(grid[i]))
+	}
+	fmt.Fprintf(&b, "      %-*s%d\n", width-len(fmt.Sprint(end)), fmt.Sprint(start), end)
+	// Legend, capped to keep terminals readable.
+	legend := make([]string, 0, len(spans))
+	for _, sp := range spans {
+		if len(legend) >= 24 {
+			legend = append(legend, "...")
+			break
+		}
+		tag := fmt.Sprintf("%c=j%d", glyphs[(sp.JobID-1+len(glyphs))%len(glyphs)], sp.JobID)
+		if sp.Class == job.Dedicated {
+			tag = "[" + tag + "]"
+		}
+		legend = append(legend, tag)
+	}
+	fmt.Fprintf(&b, "%s\n", strings.Join(legend, " "))
+	return b.String()
+}
+
+// svgPalette cycles fill colors by job ID.
+var svgPalette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// SVG renders the schedule as an SVG document: x = time, y = node groups,
+// one rectangle per (job, contiguous group run). Dedicated jobs get a
+// darker border and their requested start is marked.
+func (r *Recorder) SVG(width, height int) string {
+	spans := r.Spans()
+	var b strings.Builder
+	if width <= 0 {
+		width = 900
+	}
+	if height <= 0 {
+		height = 400
+	}
+	start, end := r.Window()
+	if end <= start {
+		end = start + 1
+	}
+	rows := r.m / r.unit
+	xScale := float64(width-80) / float64(end-start)
+	rowH := float64(height-60) / float64(rows)
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	for _, sp := range spans {
+		fill := svgPalette[(sp.JobID-1+len(svgPalette))%len(svgPalette)]
+		stroke := "none"
+		if sp.Class == job.Dedicated {
+			stroke = "#222222"
+		}
+		x := 60 + float64(sp.Start-start)*xScale
+		w := float64(sp.End-sp.Start) * xScale
+		if w < 1 {
+			w = 1
+		}
+		for _, run := range contiguousRuns(sp.Groups) {
+			y := 30 + float64(rows-run.hi-1)*rowH
+			h := float64(run.hi-run.lo+1) * rowH
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="%s" opacity="0.85"><title>job %d (%d procs, %d..%d)</title></rect>`+"\n",
+				x, y, w, h, fill, stroke, sp.JobID, sp.Size, sp.Start, sp.End)
+		}
+		if sp.Class == job.Dedicated && sp.ReqStart >= start {
+			rx := 60 + float64(sp.ReqStart-start)*xScale
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="30" x2="%.1f" y2="%d" stroke="#cc0000" stroke-dasharray="3,3"/>`+"\n",
+				rx, rx, height-30)
+		}
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="60" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", height-30, width-20, height-30)
+	fmt.Fprintf(&b, `<line x1="60" y1="30" x2="60" y2="%d" stroke="black"/>`+"\n", height-30)
+	fmt.Fprintf(&b, `<text x="60" y="%d">t=%d</text>`+"\n", height-15, start)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">t=%d</text>`+"\n", width-20, height-15, end)
+	fmt.Fprintf(&b, `<text x="5" y="%d" transform="rotate(-90 12 %d)">node groups</text>`+"\n", height/2, height/2)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+type groupRun struct{ lo, hi int }
+
+// contiguousRuns compresses sorted group indices into [lo, hi] runs.
+func contiguousRuns(groups []int) []groupRun {
+	if len(groups) == 0 {
+		return nil
+	}
+	gs := append([]int(nil), groups...)
+	sort.Ints(gs)
+	runs := []groupRun{{gs[0], gs[0]}}
+	for _, g := range gs[1:] {
+		last := &runs[len(runs)-1]
+		if g == last.hi+1 {
+			last.hi = g
+			continue
+		}
+		runs = append(runs, groupRun{g, g})
+	}
+	return runs
+}
+
+// Stats summarizes the trace: per-class counts, mean waits, and the peak
+// number of simultaneously running jobs.
+type Stats struct {
+	Jobs           int
+	Dedicated      int
+	MeanWait       float64
+	PeakConcurrent int
+}
+
+// Summarize computes trace statistics.
+func (r *Recorder) Summarize() Stats {
+	spans := r.Spans()
+	st := Stats{Jobs: len(spans)}
+	if len(spans) == 0 {
+		return st
+	}
+	type edge struct {
+		t     int64
+		delta int
+	}
+	edges := make([]edge, 0, 2*len(spans))
+	var waitSum float64
+	for _, sp := range spans {
+		if sp.Class == job.Dedicated {
+			st.Dedicated++
+		}
+		waitSum += float64(sp.Wait())
+		edges = append(edges, edge{sp.Start, 1}, edge{sp.End, -1})
+	}
+	st.MeanWait = waitSum / float64(len(spans))
+	sort.Slice(edges, func(i, k int) bool {
+		if edges[i].t != edges[k].t {
+			return edges[i].t < edges[k].t
+		}
+		return edges[i].delta < edges[k].delta
+	})
+	cur := 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > st.PeakConcurrent {
+			st.PeakConcurrent = cur
+		}
+	}
+	return st
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"elastisched/internal/job"
+)
+
+func recordOne(r *Recorder, id, size int, start, end int64, groups []int, class job.Class, reqStart int64) {
+	j := &job.Job{ID: id, Size: size, Class: class, ReqStart: reqStart, Arrival: 0}
+	r.JobStarted(j, start, groups)
+	r.JobFinished(j, end)
+}
+
+func TestRecorderSpans(t *testing.T) {
+	r := NewRecorder(320, 32)
+	recordOne(r, 2, 64, 50, 150, []int{0, 1}, job.Batch, -1)
+	recordOne(r, 1, 32, 0, 100, []int{2}, job.Batch, -1)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(spans))
+	}
+	if spans[0].JobID != 1 || spans[1].JobID != 2 {
+		t.Error("spans not sorted by start")
+	}
+	if spans[1].Start != 50 || spans[1].End != 150 || len(spans[1].Groups) != 2 {
+		t.Errorf("span wrong: %+v", spans[1])
+	}
+}
+
+func TestRecorderWindow(t *testing.T) {
+	r := NewRecorder(320, 32)
+	recordOne(r, 1, 32, 10, 100, []int{0}, job.Batch, -1)
+	recordOne(r, 2, 32, 40, 250, []int{1}, job.Batch, -1)
+	s, e := r.Window()
+	if s != 10 || e != 250 {
+		t.Errorf("window = [%d, %d], want [10, 250]", s, e)
+	}
+}
+
+func TestRecorderIgnoresUnknownFinish(t *testing.T) {
+	r := NewRecorder(320, 32)
+	r.JobFinished(&job.Job{ID: 9}, 10) // never started: no panic, no span
+	if len(r.Spans()) != 0 {
+		t.Error("phantom span recorded")
+	}
+}
+
+func TestSpanWaitDefinitions(t *testing.T) {
+	b := Span{Class: job.Batch, Arrival: 10, Start: 50, ReqStart: -1}
+	if b.Wait() != 40 {
+		t.Errorf("batch wait %d, want 40", b.Wait())
+	}
+	d := Span{Class: job.Dedicated, Arrival: 0, ReqStart: 100, Start: 130}
+	if d.Wait() != 30 {
+		t.Errorf("dedicated wait %d, want 30", d.Wait())
+	}
+	onTime := Span{Class: job.Dedicated, Arrival: 0, ReqStart: 100, Start: 100}
+	if onTime.Wait() != 0 {
+		t.Errorf("on-time dedicated wait %d, want 0", onTime.Wait())
+	}
+}
+
+func TestResizeRecorded(t *testing.T) {
+	r := NewRecorder(320, 32)
+	j := &job.Job{ID: 1, Size: 64, Class: job.Batch, ReqStart: -1}
+	r.JobStarted(j, 0, []int{0, 1})
+	r.JobResized(j, 50, 128)
+	r.JobFinished(j, 100)
+	spans := r.Spans()
+	if len(spans[0].Resizes) != 1 || spans[0].Resizes[0] != (Resize{50, 128}) {
+		t.Errorf("resize not recorded: %+v", spans[0].Resizes)
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	r := NewRecorder(96, 32)
+	recordOne(r, 1, 64, 0, 100, []int{0, 1}, job.Batch, -1)
+	recordOne(r, 2, 32, 0, 50, []int{2}, job.Dedicated, 0)
+	out := r.ASCII(40)
+	if !strings.Contains(out, "grp00") || !strings.Contains(out, "grp02") {
+		t.Errorf("missing group rows:\n%s", out)
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Errorf("missing job glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "[B=j2]") {
+		t.Errorf("dedicated job not bracketed in legend:\n%s", out)
+	}
+}
+
+func TestASCIIEmpty(t *testing.T) {
+	r := NewRecorder(96, 32)
+	if !strings.Contains(r.ASCII(40), "empty") {
+		t.Error("empty schedule should say so")
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	r := NewRecorder(96, 32)
+	recordOne(r, 1, 64, 0, 100, []int{0, 1}, job.Batch, -1)
+	recordOne(r, 2, 32, 20, 70, []int{2}, job.Dedicated, 20)
+	svg := r.SVG(600, 300)
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+	if !strings.Contains(svg, "<rect") || !strings.Contains(svg, "job 1") {
+		t.Error("SVG missing job rectangles")
+	}
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("SVG missing dedicated start marker")
+	}
+}
+
+func TestSVGDefaults(t *testing.T) {
+	r := NewRecorder(96, 32)
+	recordOne(r, 1, 32, 0, 10, []int{0}, job.Batch, -1)
+	if !strings.Contains(r.SVG(0, 0), `width="900"`) {
+		t.Error("default dimensions not applied")
+	}
+}
+
+func TestContiguousRuns(t *testing.T) {
+	runs := contiguousRuns([]int{5, 0, 1, 2, 7})
+	want := []groupRun{{0, 2}, {5, 5}, {7, 7}}
+	if len(runs) != len(want) {
+		t.Fatalf("runs %v, want %v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("runs %v, want %v", runs, want)
+		}
+	}
+	if contiguousRuns(nil) != nil {
+		t.Error("empty groups should give nil runs")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder(320, 32)
+	recordOne(r, 1, 32, 0, 100, []int{0}, job.Batch, -1)        // wait 0
+	recordOne(r, 2, 32, 50, 150, []int{1}, job.Batch, -1)       // wait 50
+	recordOne(r, 3, 32, 120, 200, []int{2}, job.Dedicated, 100) // wait 20
+	st := r.Summarize()
+	if st.Jobs != 3 || st.Dedicated != 1 {
+		t.Errorf("counts wrong: %+v", st)
+	}
+	if st.MeanWait != (0+50+20)/3.0 {
+		t.Errorf("mean wait %g", st.MeanWait)
+	}
+	if st.PeakConcurrent != 2 {
+		t.Errorf("peak concurrent %d, want 2", st.PeakConcurrent)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if st := NewRecorder(320, 32).Summarize(); st.Jobs != 0 {
+		t.Error("empty summarize wrong")
+	}
+}
+
+func TestMachineAccessor(t *testing.T) {
+	r := NewRecorder(320, 32)
+	m, u := r.Machine()
+	if m != 320 || u != 32 {
+		t.Errorf("Machine() = (%d, %d)", m, u)
+	}
+}

@@ -1,0 +1,545 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"elastisched/internal/cwf"
+	"elastisched/internal/job"
+	"elastisched/internal/stats"
+)
+
+func gen(t *testing.T, mut func(*Params)) *cwf.Workload {
+	t.Helper()
+	p := DefaultParams()
+	if mut != nil {
+		mut(&p)
+	}
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateCount(t *testing.T) {
+	w := gen(t, func(p *Params) { p.N = 123 })
+	if len(w.Jobs) != 123 {
+		t.Fatalf("generated %d jobs, want 123", len(w.Jobs))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := gen(t, func(p *Params) { p.PD, p.PE, p.PR = 0.3, 0.2, 0.1 })
+	b := gen(t, func(p *Params) { p.PD, p.PE, p.PR = 0.3, 0.2, 0.1 })
+	if len(a.Jobs) != len(b.Jobs) || len(a.Commands) != len(b.Commands) {
+		t.Fatal("same seed gave different counts")
+	}
+	for i := range a.Jobs {
+		x, y := a.Jobs[i], b.Jobs[i]
+		if x.ID != y.ID || x.Size != y.Size || x.Dur != y.Dur || x.Arrival != y.Arrival ||
+			x.Class != y.Class || x.ReqStart != y.ReqStart {
+			t.Fatalf("job %d differs across identical seeds", i)
+		}
+	}
+	for i := range a.Commands {
+		if a.Commands[i] != b.Commands[i] {
+			t.Fatalf("command %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := gen(t, nil)
+	b := gen(t, func(p *Params) { p.Seed = 2 })
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i].Size != b.Jobs[i].Size || a.Jobs[i].Dur != b.Jobs[i].Dur {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestSizesInPaperSupport(t *testing.T) {
+	w := gen(t, func(p *Params) { p.N = 2000 })
+	for _, j := range w.Jobs {
+		if j.Size%32 != 0 || j.Size < 32 || j.Size > 320 {
+			t.Fatalf("job %d size %d outside BlueGene/P support", j.ID, j.Size)
+		}
+	}
+}
+
+func TestSmallFractionTracksPS(t *testing.T) {
+	for _, ps := range []float64{0.2, 0.5, 0.8} {
+		w := gen(t, func(p *Params) { p.N = 4000; p.PS = ps })
+		small := 0
+		for _, j := range w.Jobs {
+			if j.Size <= 96 {
+				small++
+			}
+		}
+		got := float64(small) / float64(len(w.Jobs))
+		if math.Abs(got-ps) > 0.03 {
+			t.Errorf("PS=%g: small fraction %g", ps, got)
+		}
+	}
+}
+
+func TestDedicatedFractionTracksPD(t *testing.T) {
+	w := gen(t, func(p *Params) { p.N = 4000; p.PD = 0.5 })
+	got := float64(w.NumDedicated()) / float64(len(w.Jobs))
+	if math.Abs(got-0.5) > 0.03 {
+		t.Errorf("dedicated fraction %g, want ~0.5", got)
+	}
+	for _, j := range w.Jobs {
+		if j.Class == job.Dedicated && j.ReqStart <= j.Arrival {
+			t.Fatalf("dedicated job %d starts at/before arrival", j.ID)
+		}
+	}
+}
+
+func TestECCFractionTracksPEPR(t *testing.T) {
+	w := gen(t, func(p *Params) { p.N = 4000; p.PE = 0.2; p.PR = 0.1 })
+	got := float64(len(w.Commands)) / float64(len(w.Jobs))
+	if math.Abs(got-0.3) > 0.03 {
+		t.Errorf("ECC fraction %g, want ~0.3", got)
+	}
+	ext, red := 0, 0
+	for _, c := range w.Commands {
+		switch c.Type {
+		case cwf.ExtendTime:
+			ext++
+		case cwf.ReduceTime:
+			red++
+		default:
+			t.Fatalf("unexpected command type %v", c.Type)
+		}
+		if c.Amount <= 0 {
+			t.Fatal("non-positive ECC amount")
+		}
+	}
+	if ext == 0 || red == 0 {
+		t.Error("expected both ET and RT commands")
+	}
+	if float64(ext)/float64(ext+red) < 0.55 {
+		t.Errorf("ET share %d/%d, want about 2/3", ext, ext+red)
+	}
+}
+
+func TestSizeECCMode(t *testing.T) {
+	w := gen(t, func(p *Params) { p.N = 1000; p.PE = 0.2; p.PR = 0.1; p.SizeECC = true })
+	if len(w.Commands) == 0 {
+		t.Fatal("no size commands generated")
+	}
+	for _, c := range w.Commands {
+		if c.Type != cwf.ExtendProc && c.Type != cwf.ReduceProc {
+			t.Fatalf("SizeECC produced %v", c.Type)
+		}
+	}
+}
+
+func TestRuntimeBounds(t *testing.T) {
+	w := gen(t, func(p *Params) { p.N = 3000 })
+	for _, j := range w.Jobs {
+		if j.Dur < 1 || j.Dur > 36*3600 {
+			t.Fatalf("runtime %d outside [1, 36h]", j.Dur)
+		}
+	}
+}
+
+func TestRuntimeSizeCorrelation(t *testing.T) {
+	// Lublin correlation: large jobs run longer on average (p falls with
+	// size, selecting the long Gamma more often).
+	w := gen(t, func(p *Params) { p.N = 6000; p.PS = 0.5 })
+	var smallSum, largeSum, smallN, largeN float64
+	for _, j := range w.Jobs {
+		if j.Size <= 96 {
+			smallSum += float64(j.Dur)
+			smallN++
+		} else {
+			largeSum += float64(j.Dur)
+			largeN++
+		}
+	}
+	if smallSum/smallN >= largeSum/largeN {
+		t.Errorf("small jobs run longer on average (%.0f vs %.0f): correlation inverted",
+			smallSum/smallN, largeSum/largeN)
+	}
+}
+
+func TestArrivalsNonDecreasing(t *testing.T) {
+	w := gen(t, func(p *Params) { p.N = 2000 })
+	for i := 1; i < len(w.Jobs); i++ {
+		if w.Jobs[i].Arrival < w.Jobs[i-1].Arrival {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+	if w.Jobs[0].Arrival < 0 {
+		t.Fatal("negative arrival")
+	}
+}
+
+func TestTargetLoadHit(t *testing.T) {
+	for _, target := range []float64{0.5, 0.7, 0.9, 1.0} {
+		w := gen(t, func(p *Params) { p.TargetLoad = target })
+		got := w.Load(320)
+		if math.Abs(got-target)/target > 0.05 {
+			t.Errorf("target load %g: realized %g", target, got)
+		}
+	}
+}
+
+func TestBetaArrChangesRate(t *testing.T) {
+	lo := gen(t, func(p *Params) { p.BetaArr = 0.4101 })
+	hi := gen(t, func(p *Params) { p.BetaArr = 0.6101 })
+	loSpan := lo.Jobs[len(lo.Jobs)-1].Arrival - lo.Jobs[0].Arrival
+	hiSpan := hi.Jobs[len(hi.Jobs)-1].Arrival - hi.Jobs[0].Arrival
+	if hiSpan <= loSpan {
+		t.Errorf("larger beta_arr should stretch arrivals: %d vs %d", hiSpan, loSpan)
+	}
+}
+
+func TestHourlyCountMode(t *testing.T) {
+	w := gen(t, func(p *Params) { p.Mode = HourlyCount; p.N = 500 })
+	if len(w.Jobs) != 500 {
+		t.Fatalf("hourly mode generated %d jobs", len(w.Jobs))
+	}
+	for i := 1; i < len(w.Jobs); i++ {
+		if w.Jobs[i].Arrival < w.Jobs[i-1].Arrival {
+			t.Fatal("hourly mode arrivals not sorted")
+		}
+	}
+}
+
+func TestSDSCLike(t *testing.T) {
+	p := SDSCLike()
+	p.N = 1000
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, pow2, odd := 0, 0, 0
+	for _, j := range w.Jobs {
+		switch {
+		case j.Size == 1:
+			serial++
+		case j.Size&(j.Size-1) == 0 && j.Size <= 128:
+			pow2++
+		case j.Size >= 2 && j.Size <= 64:
+			odd++
+		default:
+			t.Fatalf("SDSC-like size %d outside the model's support", j.Size)
+		}
+	}
+	if serial == 0 || pow2 == 0 || odd == 0 {
+		t.Error("expected a mix of serial, power-of-two and irregular jobs")
+	}
+	frac := float64(serial) / float64(len(w.Jobs))
+	if math.Abs(frac-0.25) > 0.04 {
+		t.Errorf("serial fraction %g, want ~0.25", frac)
+	}
+}
+
+func TestGeneratedWorkloadValidates(t *testing.T) {
+	w := gen(t, func(p *Params) { p.PD, p.PE, p.PR = 0.4, 0.2, 0.1 })
+	if err := w.Validate(320); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.N = 0 },
+		func(p *Params) { p.M = 0 },
+		func(p *Params) { p.Unit = 0 },
+		func(p *Params) { p.M = 100; p.Unit = 32 },
+		func(p *Params) { p.PS = 1.5 },
+		func(p *Params) { p.PD = -0.1 },
+		func(p *Params) { p.PE = 0.8; p.PR = 0.5 },
+		func(p *Params) { p.Alpha1 = 0 },
+		func(p *Params) { p.BetaArr = 0 },
+		func(p *Params) { p.MinRuntime = 0 },
+		func(p *Params) { p.MaxRuntime = 1; p.MinRuntime = 10 },
+		func(p *Params) { p.TargetLoad = -1 },
+	}
+	for i, mut := range cases {
+		p := DefaultParams()
+		mut(&p)
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestRescaleToLoadStretchesAndCompresses(t *testing.T) {
+	// Construct arrivals manually: rescale should move load toward target.
+	arr := []int64{0, 100, 200, 300}
+	durs := []int64{50, 50, 50, 50}
+	area := float64(4 * 320 * 50) // four full-machine 50s jobs
+	out := rescaleToLoad(arr, area, 320, 0.5,
+		func(i int) int64 { return durs[i] }, func(int) int64 { return -1 })
+	span := float64(out[3] + 50 - out[0])
+	got := area / (span * 320)
+	if math.Abs(got-0.5) > 0.02 {
+		t.Errorf("rescaled load %g, want ~0.5", got)
+	}
+}
+
+func TestRushWeight(t *testing.T) {
+	p := DefaultParams()
+	if p.rushWeight(12) <= p.rushWeight(2) {
+		t.Error("rush hours should have higher weight")
+	}
+	p.ARAR = 0
+	if p.rushWeight(12) != 1 {
+		t.Error("ARAR<=0 should disable modulation")
+	}
+}
+
+func TestECCIssueWithinJobLife(t *testing.T) {
+	w := gen(t, func(p *Params) { p.N = 2000; p.PE = 0.3; p.PR = 0.1 })
+	byID := map[int]*job.Job{}
+	for _, j := range w.Jobs {
+		byID[j.ID] = j
+	}
+	for _, c := range w.Commands {
+		j := byID[c.JobID]
+		if c.Issue < j.Arrival || c.Issue > j.Arrival+j.Dur {
+			t.Fatalf("command %v outside job life [%d, %d]", c, j.Arrival, j.Arrival+j.Dur)
+		}
+	}
+}
+
+func TestRTNeverBelowOneSecond(t *testing.T) {
+	w := gen(t, func(p *Params) { p.N = 3000; p.PE = 0; p.PR = 1; p.ECCAmountFrac = 5 })
+	byID := map[int]*job.Job{}
+	for _, j := range w.Jobs {
+		byID[j.ID] = j
+	}
+	for _, c := range w.Commands {
+		if c.Type != cwf.ReduceTime {
+			t.Fatal("expected RT only")
+		}
+		if c.Amount >= byID[c.JobID].Dur {
+			t.Fatalf("RT amount %d >= dur %d", c.Amount, byID[c.JobID].Dur)
+		}
+	}
+}
+
+func TestEstFactorScalesEstimates(t *testing.T) {
+	w := gen(t, func(p *Params) { p.N = 500; p.EstFactor = 2 })
+	for _, j := range w.Jobs {
+		if j.Actual == 0 {
+			t.Fatalf("job %d has no actual runtime under EstFactor=2", j.ID)
+		}
+		want := int64(math.Round(float64(j.Actual) * 2))
+		if j.Dur != want {
+			t.Fatalf("job %d estimate %d, want %d (2x %d)", j.ID, j.Dur, want, j.Actual)
+		}
+	}
+}
+
+func TestEstUniformFactorInRange(t *testing.T) {
+	w := gen(t, func(p *Params) { p.N = 1000; p.EstUniformMax = 5 })
+	inflated := 0
+	for _, j := range w.Jobs {
+		actual := j.Actual
+		if actual == 0 {
+			actual = j.Dur // factor rounded to 1
+		}
+		f := float64(j.Dur) / float64(actual)
+		if f < 0.99 || f > 5.01 {
+			t.Fatalf("job %d factor %g outside [1, 5]", j.ID, f)
+		}
+		if j.Dur > actual {
+			inflated++
+		}
+	}
+	if inflated < len(w.Jobs)/2 {
+		t.Errorf("only %d/%d jobs inflated", inflated, len(w.Jobs))
+	}
+}
+
+func TestExactEstimatesByDefault(t *testing.T) {
+	w := gen(t, nil)
+	for _, j := range w.Jobs {
+		if j.Actual != 0 {
+			t.Fatalf("job %d has actual %d under exact estimates", j.ID, j.Actual)
+		}
+	}
+}
+
+func TestNegativeEstFactorRejected(t *testing.T) {
+	p := DefaultParams()
+	p.EstFactor = -1
+	if _, err := Generate(p); err == nil {
+		t.Error("negative EstFactor accepted")
+	}
+}
+
+func TestTargetLoadUsesActualRuntimes(t *testing.T) {
+	// With 3x over-estimation the offered load must still land on target
+	// because load is defined over actual runtimes.
+	w := gen(t, func(p *Params) { p.EstFactor = 3; p.TargetLoad = 0.8 })
+	got := w.Load(320)
+	if math.Abs(got-0.8)/0.8 > 0.05 {
+		t.Errorf("realized load %g, want ~0.8", got)
+	}
+}
+
+func TestDailyCycleMode(t *testing.T) {
+	w := gen(t, func(p *Params) { p.Mode = DailyCycle; p.N = 3000 })
+	if len(w.Jobs) != 3000 {
+		t.Fatalf("generated %d jobs", len(w.Jobs))
+	}
+	// Daytime (09-17h) must receive clearly more arrivals than night
+	// (00-06h).
+	day, night := 0, 0
+	for _, j := range w.Jobs {
+		h := int(j.Arrival/3600) % 24
+		switch {
+		case h >= 9 && h < 17:
+			day++
+		case h < 6:
+			night++
+		}
+	}
+	if day <= 2*night {
+		t.Errorf("daily cycle too flat: day=%d night=%d", day, night)
+	}
+	for i := 1; i < len(w.Jobs); i++ {
+		if w.Jobs[i].Arrival < w.Jobs[i-1].Arrival {
+			t.Fatal("daily-cycle arrivals not sorted")
+		}
+	}
+}
+
+func TestDayProfileNormalized(t *testing.T) {
+	var sum float64
+	for _, wgt := range dayProfile {
+		sum += wgt
+	}
+	if math.Abs(sum/24-1) > 0.02 {
+		t.Errorf("day profile mean %.3f, want ~1", sum/24)
+	}
+}
+
+// TestRuntimeModelGoodnessOfFit applies the Kolmogorov-Smirnov test the
+// paper's workload-model source uses: the log of generated runtimes for a
+// fixed job size must follow the hyper-Gamma mixture with the Table I
+// parameters (p clamped at 0.05 for 320-processor jobs).
+func TestRuntimeModelGoodnessOfFit(t *testing.T) {
+	p := DefaultParams()
+	p.N = 7000
+	p.PS = 0 // large jobs only
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []float64
+	for _, j := range w.Jobs {
+		if j.Size == 320 && j.Dur > 1 && j.Dur < p.MaxRuntime {
+			logs = append(logs, math.Log(float64(j.Dur)))
+		}
+	}
+	if len(logs) < 500 {
+		t.Fatalf("only %d full-machine jobs", len(logs))
+	}
+	mix := 0.05 // clamped p for size 320
+	cdf := func(y float64) float64 {
+		return mix*stats.GammaCDF(4.2, 0.94, y) + (1-mix)*stats.GammaCDF(312, 0.03, y)
+	}
+	d, pv, err := stats.KSOneSample(logs, cdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv < 1e-3 {
+		t.Errorf("KS rejects the runtime model: D=%.4f p=%.5f (n=%d)", d, pv, len(logs))
+	}
+}
+
+// TestRuntimeDistributionStableAcrossSeeds: two independently seeded
+// workloads must draw runtimes from the same distribution (two-sample KS).
+func TestRuntimeDistributionStableAcrossSeeds(t *testing.T) {
+	sample := func(seed int64) []float64 {
+		p := DefaultParams()
+		p.N = 3000
+		p.Seed = seed
+		w, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 0, p.N)
+		for _, j := range w.Jobs {
+			out = append(out, float64(j.Dur))
+		}
+		return out
+	}
+	_, pv, err := stats.KSTwoSample(sample(21), sample(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv < 1e-3 {
+		t.Errorf("seeds draw from different distributions: p=%g", pv)
+	}
+}
+
+func TestCTCAndKTHLike(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		p    Params
+		m    int
+	}{
+		{"CTC", CTCLike(), 512},
+		{"KTH", KTHLike(), 100},
+	} {
+		c.p.N = 800
+		w, err := Generate(c.p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := w.Validate(c.m); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, j := range w.Jobs {
+			if j.Size > c.m {
+				t.Fatalf("%s: size %d exceeds machine %d", c.name, j.Size, c.m)
+			}
+		}
+	}
+	// CTC (long-skewed) should run longer than KTH (short-skewed) on
+	// average for comparable sizes.
+	mean := func(p Params) float64 {
+		p.N = 2000
+		w, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, j := range w.Jobs {
+			sum += float64(j.Dur)
+		}
+		return sum / float64(len(w.Jobs))
+	}
+	if mean(CTCLike()) <= mean(KTHLike()) {
+		t.Error("CTC-like runtimes should exceed KTH-like")
+	}
+}
+
+func TestRescaleDegenerateCases(t *testing.T) {
+	if out := rescaleToLoad(nil, 0, 320, 0.5, nil, nil); out != nil {
+		t.Error("empty arrivals should pass through")
+	}
+	// Single arrival: span is dominated by the job duration; rescale must
+	// not move the only point or divide by zero.
+	arr := []int64{100}
+	out := rescaleToLoad(arr, 320*50, 320, 0.5,
+		func(int) int64 { return 50 }, func(int) int64 { return -1 })
+	if len(out) != 1 || out[0] != 100 {
+		t.Errorf("single arrival mangled: %v", out)
+	}
+}
