@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz repro examples clean
+.PHONY: all build vet test race cover bench bench-json fuzz repro examples clean
 
 all: build vet test
 
@@ -26,10 +26,17 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
-# Short fuzz pass over the trace parsers.
+# Snapshot the packing-kernel and profile benchmarks as BENCH_<date>.json
+# (see DESIGN.md, "Packing-engine performance"). Commit the refreshed file
+# whenever kernel performance work lands.
+bench-json:
+	$(GO) run ./cmd/benchjson
+
+# Short fuzz pass over the trace parsers and the DP packing kernels.
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzParseLine -fuzztime=10s ./internal/cwf
 	$(GO) test -run=Fuzz -fuzz=FuzzParse -fuzztime=10s ./internal/cwf
+	$(GO) test -run=Fuzz -fuzz=FuzzDPEquivalence -fuzztime=10s ./internal/core
 
 # Full evaluation suite with TSV outputs under results/.
 repro:

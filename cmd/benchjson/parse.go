@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark measurement as emitted by `go test -bench`.
+type Bench struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// Env captures the machine identification lines of the bench output.
+type Env struct {
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPU    string `json:"cpu"`
+}
+
+// parseBench reads raw `go test -bench -benchmem` output: goos/goarch/
+// cpu/pkg header lines set the environment and package attribution, and
+// each Benchmark line becomes one Bench. The GOMAXPROCS suffix
+// (BenchmarkFoo-8) is stripped from names so snapshots from machines
+// with different core counts stay comparable.
+func parseBench(r io.Reader) ([]Bench, Env, error) {
+	var (
+		out []Bench
+		env Env
+		pkg string
+	)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			env.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			env.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			env.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line, pkg); ok {
+				out = append(out, b)
+			}
+		}
+	}
+	return out, env, sc.Err()
+}
+
+// parseBenchLine parses a single result line of the form
+//
+//	BenchmarkBasicDP-4   16438834   72.09 ns/op   0 B/op   0 allocs/op
+//
+// Unknown units are ignored, so extra ReportMetric columns don't break
+// parsing. ok is false for non-result Benchmark lines (e.g. bare names
+// printed under -v).
+func parseBenchLine(line, pkg string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: stripProcs(fields[0]), Pkg: pkg, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			seen = true
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	return b, seen
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix from a benchmark
+// name, if present.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

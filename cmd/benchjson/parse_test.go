@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: elastisched/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBasicDP-4         	16438834	        72.09 ns/op	       0 B/op	       0 allocs/op
+BenchmarkReservationDP-4   	15740254	        76.33 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	elastisched/internal/core	2.661s
+goos: linux
+goarch: amd64
+pkg: elastisched/internal/sched
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkProfileBuild64    	  234837	      4932 ns/op	    1216 B/op	       3 allocs/op
+PASS
+ok  	elastisched/internal/sched	1.001s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, env, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if env.GOOS != "linux" || env.GOARCH != "amd64" || !strings.Contains(env.CPU, "Xeon") {
+		t.Errorf("env = %+v", env)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(benches), benches)
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkBasicDP" || b.Pkg != "elastisched/internal/core" {
+		t.Errorf("first bench = %+v", b)
+	}
+	if b.NsPerOp != 72.09 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 || b.Iterations != 16438834 {
+		t.Errorf("first bench numbers = %+v", b)
+	}
+	p := benches[2]
+	if p.Pkg != "elastisched/internal/sched" || p.NsPerOp != 4932 || p.BytesPerOp != 1216 || p.AllocsPerOp != 3 {
+		t.Errorf("profile bench = %+v", p)
+	}
+}
+
+func TestParseBenchLineVariants(t *testing.T) {
+	// No -procs suffix (GOMAXPROCS=1) and no -benchmem columns.
+	b, ok := parseBenchLine("BenchmarkX 100 5.0 ns/op", "p")
+	if !ok || b.Name != "BenchmarkX" || b.NsPerOp != 5.0 {
+		t.Errorf("plain line: %+v ok=%v", b, ok)
+	}
+	// A name whose trailing segment is not a number keeps its dash.
+	b, _ = parseBenchLine("BenchmarkA-b-4 100 5.0 ns/op", "p")
+	if b.Name != "BenchmarkA-b" {
+		t.Errorf("suffix strip: %q", b.Name)
+	}
+	// Non-result lines are rejected.
+	if _, ok := parseBenchLine("BenchmarkX", "p"); ok {
+		t.Error("bare name accepted")
+	}
+	if _, ok := parseBenchLine("BenchmarkX 100 garbage ns/op", "p"); ok {
+		t.Error("garbage value accepted")
+	}
+	if _, ok := parseBenchLine("BenchmarkX 100 5 bogounits extra", "p"); ok {
+		t.Error("line without ns/op accepted")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"text/tabwriter"
 
 	es "elastisched"
+	"elastisched/internal/prof"
 )
 
 func main() {
@@ -31,6 +32,8 @@ func main() {
 		list      = flag.Bool("list", false, "list algorithm names and exit")
 		gantt     = flag.String("gantt", "", "write a schedule Gantt chart of the FIRST algorithm (.svg file, or '-' for ASCII on stdout)")
 		jobsOut   = flag.String("jobs", "", "write per-job placement records of the FIRST algorithm as TSV ('-' for stdout)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -38,6 +41,16 @@ func main() {
 		fmt.Println(strings.Join(es.AlgorithmNames(), "\n"))
 		return
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "simrun:", err)
+		}
+	}()
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {

@@ -21,7 +21,10 @@ func randJobs(n int, r *rand.Rand) []*job.Job {
 }
 
 // BenchmarkBasicDP measures one utilization-maximizing knapsack over the
-// LOS paper's 50-job lookahead window on the 320-processor machine.
+// LOS paper's 50-job lookahead window on the 320-processor machine. The
+// window is identical every iteration — the repeated-window (memo-hit)
+// case, i.e. consecutive scheduling instants with an unchanged waiting
+// queue. The steady state must allocate nothing.
 func BenchmarkBasicDP(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	cands := randJobs(50, r)
@@ -33,8 +36,21 @@ func BenchmarkBasicDP(b *testing.B) {
 	}
 }
 
+// BenchmarkBasicDPCold measures the DP itself: alternating between two
+// windows defeats the cycle memo, so every call re-solves the knapsack.
+func BenchmarkBasicDPCold(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	windows := [2][]*job.Job{randJobs(50, r), randJobs(50, r)}
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BasicDP(windows[i&1], 320, &s)
+	}
+}
+
 // BenchmarkReservationDP measures the two-constraint knapsack (quantized
-// to 32-processor node groups).
+// to 32-processor node groups) on the repeated-window (memo-hit) case.
 func BenchmarkReservationDP(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	cands := randJobs(50, r)
@@ -46,8 +62,61 @@ func BenchmarkReservationDP(b *testing.B) {
 	}
 }
 
+// BenchmarkReservationDPCold measures the general two-dimensional program
+// with the memo defeated: both constraints bind (durations straddle the
+// freeze end), so no collapse applies.
+func BenchmarkReservationDPCold(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	windows := [2][]*job.Job{randJobs(50, r), randJobs(50, r)}
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReservationDP(windows[i&1], 320, 160, 5000, 0, &s)
+	}
+}
+
+// BenchmarkReservationDPCollapseSlackFreeze measures the dimension
+// collapse when every candidate finishes before the freeze end (frenum
+// all zero): the program degenerates to a single knapsack over m. The
+// memo is defeated to time the collapse itself.
+func BenchmarkReservationDPCollapseSlackFreeze(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	windows := [2][]*job.Job{randJobs(50, r), randJobs(50, r)}
+	for _, w := range windows {
+		for _, j := range w {
+			j.Dur = int64(1 + r.Intn(100)) // all finish before fret
+		}
+	}
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReservationDP(windows[i&1], 320, 160, 5000, 0, &s)
+	}
+}
+
+// BenchmarkReservationDPCollapseAllFull measures the collapse when every
+// candidate still runs at the freeze end (frenum = size): one knapsack
+// over min(m, frec). The memo is defeated to time the collapse itself.
+func BenchmarkReservationDPCollapseAllFull(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	windows := [2][]*job.Job{randJobs(50, r), randJobs(50, r)}
+	for _, w := range windows {
+		for _, j := range w {
+			j.Dur = int64(5000 + r.Intn(5000)) // all still running at fret
+		}
+	}
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReservationDP(windows[i&1], 320, 160, 5000, 0, &s)
+	}
+}
+
 // BenchmarkReservationDPUnquantized measures the SDSC-like worst case:
-// unit-1 sizes blow the DP state up to ~50x129x129.
+// unit-1 sizes blow the DP state up to ~50x129x129 (memo-hit case).
 func BenchmarkReservationDPUnquantized(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	cands := make([]*job.Job, 50)
@@ -63,5 +132,29 @@ func BenchmarkReservationDPUnquantized(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ReservationDP(cands, 127, 100, 5000, 0, &s)
+	}
+}
+
+// BenchmarkReservationDPUnquantizedCold is the same worst case with the
+// memo defeated: the full 2-D program over the irregular state space.
+func BenchmarkReservationDPUnquantizedCold(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var windows [2][]*job.Job
+	for w := range windows {
+		cands := make([]*job.Job, 50)
+		for i := range cands {
+			size := 1 << r.Intn(7)
+			if r.Float64() < 0.3 {
+				size = 1 + r.Intn(127)
+			}
+			cands[i] = &job.Job{ID: i + 1, Size: size, Dur: int64(1 + r.Intn(10000)), ReqStart: -1}
+		}
+		windows[w] = cands
+	}
+	var s Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReservationDP(windows[i&1], 127, 100, 5000, 0, &s)
 	}
 }

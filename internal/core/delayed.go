@@ -73,7 +73,9 @@ func (d *DelayedLOS) Schedule(ctx *sched.Context) {
 }
 
 // selectBasic exposes the Basic_DP decision for a hypothetical capacity,
-// used by the adaptive policy and by tests.
+// used by the adaptive policy and by tests. The returned slice follows the
+// Scratch aliasing contract: it is valid only until the scheduler's next
+// DP call.
 func (d *DelayedLOS) selectBasic(ctx *sched.Context, m int) []*job.Job {
 	return BasicDP(ctx.Window(m, d.Lookahead), m, &d.scratch)
 }

@@ -29,6 +29,10 @@ type HybridLOS struct {
 	// Lookahead bounds the DP window (default DefaultLookahead).
 	Lookahead int
 
+	// delayed and scratch each carry their own DP cycle memo; the embedded
+	// Delayed-LOS solves Basic_DP windows while the hybrid branches solve
+	// Reservation_DP windows, so keeping the memos separate preserves hits
+	// when the scheduler alternates between the two.
 	delayed DelayedLOS
 	scratch Scratch
 }

@@ -112,7 +112,9 @@ func headShadow(ctx *sched.Context, head *job.Job) (fret int64, frec int, ok boo
 	return 0, 0, false
 }
 
-// startAll dispatches every selected job.
+// startAll dispatches every selected job. set may alias the scheduler's
+// Scratch (the DP aliasing contract); it is fully consumed here, before
+// any further DP call on the same Scratch.
 func startAll(ctx *sched.Context, set []*job.Job) {
 	for _, j := range set {
 		ctx.Start(j)

@@ -1,0 +1,62 @@
+// Package prof wires runtime/pprof CPU and heap profiling behind the
+// -cpuprofile/-memprofile flags of the command-line tools. It exists so
+// that simrun and expsuite share one tested implementation instead of
+// each repeating the create/start/stop/write dance.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges for a heap profile
+// to be written to memPath when the returned stop function runs. Either
+// path may be empty, disabling that profile; with both empty, stop is a
+// no-op. Callers must invoke stop (normally deferred from main) before
+// exiting, or the CPU profile file will be truncated and the heap
+// profile never written. stop is idempotent.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		cpuFile = f
+	}
+	done := false
+	stop = func() error {
+		if done {
+			return nil
+		}
+		done = true
+		var first error
+		keep := func(err error) {
+			if err != nil && first == nil {
+				first = fmt.Errorf("prof: %w", err)
+			}
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			keep(cpuFile.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				keep(err)
+				return first
+			}
+			runtime.GC() // settle the heap so the snapshot shows live objects
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+		return first
+	}
+	return stop, nil
+}

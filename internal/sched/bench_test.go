@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"testing"
+
+	"elastisched/internal/job"
+)
+
+// benchActive builds an active list of n running jobs with staggered end
+// times, the shape CONS/CONS-D see when rebuilding their profile each
+// cycle.
+func benchActive(n, size int) *job.ActiveList {
+	a := job.NewActiveList()
+	for i := 0; i < n; i++ {
+		a.Insert(&job.Job{ID: i + 1, Size: size, EndTime: int64(100 + 37*i), State: job.Running})
+	}
+	return a
+}
+
+func BenchmarkProfileBuild64(b *testing.B) {
+	active := benchActive(64, 32)
+	m := 64 * 32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewProfile(0, m, active)
+	}
+}
+
+func BenchmarkProfileEarliestFit(b *testing.B) {
+	// A profile with 64 steps; the query walks past most of them before
+	// finding a slot for half the machine.
+	active := benchActive(64, 32)
+	m := 64 * 32
+	p := NewProfile(0, m, active)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.EarliestFit(0, 500, m/2)
+	}
+}
+
+func BenchmarkProfileCanPlace(b *testing.B) {
+	active := benchActive(64, 32)
+	m := 64 * 32
+	p := NewProfile(0, m, active)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.CanPlace(1200, 300, m/2)
+	}
+}
+
+func BenchmarkProfileReserveSweep(b *testing.B) {
+	// Conservative's per-cycle pattern: build once, then reserve a queue's
+	// worth of future slots.
+	active := benchActive(32, 32)
+	m := 64 * 32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewProfile(0, m, active)
+		for k := 0; k < 32; k++ {
+			at := p.EarliestFit(0, 200, 64)
+			p.Reserve(at, at+200, 64)
+		}
+	}
+}

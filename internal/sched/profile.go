@@ -18,10 +18,17 @@ type Profile struct {
 }
 
 // NewProfile builds the free-capacity profile implied by the running jobs:
-// capacity steps up at each kill-by time.
+// capacity steps up at each kill-by time. The step slices are pre-sized
+// for the active set — CONS/CONS-D rebuild a profile over the full
+// active+reservation set every cycle, so construction is a hot path.
 func NewProfile(now int64, m int, active *job.ActiveList) *Profile {
-	p := &Profile{m: m, times: []int64{now}, free: []int{m}}
-	for _, a := range active.Jobs() {
+	jobs := active.Jobs()
+	p := &Profile{
+		m:     m,
+		times: append(make([]int64, 0, len(jobs)+1), now),
+		free:  append(make([]int, 0, len(jobs)+1), m),
+	}
+	for _, a := range jobs {
 		p.Reserve(now, a.EndTime, a.Size)
 	}
 	return p
@@ -38,19 +45,20 @@ func (p *Profile) FreeAt(t int64) int {
 
 // Reserve subtracts size processors over [from, to). It panics if the
 // reservation overcommits the machine — callers must check with CanPlace
-// or EarliestFit first.
+// or EarliestFit first. Only the affected step range is touched: the
+// boundaries are ascending, so the range is located by binary search
+// instead of scanning every step.
 func (p *Profile) Reserve(from, to int64, size int) {
 	if from >= to {
 		return
 	}
 	p.split(from)
 	p.split(to)
-	for i := range p.times {
-		if p.times[i] >= from && p.times[i] < to {
-			p.free[i] -= size
-			if p.free[i] < 0 {
-				panic(fmt.Sprintf("sched: profile overcommitted at t=%d (%d free)", p.times[i], p.free[i]))
-			}
+	lo := sort.Search(len(p.times), func(i int) bool { return p.times[i] >= from })
+	for i := lo; i < len(p.times) && p.times[i] < to; i++ {
+		p.free[i] -= size
+		if p.free[i] < 0 {
+			panic(fmt.Sprintf("sched: profile overcommitted at t=%d (%d free)", p.times[i], p.free[i]))
 		}
 	}
 }
@@ -75,19 +83,17 @@ func (p *Profile) split(t int64) {
 }
 
 // CanPlace reports whether size processors are free over [from, from+dur).
+// The first overlapping segment is located by binary search; only segments
+// intersecting the interval are inspected.
 func (p *Profile) CanPlace(from int64, dur int64, size int) bool {
 	end := from + dur
-	for i := range p.times {
-		segEnd := int64(1<<62 - 1)
-		if i+1 < len(p.times) {
-			segEnd = p.times[i+1]
-		}
-		if segEnd <= from {
-			continue
-		}
-		if p.times[i] >= end {
-			break
-		}
+	// First segment whose end extends past from: the one before the first
+	// boundary strictly greater than from (the final segment is unbounded).
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] > from }) - 1
+	if i < 0 {
+		i = 0
+	}
+	for ; i < len(p.times) && p.times[i] < end; i++ {
 		if p.free[i] < size {
 			return false
 		}
@@ -96,7 +102,10 @@ func (p *Profile) CanPlace(from int64, dur int64, size int) bool {
 }
 
 // EarliestFit returns the earliest time >= from at which a (size, dur) job
-// fits. Candidate starts are the step boundaries.
+// fits. Candidate starts are the step boundaries; the scan begins at the
+// first boundary past from (binary search) and rejects a candidate start
+// cheaply when its own segment is already too full, before probing the
+// full interval with CanPlace.
 func (p *Profile) EarliestFit(from int64, dur int64, size int) int64 {
 	if size > p.m {
 		panic(fmt.Sprintf("sched: job of size %d cannot ever fit machine %d", size, p.m))
@@ -104,13 +113,13 @@ func (p *Profile) EarliestFit(from int64, dur int64, size int) int64 {
 	if p.CanPlace(from, dur, size) {
 		return from
 	}
-	for i := range p.times {
-		t := p.times[i]
-		if t <= from {
-			continue
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] > from })
+	for ; i < len(p.times); i++ {
+		if p.free[i] < size {
+			continue // a start here fails in its own segment
 		}
-		if p.CanPlace(t, dur, size) {
-			return t
+		if p.CanPlace(p.times[i], dur, size) {
+			return p.times[i]
 		}
 	}
 	// After the last boundary the machine is idle.

@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"elastisched/internal/job"
+)
+
+// refProfile is a brute-force free-capacity model: a flat list of
+// reservations with no step structure. Every query recomputes from the
+// list, so it cannot share bugs with Profile's binary-searched step
+// function. The horizon clamp matches Profile: reservations are assumed
+// to start at or after the horizon.
+type refProfile struct {
+	m       int
+	horizon int64
+	res     [][3]int64 // from, to, size
+}
+
+func (r *refProfile) reserve(from, to int64, size int) {
+	if from >= to {
+		return
+	}
+	r.res = append(r.res, [3]int64{from, to, int64(size)})
+}
+
+func (r *refProfile) freeAt(t int64) int {
+	if t < r.horizon {
+		return r.m
+	}
+	f := r.m
+	for _, x := range r.res {
+		if x[0] <= t && t < x[1] {
+			f -= int(x[2])
+		}
+	}
+	return f
+}
+
+// boundaries returns the sorted, deduplicated step boundaries implied by
+// the reservation list — the same set Profile.split would have created.
+func (r *refProfile) boundaries() []int64 {
+	b := []int64{r.horizon}
+	for _, x := range r.res {
+		for _, t := range []int64{x[0], x[1]} {
+			if t >= r.horizon {
+				b = append(b, t)
+			}
+		}
+	}
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	out := b[:1]
+	for _, t := range b[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (r *refProfile) canPlace(from, dur int64, size int) bool {
+	end := from + dur
+	if r.freeAt(from) < size {
+		return false
+	}
+	for _, t := range r.boundaries() {
+		if t > from && t < end && r.freeAt(t) < size {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *refProfile) earliestFit(from, dur int64, size int) int64 {
+	if r.canPlace(from, dur, size) {
+		return from
+	}
+	b := r.boundaries()
+	for _, t := range b {
+		if t <= from {
+			continue
+		}
+		if r.canPlace(t, dur, size) {
+			return t
+		}
+	}
+	return b[len(b)-1]
+}
+
+// TestProfileEquivalenceRandomized cross-checks the binary-searched
+// Profile against the brute-force reference on randomized reservation
+// sets and queries.
+func TestProfileEquivalenceRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4000; trial++ {
+		m := 32 * (1 + r.Intn(16))
+		p := NewProfile(0, m, job.NewActiveList())
+		ref := &refProfile{m: m}
+
+		// Build a random, never-overcommitted reservation set.
+		for k := 0; k < 1+r.Intn(10); k++ {
+			from := int64(r.Intn(300))
+			to := from + int64(1+r.Intn(200))
+			size := 1 + r.Intn(m)
+			if !ref.canPlace(from, to-from, size) {
+				continue
+			}
+			ref.reserve(from, to, size)
+			p.Reserve(from, to, size)
+		}
+
+		for q := 0; q < 20; q++ {
+			at := int64(r.Intn(600))
+			if got, want := p.FreeAt(at), ref.freeAt(at); got != want {
+				t.Fatalf("trial %d: FreeAt(%d) = %d, reference %d (res %v)",
+					trial, at, got, want, ref.res)
+			}
+			from := int64(r.Intn(400))
+			dur := int64(1 + r.Intn(200))
+			size := 1 + r.Intn(m)
+			if got, want := p.CanPlace(from, dur, size), ref.canPlace(from, dur, size); got != want {
+				t.Fatalf("trial %d: CanPlace(%d,%d,%d) = %v, reference %v (res %v)",
+					trial, from, dur, size, got, want, ref.res)
+			}
+			if got, want := p.EarliestFit(from, dur, size), ref.earliestFit(from, dur, size); got != want {
+				t.Fatalf("trial %d: EarliestFit(%d,%d,%d) = %d, reference %d (res %v)",
+					trial, from, dur, size, got, want, ref.res)
+			}
+		}
+	}
+}
+
+// TestProfileEquivalenceFromRunning seeds the profile through NewProfile's
+// active-list path (rather than bare Reserve calls) and cross-checks the
+// same three queries.
+func TestProfileEquivalenceFromRunning(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 1000; trial++ {
+		m := 320
+		a := job.NewActiveList()
+		ref := &refProfile{m: m}
+		used := 0
+		for k := 0; used < m && k < 8; k++ {
+			size := 32 * (1 + r.Intn(4))
+			if used+size > m {
+				break
+			}
+			used += size
+			end := int64(1 + r.Intn(400))
+			a.Insert(&job.Job{ID: 100 + k, Size: size, EndTime: end, State: job.Running})
+			ref.reserve(0, end, size)
+		}
+		p := NewProfile(0, m, a)
+		for q := 0; q < 15; q++ {
+			from := int64(r.Intn(500))
+			dur := int64(1 + r.Intn(300))
+			size := 32 * (1 + r.Intn(10))
+			if got, want := p.EarliestFit(from, dur, size), ref.earliestFit(from, dur, size); got != want {
+				t.Fatalf("trial %d: EarliestFit(%d,%d,%d) = %d, reference %d (res %v)",
+					trial, from, dur, size, got, want, ref.res)
+			}
+			if got, want := p.CanPlace(from, dur, size), ref.canPlace(from, dur, size); got != want {
+				t.Fatalf("trial %d: CanPlace(%d,%d,%d) = %v, reference %v (res %v)",
+					trial, from, dur, size, got, want, ref.res)
+			}
+		}
+	}
+}
