@@ -26,9 +26,10 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
-# Snapshot the packing-kernel and profile benchmarks as BENCH_<date>.json
-# (see DESIGN.md, "Packing-engine performance"). Commit the refreshed file
-# whenever kernel performance work lands.
+# Snapshot the packing-kernel, event-kernel, and end-to-end sweep
+# benchmarks as BENCH_<date>.json (see DESIGN.md, "Packing-engine
+# performance" and "End-to-end simulation throughput"). Commit the
+# refreshed file whenever kernel or engine performance work lands.
 bench-json:
 	$(GO) run ./cmd/benchjson
 

@@ -15,6 +15,9 @@ type Bench struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int64   `json:"iterations"`
+	// Metrics holds custom b.ReportMetric columns (e.g. "jobs/sec",
+	// "wl-generated/op") keyed by their unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Env captures the machine identification lines of the bench output.
@@ -61,9 +64,9 @@ func parseBench(r io.Reader) ([]Bench, Env, error) {
 //
 //	BenchmarkBasicDP-4   16438834   72.09 ns/op   0 B/op   0 allocs/op
 //
-// Unknown units are ignored, so extra ReportMetric columns don't break
-// parsing. ok is false for non-result Benchmark lines (e.g. bare names
-// printed under -v).
+// Unknown units are collected into Metrics, so extra ReportMetric columns
+// are preserved in the snapshot. ok is false for non-result Benchmark
+// lines (e.g. bare names printed under -v).
 func parseBenchLine(line, pkg string) (Bench, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
@@ -88,6 +91,11 @@ func parseBenchLine(line, pkg string) (Bench, bool) {
 			b.BytesPerOp = int64(v)
 		case "allocs/op":
 			b.AllocsPerOp = int64(v)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[fields[i+1]] = v
 		}
 	}
 	return b, seen

@@ -54,6 +54,10 @@ type Config struct {
 	// (arrival, dispatch, completion, ECC) — the scheduler-debugging
 	// trace. Slows the run; for tooling and tests.
 	DebugLog io.Writer
+	// Prevalidated promises the caller already ran w.Validate(M)
+	// successfully, skipping re-validation. Set by sweep drivers that replay
+	// one validated workload under many algorithms.
+	Prevalidated bool
 }
 
 // Observer receives placement events during a run.
@@ -96,13 +100,59 @@ type state struct {
 	ded    *job.DedicatedQueue
 	active *job.ActiveList
 
-	completion  map[int]*simkit.Event
-	collector   *metrics.Collector
-	proc        *ecc.Processor
-	dropped     int
-	cycles      uint64
-	fragRejects int
-	peakWaste   int
+	// completion maps job ID -> pending completion event. Generated and
+	// trace job IDs are dense small integers, so the common representation
+	// is a flat slice; completionMap is the fallback for sparse ID spaces.
+	completion    []simkit.Handle
+	completionMap map[int]simkit.Handle
+	collector     *metrics.Collector
+	proc          *ecc.Processor
+	dropped       int
+	cycles        uint64
+	fragRejects   int
+	peakWaste     int
+
+	// ctx is the scheduler context, built once and reset per cycle; its
+	// scratch buffers (the DP candidate window) survive across cycles.
+	ctx sched.Context
+	// arriveH/completeH/commandH are the shared event callbacks, bound once
+	// so the hot paths schedule through simkit.AtArg without allocating a
+	// closure per event.
+	arriveH, completeH, commandH simkit.ArgHandler
+}
+
+// noopWake is the dedicated-start wake event: it exists only to force a
+// scheduler cycle at the requested start instant.
+func noopWake(int64) {}
+
+func (s *state) arriveEv(now int64, arg any)   { s.arrive(arg.(*job.Job), now) }
+func (s *state) completeEv(now int64, arg any) { s.complete(arg.(*job.Job), now) }
+func (s *state) commandEv(now int64, arg any)  { s.command(*arg.(*cwf.Command), now) }
+
+// setCompletion records the pending completion event for a job ID.
+func (s *state) setCompletion(id int, h simkit.Handle) {
+	if s.completion != nil {
+		s.completion[id] = h
+		return
+	}
+	s.completionMap[id] = h
+}
+
+// getCompletion returns the recorded completion handle (zero if none).
+func (s *state) getCompletion(id int) simkit.Handle {
+	if s.completion != nil {
+		return s.completion[id]
+	}
+	return s.completionMap[id]
+}
+
+// clearCompletion drops the record once the job has completed.
+func (s *state) clearCompletion(id int) {
+	if s.completion != nil {
+		s.completion[id] = simkit.Handle{}
+		return
+	}
+	delete(s.completionMap, id)
 }
 
 // Run executes the workload under the configuration and returns the
@@ -118,8 +168,10 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 	if cfg.MaxCyclesPerInstant <= 0 {
 		cfg.MaxCyclesPerInstant = 1 << 20
 	}
-	if err := w.Validate(cfg.M); err != nil {
-		return nil, err
+	if !cfg.Prevalidated {
+		if err := w.Validate(cfg.M); err != nil {
+			return nil, err
+		}
 	}
 	hasDed := w.NumDedicated() > 0
 	if hasDed && !cfg.Scheduler.Heterogeneous() {
@@ -135,34 +187,57 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 		mach.EnableMigration()
 	}
 	s := &state{
-		cfg:        cfg,
-		eng:        simkit.New(),
-		mach:       mach,
-		batch:      job.NewBatchQueue(),
-		ded:        job.NewDedicatedQueue(),
-		active:     job.NewActiveList(),
-		completion: make(map[int]*simkit.Event),
-		collector:  metrics.NewCollector(cfg.M),
+		cfg:       cfg,
+		eng:       simkit.New(),
+		mach:      mach,
+		batch:     job.NewBatchQueue(),
+		ded:       job.NewDedicatedQueue(),
+		active:    job.NewActiveList(),
+		collector: metrics.NewCollectorSized(cfg.M, len(w.Jobs)),
+	}
+	maxID := 0
+	for _, j := range w.Jobs {
+		if j.ID > maxID {
+			maxID = j.ID
+		}
+	}
+	if maxID < 4*len(w.Jobs)+1024 {
+		s.completion = make([]simkit.Handle, maxID+1)
+	} else {
+		s.completionMap = make(map[int]simkit.Handle, len(w.Jobs))
 	}
 	if cfg.ProcessECC {
 		s.proc = ecc.NewProcessor(cfg.MaxECCPerJob)
 	}
+	s.ctx = sched.Context{
+		Machine:   s.mach,
+		Batch:     s.batch,
+		Dedicated: s.ded,
+		Active:    s.active,
+		StartFn:   s.start,
+	}
+	s.arriveH = s.arriveEv
+	s.completeH = s.completeEv
+	s.commandH = s.commandEv
 
 	// Clone jobs (quantizing sizes to the machine unit) and schedule the
-	// arrival stream.
-	for _, orig := range w.Jobs {
-		j := *orig
+	// arrival stream. One backing slice holds every clone; events carry
+	// pointers into it.
+	clones := make([]job.Job, len(w.Jobs))
+	for i, orig := range w.Jobs {
+		clones[i] = *orig
+		j := &clones[i]
 		q, err := s.mach.Quantize(j.Size)
 		if err != nil {
 			return nil, fmt.Errorf("engine: job %d: %v", j.ID, err)
 		}
 		j.Size = q
-		jj := &j
-		s.eng.At(jj.Arrival, func(now int64) { s.arrive(jj, now) })
+		s.eng.AtArg(j.Arrival, s.arriveH, j)
 	}
-	for _, c := range w.Commands {
-		cc := c
-		s.eng.At(cc.Issue, func(now int64) { s.command(cc, now) })
+	cmds := make([]cwf.Command, len(w.Commands))
+	copy(cmds, w.Commands)
+	for i := range cmds {
+		s.eng.AtArg(cmds[i].Issue, s.commandH, &cmds[i])
 	}
 
 	// Main loop: drain each instant's events, then schedule to fixed point.
@@ -257,41 +332,42 @@ func (s *state) scheduleInstant() error {
 			return fmt.Errorf("engine: scheduler %s made progress for %d consecutive cycles at t=%d (livelock)",
 				s.cfg.Scheduler.Name(), iter, s.eng.Now())
 		}
-		ctx := &sched.Context{
-			Now:       s.eng.Now(),
-			Machine:   s.mach,
-			Batch:     s.batch,
-			Dedicated: s.ded,
-			Active:    s.active,
-			StartFn:   s.start,
-		}
-		s.cfg.Scheduler.Schedule(ctx)
+		s.ctx.Now = s.eng.Now()
+		s.ctx.Progress = false
+		s.ctx.Starts = 0
+		s.cfg.Scheduler.Schedule(&s.ctx)
 		s.cycles++
-		if !ctx.Progress {
+		if !s.ctx.Progress {
 			return nil
 		}
 	}
 }
 
-// debugf writes one event line to the debug log when attached.
+// debugf writes one event line to the debug log. Callers must check
+// debugging() first: a variadic call boxes its arguments at the call site,
+// which would put per-event allocations on the hot path even with no log
+// attached.
 func (s *state) debugf(format string, args ...any) {
-	if s.cfg.DebugLog != nil {
-		fmt.Fprintf(s.cfg.DebugLog, format+"\n", args...)
-	}
+	fmt.Fprintf(s.cfg.DebugLog, format+"\n", args...)
 }
+
+// debugging reports whether a debug log is attached.
+func (s *state) debugging() bool { return s.cfg.DebugLog != nil }
 
 // arrive admits a job to its waiting queue.
 func (s *state) arrive(j *job.Job, now int64) {
 	j.State = job.Waiting
 	j.LastSkip = -1
-	s.debugf("t=%d arrive job=%d class=%s size=%d dur=%d", now, j.ID, j.Class, j.Size, j.Dur)
+	if s.debugging() {
+		s.debugf("t=%d arrive job=%d class=%s size=%d dur=%d", now, j.ID, j.Class, j.Size, j.Dur)
+	}
 	s.collector.JobArrived(j, now)
 	if j.Class == job.Dedicated {
 		s.ded.Push(j)
 		if j.ReqStart > now {
 			// Wake the scheduler at the rigid start time even if no other
 			// event lands there.
-			s.eng.At(j.ReqStart, func(int64) {})
+			s.eng.At(j.ReqStart, noopWake)
 		}
 		return
 	}
@@ -324,9 +400,11 @@ func (s *state) start(j *job.Job) bool {
 	// the actual completion may come earlier (premature termination) and
 	// can never come later (overrunning jobs are killed).
 	j.EndTime = now + j.Dur
-	s.completion[j.ID] = s.eng.At(now+j.EffectiveRuntime(), func(t int64) { s.complete(j, t) })
+	s.setCompletion(j.ID, s.eng.AtArg(now+j.EffectiveRuntime(), s.completeH, j))
 	s.active.Insert(j)
-	s.debugf("t=%d start job=%d size=%d killby=%d wait=%d", now, j.ID, j.Size, j.EndTime, j.Wait())
+	if s.debugging() {
+		s.debugf("t=%d start job=%d size=%d killby=%d wait=%d", now, j.ID, j.Size, j.EndTime, j.Wait())
+	}
 	s.collector.JobStarted(j, now)
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.JobStarted(j, now, s.mach.OwnedGroups(j.ID))
@@ -340,10 +418,12 @@ func (s *state) complete(j *job.Job, now int64) {
 		panic(fmt.Sprintf("engine: completing job %d: %v", j.ID, err))
 	}
 	s.active.Remove(j)
-	delete(s.completion, j.ID)
+	s.clearCompletion(j.ID)
 	j.State = job.Finished
 	j.FinishTime = now
-	s.debugf("t=%d finish job=%d ran=%d", now, j.ID, j.RunTime())
+	if s.debugging() {
+		s.debugf("t=%d finish job=%d ran=%d", now, j.ID, j.RunTime())
+	}
 	s.collector.JobFinished(j, now)
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.JobFinished(j, now)
@@ -354,11 +434,15 @@ func (s *state) complete(j *job.Job, now int64) {
 func (s *state) command(c cwf.Command, now int64) {
 	if s.proc == nil {
 		s.dropped++
-		s.debugf("t=%d ecc job=%d %s %d dropped (no processor)", now, c.JobID, c.Type, c.Amount)
+		if s.debugging() {
+			s.debugf("t=%d ecc job=%d %s %d dropped (no processor)", now, c.JobID, c.Type, c.Amount)
+		}
 		return
 	}
 	out := s.proc.Apply(c, s)
-	s.debugf("t=%d ecc job=%d %s %d -> %s", now, c.JobID, c.Type, c.Amount, out)
+	if s.debugging() {
+		s.debugf("t=%d ecc job=%d %s %d -> %s", now, c.JobID, c.Type, c.Amount, out)
+	}
 }
 
 // --- ecc.Target implementation -------------------------------------------
@@ -386,14 +470,12 @@ func (s *state) RetimeRunning(j *job.Job) {
 		j.EndTime = now
 	}
 	s.active.Resort()
-	if ev := s.completion[j.ID]; ev != nil {
-		s.eng.Cancel(ev)
-	}
+	s.eng.Cancel(s.getCompletion(j.ID))
 	at := j.StartTime + j.EffectiveRuntime()
 	if at < now {
 		at = now
 	}
-	s.completion[j.ID] = s.eng.At(at, func(t int64) { s.complete(j, t) })
+	s.setCompletion(j.ID, s.eng.AtArg(at, s.completeH, j))
 }
 
 // ResizeRunning implements ecc.Target.

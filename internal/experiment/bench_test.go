@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+
+	"elastisched/internal/workload"
+)
+
+// fig1Panel rebuilds the Figure 1 SDSC-like panel (EASY vs LOS over the
+// paper's load interval, three seeds) — the multi-algorithm end-to-end
+// workload the sweep runner must execute fast.
+func fig1Panel() *Sweep {
+	template := func(load float64) workload.Params {
+		p := workload.SDSCLike()
+		p.TargetLoad = load
+		return p
+	}
+	return &Sweep{
+		ID: "fig1-bench", Title: "fig1 e2e bench", XLabel: "Load",
+		Algorithms: algos("EASY", "LOS"),
+		Points:     loadPoints(template, 0),
+		Seeds:      DefaultSeeds(),
+	}
+}
+
+// BenchmarkFig1PanelE2E measures the full figure-panel pipeline — workload
+// generation, every (algorithm, point, seed) simulation, and the
+// deterministic reduction — at the expsuite default worker count.
+func BenchmarkFig1PanelE2E(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	var jobs, gen, reused int
+	for i := 0; i < b.N; i++ {
+		r, err := fig1Panel().Run(workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = 0
+		for ai := range r.Cells {
+			for pi := range r.Cells[ai] {
+				for _, s := range r.Cells[ai][pi].PerSeed {
+					jobs += s.JobsFinished
+				}
+			}
+		}
+		gen, reused = r.WorkloadsGenerated, r.WorkloadsReused
+	}
+	b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	// The cache contract, visible in the committed snapshot: Generate runs
+	// once per (point, seed); every other algorithm's run is a hit.
+	b.ReportMetric(float64(gen), "wl-generated/op")
+	b.ReportMetric(float64(reused), "wl-reused/op")
+}
+
+// BenchmarkFig1PanelSerial is the same panel forced to one worker: the
+// serial wall-clock floor the parallel path is compared against.
+func BenchmarkFig1PanelSerial(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fig1Panel().Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

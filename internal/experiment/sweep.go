@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"elastisched/internal/core"
+	"elastisched/internal/cwf"
 	"elastisched/internal/ecc"
 	"elastisched/internal/engine"
 	"elastisched/internal/metrics"
@@ -63,17 +65,80 @@ type Cell struct {
 	// this point (sanity check against Params.TargetLoad).
 	RealizedLoad float64
 	Runs         int
+	// Events and Cycles total the kernel events dispatched and scheduler
+	// cycles executed across the cell's runs (throughput accounting).
+	Events uint64
+	Cycles uint64
 }
 
 // Result holds a completed sweep: Cells[algo][point].
 type Result struct {
 	Sweep *Sweep
 	Cells [][]Cell
+	// WorkloadsGenerated counts workload.Generate calls; WorkloadsReused
+	// counts runs served from the shared per-(point, seed) cache. Their sum
+	// is the total number of runs: every algorithm at the same (point,
+	// seed) replays one generated workload.
+	WorkloadsGenerated int
+	WorkloadsReused    int
+}
+
+// wlEntry lazily holds the workload for one (point, seed) pair. The
+// sync.Once makes concurrent first users race safely: exactly one
+// generates, the rest block and share the result. Workloads are read-only
+// to the engine (it clones jobs and commands), so sharing is safe.
+type wlEntry struct {
+	once sync.Once
+	w    *cwf.Workload
+	load float64
+	err  error
+}
+
+// workloadCache shares generated workloads across algorithms: the work unit
+// is an (algorithm, point, seed) run, but the workload depends only on
+// (point, seed).
+type workloadCache struct {
+	entries   []wlEntry
+	nSeeds    int
+	generated atomic.Int64
+	reused    atomic.Int64
+}
+
+func newWorkloadCache(nPoints, nSeeds int) *workloadCache {
+	return &workloadCache{entries: make([]wlEntry, nPoints*nSeeds), nSeeds: nSeeds}
+}
+
+func (c *workloadCache) at(pi, si int) *wlEntry { return &c.entries[pi*c.nSeeds+si] }
+
+// get returns the workload for (pi, si), generating it on first use.
+func (c *workloadCache) get(pi, si int, params workload.Params) (*cwf.Workload, error) {
+	e := c.at(pi, si)
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		c.generated.Add(1)
+		e.w, e.err = workload.Generate(params)
+		if e.err == nil {
+			// Validate once here, under the once, so every replaying run can
+			// skip it (engine.Config.Prevalidated).
+			e.err = e.w.Validate(params.M)
+		}
+		if e.err == nil {
+			e.load = e.w.Load(params.M)
+		}
+	})
+	if hit {
+		c.reused.Add(1)
+	}
+	return e.w, e.err
 }
 
 // Run executes the sweep on up to workers goroutines (0 = GOMAXPROCS).
-// Every (algorithm, point, seed) run is independent and deterministically
-// seeded, so the result is identical regardless of worker count.
+// The work unit is one (algorithm, point, seed) run; workloads are
+// generated once per (point, seed) and shared across algorithms. Every run
+// is independent and deterministically seeded, and the reduction walks runs
+// in seed order, so the result is identical regardless of worker count or
+// completion order.
 func (s *Sweep) Run(workers int) (*Result, error) {
 	if len(s.Algorithms) == 0 || len(s.Points) == 0 {
 		return nil, fmt.Errorf("experiment %s: empty sweep", s.ID)
@@ -86,83 +151,126 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	res := &Result{Sweep: s, Cells: make([][]Cell, len(s.Algorithms))}
-	for i := range res.Cells {
-		res.Cells[i] = make([]Cell, len(s.Points))
+	nA, nP, nS := len(s.Algorithms), len(s.Points), len(seeds)
+	type runOut struct {
+		sum    metrics.Summary
+		ecc    ecc.Stats
+		events uint64
+		cycles uint64
+		err    error
 	}
+	runs := make([]runOut, nA*nP*nS)
+	slot := func(ai, pi, si int) *runOut { return &runs[(ai*nP+pi)*nS+si] }
+	cache := newWorkloadCache(nP, nS)
 
-	type task struct{ ai, pi int }
+	type task struct{ ai, pi, si int }
 	tasks := make(chan task)
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
+	var failed atomic.Bool
 
 	worker := func() {
 		defer wg.Done()
 		for t := range tasks {
-			cell, err := s.runCell(s.Algorithms[t.ai], s.Points[t.pi], seeds)
-			mu.Lock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("experiment %s, algo %s, point %g: %w",
-					s.ID, s.Algorithms[t.ai].Name, s.Points[t.pi].X, err)
+			out := slot(t.ai, t.pi, t.si)
+			if failed.Load() {
+				// A run already failed: drain the queue without doing the
+				// remaining work.
+				continue
 			}
-			res.Cells[t.ai][t.pi] = cell
-			mu.Unlock()
+			pt := s.Points[t.pi]
+			params := pt.Params
+			params.Seed = seeds[t.si]
+			w, err := cache.get(t.pi, t.si, params)
+			if err != nil {
+				out.err = err
+				failed.Store(true)
+				continue
+			}
+			a := s.Algorithms[t.ai]
+			r, err := engine.Run(w, engine.Config{
+				M:            params.M,
+				Unit:         params.Unit,
+				Scheduler:    a.New(pt),
+				ProcessECC:   a.ECC,
+				MaxECCPerJob: params.MaxECCPerJob,
+				Contiguous:   pt.Contiguous,
+				Migrate:      pt.Migrate,
+				Prevalidated: true,
+			})
+			if err != nil {
+				out.err = err
+				failed.Store(true)
+				continue
+			}
+			out.sum = r.Summary
+			out.ecc = r.ECC
+			out.events = r.Events
+			out.cycles = r.Cycles
 		}
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go worker()
 	}
-	for ai := range s.Algorithms {
-		for pi := range s.Points {
-			tasks <- task{ai, pi}
+	for ai := 0; ai < nA; ai++ {
+		for pi := 0; pi < nP; pi++ {
+			for si := 0; si < nS; si++ {
+				tasks <- task{ai, pi, si}
+			}
 		}
 	}
 	close(tasks)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	// Surface the first error in deterministic (algorithm, point, seed)
+	// order, regardless of which run hit it first on the wall clock.
+	for ai := 0; ai < nA; ai++ {
+		for pi := 0; pi < nP; pi++ {
+			for si := 0; si < nS; si++ {
+				if err := slot(ai, pi, si).err; err != nil {
+					return nil, fmt.Errorf("experiment %s, algo %s, point %g: %w",
+						s.ID, s.Algorithms[ai].Name, s.Points[pi].X, err)
+				}
+			}
+		}
+	}
+
+	// Reduce in seed order: the per-cell aggregation visits runs exactly as
+	// the sequential implementation did, so every float accumulates in the
+	// same order.
+	res := &Result{
+		Sweep:              s,
+		Cells:              make([][]Cell, nA),
+		WorkloadsGenerated: int(cache.generated.Load()),
+		WorkloadsReused:    int(cache.reused.Load()),
+	}
+	for ai := 0; ai < nA; ai++ {
+		res.Cells[ai] = make([]Cell, nP)
+		for pi := 0; pi < nP; pi++ {
+			sums := make([]metrics.Summary, 0, nS)
+			var eccStats ecc.Stats
+			var loadSum float64
+			var events, cycles uint64
+			for si := 0; si < nS; si++ {
+				out := slot(ai, pi, si)
+				sums = append(sums, out.sum)
+				eccStats = addECC(eccStats, out.ecc)
+				loadSum += cache.at(pi, si).load
+				events += out.events
+				cycles += out.cycles
+			}
+			res.Cells[ai][pi] = Cell{
+				Summary:      metrics.Average(sums),
+				PerSeed:      sums,
+				ECC:          eccStats,
+				RealizedLoad: loadSum / float64(nS),
+				Runs:         nS,
+				Events:       events,
+				Cycles:       cycles,
+			}
+		}
 	}
 	return res, nil
-}
-
-// runCell executes one (algorithm, point) pair across all seeds and
-// averages the summaries.
-func (s *Sweep) runCell(a Algorithm, pt Point, seeds []int64) (Cell, error) {
-	sums := make([]metrics.Summary, 0, len(seeds))
-	var eccStats ecc.Stats
-	var loadSum float64
-	for _, seed := range seeds {
-		params := pt.Params
-		params.Seed = seed
-		w, err := workload.Generate(params)
-		if err != nil {
-			return Cell{}, err
-		}
-		loadSum += w.Load(params.M)
-		r, err := engine.Run(w, engine.Config{
-			M:            params.M,
-			Unit:         params.Unit,
-			Scheduler:    a.New(pt),
-			ProcessECC:   a.ECC,
-			MaxECCPerJob: params.MaxECCPerJob,
-			Contiguous:   pt.Contiguous,
-			Migrate:      pt.Migrate,
-		})
-		if err != nil {
-			return Cell{}, err
-		}
-		sums = append(sums, r.Summary)
-		eccStats = addECC(eccStats, r.ECC)
-	}
-	return Cell{
-		Summary:      metrics.Average(sums),
-		PerSeed:      sums,
-		ECC:          eccStats,
-		RealizedLoad: loadSum / float64(len(seeds)),
-		Runs:         len(seeds),
-	}, nil
 }
 
 func addECC(a, b ecc.Stats) ecc.Stats {

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"elastisched/internal/workload"
+)
+
+// parallelSweep is a 2-algorithm x 3-point x 3-seed panel: large enough
+// that run-level tasks interleave across workers, small enough for a unit
+// test.
+func parallelSweep() *Sweep {
+	p := workload.DefaultParams()
+	p.N = 60
+	point := func(load float64) Point {
+		q := p
+		q.TargetLoad = load
+		return Point{X: load, Params: q, Cs: 7}
+	}
+	return &Sweep{
+		ID: "par", Title: "par", XLabel: "Load",
+		Algorithms: algos("EASY", "Delayed-LOS"),
+		Points:     []Point{point(0.7), point(0.8), point(0.9)},
+		Seeds:      []int64{1, 2, 3},
+	}
+}
+
+// TestSweepDeepEqualAcrossWorkerCounts requires the full Result — every
+// per-seed summary, ECC tally, realized load, and event count — to be
+// byte-identical between a serial run and an oversubscribed parallel run.
+func TestSweepDeepEqualAcrossWorkerCounts(t *testing.T) {
+	r1, err := parallelSweep().Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := parallelSweep().Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Cells, r8.Cells) {
+		t.Fatal("sweep cells differ between Run(1) and Run(8)")
+	}
+	if r1.WorkloadsGenerated != r8.WorkloadsGenerated || r1.WorkloadsReused != r8.WorkloadsReused {
+		t.Fatalf("cache counters differ: serial %d/%d, parallel %d/%d",
+			r1.WorkloadsGenerated, r1.WorkloadsReused, r8.WorkloadsGenerated, r8.WorkloadsReused)
+	}
+}
+
+// TestWorkloadCacheCounters verifies the cache contract: Generate runs once
+// per (point, seed) and every other algorithm's run is a hit.
+func TestWorkloadCacheCounters(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		s := parallelSweep()
+		r, err := s.Run(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nRuns := len(s.Algorithms) * len(s.Points) * len(s.Seeds)
+		wantGen := len(s.Points) * len(s.Seeds)
+		if r.WorkloadsGenerated != wantGen {
+			t.Errorf("workers=%d: generated %d workloads, want %d", workers, r.WorkloadsGenerated, wantGen)
+		}
+		if r.WorkloadsReused != nRuns-wantGen {
+			t.Errorf("workers=%d: reused %d workloads, want %d", workers, r.WorkloadsReused, nRuns-wantGen)
+		}
+	}
+}
+
+// TestWorkloadCacheConcurrentFirstUse hammers the cache's first-use path:
+// many algorithms race for the same (point, seed) entries. Run under
+// -race in CI.
+func TestWorkloadCacheConcurrentFirstUse(t *testing.T) {
+	p := workload.DefaultParams()
+	p.N = 30
+	s := &Sweep{
+		ID: "race", Title: "race", XLabel: "Load",
+		Algorithms: algos("FCFS", "EASY", "LOS", "Delayed-LOS"),
+		Points:     []Point{{X: 0.8, Params: p, Cs: 7}},
+		Seeds:      []int64{1, 2},
+	}
+	r, err := s.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WorkloadsGenerated != 2 {
+		t.Errorf("generated %d workloads, want 2", r.WorkloadsGenerated)
+	}
+	if r.WorkloadsReused != 6 {
+		t.Errorf("reused %d workloads, want 6", r.WorkloadsReused)
+	}
+}
+
+// TestSweepErrorIsDeterministic makes a mid-sweep point fail generation and
+// checks the error surfaces identically at every worker count.
+func TestSweepErrorIsDeterministic(t *testing.T) {
+	s := parallelSweep()
+	bad := s.Points[1]
+	bad.Params.M = -1
+	s.Points[1] = bad
+	var msgs []string
+	for _, workers := range []int{1, 4} {
+		_, err := s.Run(workers)
+		if err == nil {
+			t.Fatalf("workers=%d: invalid point accepted", workers)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Errorf("error differs across worker counts:\n  %s\n  %s", msgs[0], msgs[1])
+	}
+}

@@ -8,48 +8,82 @@ import (
 // BatchQueue is W^b: the FIFO queue of waiting batch jobs, ordered by
 // arrival time, except that Move_Dedicated_Head_To_Batch_Head may push a
 // rigid (formerly dedicated) job to the front.
+//
+// The queue keeps its live jobs in jobs[head:]. Removing the head — the
+// overwhelmingly common case, since backfilling starts the head whenever it
+// fits — just advances head; Push reclaims the dead prefix when the backing
+// array fills, so head removal is amortized O(1) with no pointer copying.
 type BatchQueue struct {
 	jobs []*Job
+	head int
 }
 
 // NewBatchQueue returns an empty queue.
 func NewBatchQueue() *BatchQueue { return &BatchQueue{} }
 
 // Len returns the number of waiting batch jobs (B in the paper).
-func (q *BatchQueue) Len() int { return len(q.jobs) }
+func (q *BatchQueue) Len() int { return len(q.jobs) - q.head }
 
 // Empty reports whether the queue has no jobs.
-func (q *BatchQueue) Empty() bool { return len(q.jobs) == 0 }
+func (q *BatchQueue) Empty() bool { return q.Len() == 0 }
 
 // Head returns the first waiting job (w_1^b) or nil.
 func (q *BatchQueue) Head() *Job {
-	if len(q.jobs) == 0 {
+	if q.Empty() {
 		return nil
 	}
-	return q.jobs[0]
+	return q.jobs[q.head]
 }
 
 // At returns the i-th waiting job (0-based).
-func (q *BatchQueue) At(i int) *Job { return q.jobs[i] }
+func (q *BatchQueue) At(i int) *Job { return q.jobs[q.head+i] }
 
 // Jobs returns the backing slice in queue order. Callers must not reorder
-// it; it is exposed so schedulers can scan the queue without copying.
-func (q *BatchQueue) Jobs() []*Job { return q.jobs }
+// it; it is exposed so schedulers can scan the queue without copying. It is
+// valid only until the next queue mutation.
+func (q *BatchQueue) Jobs() []*Job { return q.jobs[q.head:] }
 
 // Push appends an arriving job to the tail (FIFO on arrival).
-func (q *BatchQueue) Push(j *Job) { q.jobs = append(q.jobs, j) }
+func (q *BatchQueue) Push(j *Job) {
+	if len(q.jobs) == cap(q.jobs) && q.head > 0 {
+		// Reclaim the dead prefix instead of growing the array.
+		n := copy(q.jobs, q.jobs[q.head:])
+		for i := n; i < len(q.jobs); i++ {
+			q.jobs[i] = nil
+		}
+		q.jobs = q.jobs[:n]
+		q.head = 0
+	}
+	q.jobs = append(q.jobs, j)
+}
 
 // PushFront inserts a job at the head of the queue. Used by
 // Move_Dedicated_Head_To_Batch_Head for due dedicated jobs.
 func (q *BatchQueue) PushFront(j *Job) {
-	q.jobs = append([]*Job{j}, q.jobs...)
+	if q.head > 0 {
+		q.head--
+		q.jobs[q.head] = j
+		return
+	}
+	q.jobs = append(q.jobs, nil)
+	copy(q.jobs[1:], q.jobs)
+	q.jobs[0] = j
 }
 
 // Remove deletes job j from the queue, preserving order. It panics if j is
 // not queued: removing an unknown job is always a scheduler bug.
 func (q *BatchQueue) Remove(j *Job) {
-	for i, x := range q.jobs {
-		if x == j {
+	for i := q.head; i < len(q.jobs); i++ {
+		if q.jobs[i] == j {
+			if i == q.head {
+				q.jobs[i] = nil
+				q.head++
+				if q.head == len(q.jobs) {
+					q.jobs = q.jobs[:0]
+					q.head = 0
+				}
+				return
+			}
 			q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
 			return
 		}
@@ -66,7 +100,7 @@ func (q *BatchQueue) RemoveAll(set []*Job) {
 
 // Find returns the queued job with the given ID, or nil.
 func (q *BatchQueue) Find(id int) *Job {
-	for _, j := range q.jobs {
+	for _, j := range q.Jobs() {
 		if j.ID == id {
 			return j
 		}
@@ -170,28 +204,34 @@ func (q *DedicatedQueue) TotalAtHeadStart() int {
 // any instant is the same as increasing residual execution time (the
 // paper's ordering). Elastic Control Commands can change a running job's
 // kill-by time, after which Resort must be called.
+//
+// Live jobs occupy jobs[head:]. Jobs normally finish at their kill-by time
+// — the front of the order — so the common removal just advances head;
+// Insert reclaims the dead prefix when the backing array fills.
 type ActiveList struct {
 	jobs []*Job
+	head int
 }
 
 // NewActiveList returns an empty list.
 func NewActiveList() *ActiveList { return &ActiveList{} }
 
 // Len returns the number of running jobs.
-func (a *ActiveList) Len() int { return len(a.jobs) }
+func (a *ActiveList) Len() int { return len(a.jobs) - a.head }
 
 // Empty reports whether no jobs are running.
-func (a *ActiveList) Empty() bool { return len(a.jobs) == 0 }
+func (a *ActiveList) Empty() bool { return a.Len() == 0 }
 
-// Jobs returns running jobs ordered by increasing kill-by time.
-func (a *ActiveList) Jobs() []*Job { return a.jobs }
+// Jobs returns running jobs ordered by increasing kill-by time. The slice
+// is valid only until the next list mutation.
+func (a *ActiveList) Jobs() []*Job { return a.jobs[a.head:] }
 
 // At returns the i-th running job (0-based; a_{i+1} in the paper).
-func (a *ActiveList) At(i int) *Job { return a.jobs[i] }
+func (a *ActiveList) At(i int) *Job { return a.jobs[a.head+i] }
 
 // Last returns a_A, the running job with the largest residual, or nil.
 func (a *ActiveList) Last() *Job {
-	if len(a.jobs) == 0 {
+	if a.Empty() {
 		return nil
 	}
 	return a.jobs[len(a.jobs)-1]
@@ -200,7 +240,7 @@ func (a *ActiveList) Last() *Job {
 // UsedProcessors returns the total processors held by running jobs.
 func (a *ActiveList) UsedProcessors() int {
 	n := 0
-	for _, j := range a.jobs {
+	for _, j := range a.Jobs() {
 		n += j.Size
 	}
 	return n
@@ -208,22 +248,40 @@ func (a *ActiveList) UsedProcessors() int {
 
 // Insert adds a running job keeping kill-by order.
 func (a *ActiveList) Insert(j *Job) {
-	i := sort.Search(len(a.jobs), func(i int) bool {
-		x := a.jobs[i]
+	if len(a.jobs) == cap(a.jobs) && a.head > 0 {
+		n := copy(a.jobs, a.jobs[a.head:])
+		for i := n; i < len(a.jobs); i++ {
+			a.jobs[i] = nil
+		}
+		a.jobs = a.jobs[:n]
+		a.head = 0
+	}
+	live := a.jobs[a.head:]
+	i := sort.Search(len(live), func(i int) bool {
+		x := live[i]
 		if x.EndTime != j.EndTime {
 			return x.EndTime > j.EndTime
 		}
 		return x.ID > j.ID
 	})
 	a.jobs = append(a.jobs, nil)
-	copy(a.jobs[i+1:], a.jobs[i:])
-	a.jobs[i] = j
+	copy(a.jobs[a.head+i+1:], a.jobs[a.head+i:])
+	a.jobs[a.head+i] = j
 }
 
 // Remove deletes a finished job; panics if absent.
 func (a *ActiveList) Remove(j *Job) {
-	for i, x := range a.jobs {
-		if x == j {
+	for i := a.head; i < len(a.jobs); i++ {
+		if a.jobs[i] == j {
+			if i == a.head {
+				a.jobs[i] = nil
+				a.head++
+				if a.head == len(a.jobs) {
+					a.jobs = a.jobs[:0]
+					a.head = 0
+				}
+				return
+			}
 			a.jobs = append(a.jobs[:i], a.jobs[i+1:]...)
 			return
 		}
@@ -233,7 +291,7 @@ func (a *ActiveList) Remove(j *Job) {
 
 // Find returns the running job with the given ID, or nil.
 func (a *ActiveList) Find(id int) *Job {
-	for _, j := range a.jobs {
+	for _, j := range a.Jobs() {
 		if j.ID == id {
 			return j
 		}
@@ -244,10 +302,11 @@ func (a *ActiveList) Find(id int) *Job {
 // Resort restores kill-by order after an ECC mutated a running job's
 // EndTime.
 func (a *ActiveList) Resort() {
-	sort.SliceStable(a.jobs, func(i, j int) bool {
-		if a.jobs[i].EndTime != a.jobs[j].EndTime {
-			return a.jobs[i].EndTime < a.jobs[j].EndTime
+	live := a.jobs[a.head:]
+	sort.SliceStable(live, func(i, j int) bool {
+		if live[i].EndTime != live[j].EndTime {
+			return live[i].EndTime < live[j].EndTime
 		}
-		return a.jobs[i].ID < a.jobs[j].ID
+		return live[i].ID < live[j].ID
 	})
 }

@@ -10,7 +10,7 @@ package machine
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Machine is a fixed pool of processors with quantized allocation.
@@ -25,13 +25,35 @@ type Machine struct {
 	contiguous bool
 	// groups[i] is the job ID occupying node group i, or -1 when free.
 	groups []int
-	owner  map[int][]int // jobID -> group indices
+	// owner maps jobID -> owned group indices (nil = no allocation). Job
+	// IDs are small dense integers, so a growable slice replaces the map
+	// the allocation hot path used to hash into.
+	owner  [][]int
+	nOwned int
+	// freeStack holds the free group indices of a scatter machine (top is
+	// allocated next), making Alloc O(groups requested) instead of a scan
+	// of the whole machine. Unused under contiguous allocation, where
+	// placement needs runs, not single groups.
+	freeStack []int
 	// migratory marks that the owner is willing to Compact on demand: a
 	// capacity-feasible request is then always placeable, so Fits ignores
 	// fragmentation.
 	migratory bool
 	// migrations counts jobs moved by Compact.
 	migrations int
+	// idxPool recycles owner index slices between Release and Alloc so the
+	// steady-state alloc/release cycle does not heap-allocate.
+	idxPool [][]int
+	// compact is Compact's reusable placement scratch.
+	compact []placedJob
+}
+
+// placedJob is Compact's view of one running job: its current leftmost
+// group and group count.
+type placedJob struct {
+	id    int
+	first int
+	n     int
 }
 
 // New returns a machine with total processors allocated in multiples of
@@ -50,7 +72,7 @@ func New(total, unit int) *Machine {
 	for i := range m.groups {
 		m.groups[i] = -1
 	}
-	m.owner = make(map[int][]int)
+	m.rebuildFreeStack()
 	return m
 }
 
@@ -60,6 +82,34 @@ func NewContiguous(total, unit int) *Machine {
 	m := New(total, unit)
 	m.contiguous = true
 	return m
+}
+
+// rebuildFreeStack refills the scatter free stack from the group map, in
+// descending index order so groups are handed out lowest-first from a
+// fresh machine.
+func (m *Machine) rebuildFreeStack() {
+	m.freeStack = m.freeStack[:0]
+	for i := len(m.groups) - 1; i >= 0; i-- {
+		if m.groups[i] == -1 {
+			m.freeStack = append(m.freeStack, i)
+		}
+	}
+}
+
+// ownerOf returns jobID's group indices, or nil.
+func (m *Machine) ownerOf(jobID int) []int {
+	if jobID < 0 || jobID >= len(m.owner) {
+		return nil
+	}
+	return m.owner[jobID]
+}
+
+// setOwner records jobID's group indices, growing the table on demand.
+func (m *Machine) setOwner(jobID int, idx []int) {
+	for jobID >= len(m.owner) {
+		m.owner = append(m.owner, nil)
+	}
+	m.owner[jobID] = idx
 }
 
 // Contiguous reports whether allocations must be contiguous.
@@ -159,20 +209,24 @@ func (m *Machine) Quantize(size int) (int, error) {
 // of the unit (the workload generator guarantees it; trace loaders call
 // Quantize first). It returns an error if the request cannot be satisfied.
 func (m *Machine) Alloc(jobID, size int) error {
+	if jobID < 0 {
+		return fmt.Errorf("machine: negative job ID %d", jobID)
+	}
 	if size <= 0 || size%m.unit != 0 {
 		return fmt.Errorf("machine: allocation %d for job %d not a multiple of unit %d", size, jobID, m.unit)
 	}
 	if size > m.free {
 		return fmt.Errorf("machine: allocation %d for job %d exceeds free capacity %d", size, jobID, m.free)
 	}
-	if _, dup := m.owner[jobID]; dup {
+	if m.ownerOf(jobID) != nil {
 		return fmt.Errorf("machine: job %d already holds an allocation", jobID)
 	}
 	need := size / m.unit
-	idx := make([]int, 0, need)
+	idx := m.takeIdx(need)
 	if m.contiguous {
 		at := m.findRun(need)
 		if at < 0 {
+			m.idxPool = append(m.idxPool, idx)
 			return fmt.Errorf("machine: no contiguous run of %d groups for job %d (free %d, fragmented)", need, jobID, m.free)
 		}
 		for i := at; i < at+need; i++ {
@@ -180,20 +234,34 @@ func (m *Machine) Alloc(jobID, size int) error {
 			idx = append(idx, i)
 		}
 	} else {
-		for i := 0; i < len(m.groups) && len(idx) < need; i++ {
-			if m.groups[i] == -1 {
-				m.groups[i] = jobID
-				idx = append(idx, i)
-			}
+		if len(m.freeStack) < need {
+			// free counter said yes but the free stack disagrees: corruption.
+			panic(fmt.Sprintf("machine: free=%d but only %d/%d groups available", m.free, len(m.freeStack), need))
 		}
-		if len(idx) != need {
-			// free counter said yes but the group map disagrees: corruption.
-			panic(fmt.Sprintf("machine: free=%d but only %d/%d groups available", m.free, len(idx), need))
+		top := len(m.freeStack) - need
+		for _, g := range m.freeStack[top:] {
+			m.groups[g] = jobID
+			idx = append(idx, g)
 		}
+		m.freeStack = m.freeStack[:top]
 	}
-	m.owner[jobID] = idx
+	m.setOwner(jobID, idx)
+	m.nOwned++
 	m.free -= size
 	return nil
+}
+
+// takeIdx returns an empty index slice with capacity >= need, reusing a
+// released slice when one is large enough.
+func (m *Machine) takeIdx(need int) []int {
+	for i := len(m.idxPool) - 1; i >= 0; i-- {
+		if s := m.idxPool[i]; cap(s) >= need {
+			m.idxPool[i] = m.idxPool[len(m.idxPool)-1]
+			m.idxPool = m.idxPool[:len(m.idxPool)-1]
+			return s[:0]
+		}
+	}
+	return make([]int, 0, need)
 }
 
 // Compact migrates running jobs toward group 0, coalescing all free groups
@@ -201,39 +269,43 @@ func (m *Machine) Alloc(jobID, size int) error {
 // It returns the number of jobs whose placement changed. Only meaningful
 // (but harmless) on contiguous machines.
 func (m *Machine) Compact() int {
-	// Stable order: jobs sorted by their current first group.
-	type placed struct {
-		id    int
-		first int
-		n     int
-	}
-	jobs := make([]placed, 0, len(m.owner))
+	// Stable order: jobs sorted by their current first group (unique per
+	// job, so an unstable sort cannot reorder equals).
+	jobs := m.compact[:0]
 	for id, idx := range m.owner {
+		if idx == nil {
+			continue
+		}
 		first := idx[0]
 		for _, g := range idx {
 			if g < first {
 				first = g
 			}
 		}
-		jobs = append(jobs, placed{id, first, len(idx)})
+		jobs = append(jobs, placedJob{id, first, len(idx)})
 	}
-	sort.Slice(jobs, func(i, k int) bool { return jobs[i].first < jobs[k].first })
+	m.compact = jobs
+	slices.SortFunc(jobs, func(a, b placedJob) int { return a.first - b.first })
 	for i := range m.groups {
 		m.groups[i] = -1
 	}
 	moved := 0
 	next := 0
 	for _, p := range jobs {
-		idx := make([]int, 0, p.n)
-		for i := next; i < next+p.n; i++ {
-			m.groups[i] = p.id
-			idx = append(idx, i)
+		// The job's group count is unchanged, so its existing index slice is
+		// rewritten in place.
+		idx := m.owner[p.id]
+		for k := 0; k < p.n; k++ {
+			m.groups[next+k] = p.id
+			idx[k] = next + k
 		}
 		if p.first != next {
 			moved++
 		}
-		m.owner[p.id] = idx
 		next += p.n
+	}
+	if !m.contiguous {
+		m.rebuildFreeStack()
 	}
 	m.migrations += moved
 	return moved
@@ -242,15 +314,20 @@ func (m *Machine) Compact() int {
 // Release frees every processor held by jobID. Releasing a job with no
 // allocation is an error (double release is always a scheduler bug).
 func (m *Machine) Release(jobID int) error {
-	idx, ok := m.owner[jobID]
-	if !ok {
+	idx := m.ownerOf(jobID)
+	if idx == nil {
 		return fmt.Errorf("machine: release of job %d which holds no allocation", jobID)
 	}
 	for _, i := range idx {
 		m.groups[i] = -1
 	}
+	if !m.contiguous {
+		m.freeStack = append(m.freeStack, idx...)
+	}
 	m.free += len(idx) * m.unit
-	delete(m.owner, jobID)
+	m.owner[jobID] = nil
+	m.nOwned--
+	m.idxPool = append(m.idxPool, idx)
 	return nil
 }
 
@@ -258,8 +335,8 @@ func (m *Machine) Release(jobID int) error {
 // multiple of the unit). Shrinking always succeeds; growing requires enough
 // free capacity. This supports the paper's future-work EP/RP commands.
 func (m *Machine) Resize(jobID, newSize int) error {
-	idx, ok := m.owner[jobID]
-	if !ok {
+	idx := m.ownerOf(jobID)
+	if idx == nil {
 		return fmt.Errorf("machine: resize of job %d which holds no allocation", jobID)
 	}
 	if newSize <= 0 || newSize%m.unit != 0 {
@@ -273,6 +350,9 @@ func (m *Machine) Resize(jobID, newSize int) error {
 		drop := (cur - newSize) / m.unit
 		for _, g := range idx[len(idx)-drop:] {
 			m.groups[g] = -1
+		}
+		if !m.contiguous {
+			m.freeStack = append(m.freeStack, idx[len(idx)-drop:]...)
 		}
 		m.owner[jobID] = idx[:len(idx)-drop]
 		m.free += cur - newSize
@@ -297,14 +377,12 @@ func (m *Machine) Resize(jobID, newSize int) error {
 				idx = append(idx, last+k)
 			}
 		} else {
-			added := 0
-			for i := 0; i < len(m.groups) && added < need; i++ {
-				if m.groups[i] == -1 {
-					m.groups[i] = jobID
-					idx = append(idx, i)
-					added++
-				}
+			top := len(m.freeStack) - need
+			for _, g := range m.freeStack[top:] {
+				m.groups[g] = jobID
+				idx = append(idx, g)
 			}
+			m.freeStack = m.freeStack[:top]
 		}
 		m.owner[jobID] = idx
 		m.free -= grow
@@ -314,12 +392,12 @@ func (m *Machine) Resize(jobID, newSize int) error {
 
 // Held returns the size of jobID's current allocation (0 if none).
 func (m *Machine) Held(jobID int) int {
-	return len(m.owner[jobID]) * m.unit
+	return len(m.ownerOf(jobID)) * m.unit
 }
 
 // OwnedGroups returns a copy of the node-group indices jobID holds.
 func (m *Machine) OwnedGroups(jobID int) []int {
-	idx := m.owner[jobID]
+	idx := m.ownerOf(jobID)
 	out := make([]int, len(idx))
 	copy(out, idx)
 	return out
@@ -348,10 +426,16 @@ func (m *Machine) CheckInvariants() error {
 	if freeGroups*m.unit != m.free {
 		return fmt.Errorf("machine: free counter %d != free groups %d*%d", m.free, freeGroups, m.unit)
 	}
-	if len(perJob) != len(m.owner) {
-		return fmt.Errorf("machine: owner map has %d jobs, group map has %d", len(m.owner), len(perJob))
+	if !m.contiguous && len(m.freeStack) != freeGroups {
+		return fmt.Errorf("machine: free stack has %d groups, group map has %d", len(m.freeStack), freeGroups)
+	}
+	if len(perJob) != m.nOwned {
+		return fmt.Errorf("machine: owner table has %d jobs, group map has %d", m.nOwned, len(perJob))
 	}
 	for id, idx := range m.owner {
+		if idx == nil {
+			continue
+		}
 		if perJob[id] != len(idx) {
 			return fmt.Errorf("machine: job %d owner index %d groups, map says %d", id, len(idx), perJob[id])
 		}

@@ -9,7 +9,7 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"elastisched/internal/job"
 )
@@ -24,11 +24,17 @@ type Collector struct {
 	haveT0   bool
 	t0, tEnd int64
 
+	// waits is kept as a full series: the summary reports order statistics
+	// (median, p95, max) that need every sample. The remaining per-job
+	// measures only ever feed arithmetic means, so they accumulate as
+	// streaming sums — same accumulation order as the old per-job slices,
+	// so the float results are bit-identical.
 	waits       []float64
-	runs        []float64
-	perJobSlow  []float64
-	batchWaits  []float64
-	dedWaits    []float64
+	runSum      float64
+	slowSum     float64
+	batchSum    float64
+	batchCount  int
+	dedSum      float64
 	dedOnTime   int
 	dedTotal    int
 	jobsStarted int
@@ -57,6 +63,17 @@ type jobPoint struct {
 // NewCollector returns a collector for a machine of m processors.
 func NewCollector(m int) *Collector {
 	return &Collector{m: m}
+}
+
+// NewCollectorSized returns a collector presized for a run of n jobs, so the
+// per-job series and the busy step function grow without reallocation.
+func NewCollectorSized(m, n int) *Collector {
+	return &Collector{
+		m:         m,
+		waits:     make([]float64, 0, n),
+		perJob:    make([]jobPoint, 0, n),
+		busySteps: make([]busyStep, 0, 2*n),
+	}
 }
 
 // integrate advances the busy-area integral to time t.
@@ -122,18 +139,19 @@ func (c *Collector) JobFinished(j *job.Job, t int64) {
 	c.perJob = append(c.perJob, jobPoint{arrival: j.Arrival, finish: t, wait: w})
 	r := float64(j.RunTime())
 	c.waits = append(c.waits, w)
-	c.runs = append(c.runs, r)
+	c.runSum += r
 	// Per-job bounded slowdown with the conventional 10s floor.
 	den := math.Max(r, 10)
-	c.perJobSlow = append(c.perJobSlow, (w+math.Max(r, 10))/den)
+	c.slowSum += (w + math.Max(r, 10)) / den
 	if j.Class == job.Dedicated {
 		c.dedTotal++
-		c.dedWaits = append(c.dedWaits, w)
+		c.dedSum += w
 		if j.Wait() == 0 {
 			c.dedOnTime++
 		}
 	} else {
-		c.batchWaits = append(c.batchWaits, w)
+		c.batchSum += w
+		c.batchCount++
 	}
 }
 
@@ -207,20 +225,27 @@ func (c *Collector) Summary() Summary {
 		s.Utilization = c.area / (span * float64(c.m))
 	}
 	s.MeanWait = mean(c.waits)
-	s.MeanRun = mean(c.runs)
+	if c.jobsDone > 0 {
+		s.MeanRun = c.runSum / float64(c.jobsDone)
+		s.MeanBoundedSlow = c.slowSum / float64(c.jobsDone)
+	}
 	if s.MeanRun > 0 {
 		s.Slowdown = (s.MeanWait + s.MeanRun) / s.MeanRun
 	}
-	s.MedianWait = quantile(c.waits, 0.5)
-	s.P95Wait = quantile(c.waits, 0.95)
-	for _, w := range c.waits {
-		if w > s.MaxWait {
-			s.MaxWait = w
-		}
+	if n := len(c.waits); n > 0 {
+		// One sorted copy serves every order statistic.
+		ys := append([]float64(nil), c.waits...)
+		slices.Sort(ys)
+		s.MedianWait = ys[int(0.5*float64(n-1))]
+		s.P95Wait = ys[int(0.95*float64(n-1))]
+		s.MaxWait = ys[n-1]
 	}
-	s.MeanBoundedSlow = mean(c.perJobSlow)
-	s.MeanBatchWait = mean(c.batchWaits)
-	s.MeanDedWait = mean(c.dedWaits)
+	if c.batchCount > 0 {
+		s.MeanBatchWait = c.batchSum / float64(c.batchCount)
+	}
+	if c.dedTotal > 0 {
+		s.MeanDedWait = c.dedSum / float64(c.dedTotal)
+	}
 	if c.dedTotal > 0 {
 		s.DedicatedOnTime = float64(c.dedOnTime) / float64(c.dedTotal)
 	}
@@ -240,7 +265,7 @@ func (c *Collector) steadyState() (window [2]int64, util, wait float64) {
 	for i, p := range c.perJob {
 		finishes[i] = p.finish
 	}
-	sort.Slice(finishes, func(i, k int) bool { return finishes[i] < finishes[k] })
+	slices.Sort(finishes)
 	t0 := finishes[n/10]
 	t1 := finishes[n-1-n/10]
 	if t1 <= t0 {
@@ -301,16 +326,6 @@ func mean(xs []float64) float64 {
 		t += x
 	}
 	return t / float64(len(xs))
-}
-
-func quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	ys := append([]float64(nil), xs...)
-	sort.Float64s(ys)
-	i := int(q * float64(len(ys)-1))
-	return ys[i]
 }
 
 // Average combines summaries from repeated seeds into their arithmetic

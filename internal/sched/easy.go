@@ -63,8 +63,13 @@ func (e *EASY) Schedule(ctx *Context) {
 	head := ctx.Batch.Head()
 	sfz := e.shadowFor(ctx, head, dfz)
 
-	queue := append([]*job.Job(nil), ctx.Batch.Jobs()...)
-	for _, j := range queue[1:] {
+	// Start removes the started job from the queue (order preserved, head
+	// untouched), so after a start the next candidate has shifted into the
+	// current index. Walking by index with that compensation visits each job
+	// exactly once in queue order without snapshotting the queue.
+	jobs := ctx.Batch.Jobs()
+	for i := 1; i < len(jobs); i++ {
+		j := jobs[i]
 		if !ctx.Fits(j.Size) {
 			continue
 		}
@@ -76,6 +81,8 @@ func (e *EASY) Schedule(ctx *Context) {
 		}
 		sfz.Commit(ctx.Now, j)
 		dfz.Commit(ctx.Now, j)
+		jobs = ctx.Batch.Jobs()
+		i--
 	}
 }
 

@@ -36,6 +36,11 @@ type Context struct {
 	Progress bool
 	// Starts counts jobs started in this cycle.
 	Starts int
+
+	// win is Window's reusable scratch buffer. Each Window call overwrites
+	// it; callers consume the returned slice before requesting another
+	// window, so one buffer per context suffices.
+	win []*job.Job
 }
 
 // Free returns m, the current number of unallocated processors.
@@ -215,10 +220,11 @@ func WaitingWindow(q *job.BatchQueue, m, lookahead int) []*job.Job {
 // placeable on the machine right now (identical to WaitingWindow on
 // scatter machines; on contiguous machines, fragmentation-blocked jobs are
 // excluded so the packing programs do not select unplaceable work).
+// The returned slice is valid only until the next Window call on this
+// context.
 func (c *Context) Window(m, lookahead int) []*job.Job {
-	jobs := c.Batch.Jobs()
-	out := make([]*job.Job, 0, minInt(len(jobs), 8))
-	for _, j := range jobs {
+	out := c.win[:0]
+	for _, j := range c.Batch.Jobs() {
 		if lookahead > 0 && len(out) >= lookahead {
 			break
 		}
@@ -226,6 +232,7 @@ func (c *Context) Window(m, lookahead int) []*job.Job {
 			out = append(out, j)
 		}
 	}
+	c.win = out
 	return out
 }
 

@@ -15,13 +15,53 @@ func BenchmarkEventThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleDispatch measures the steady-state schedule/dispatch
+// cycle on a long-lived engine: one At and one Step per iteration against a
+// standing backlog, the regime a mid-simulation event kernel lives in. The
+// target is zero allocations per operation.
+func BenchmarkScheduleDispatch(b *testing.B) {
+	e := New()
+	fn := func(Time) {}
+	const backlog = 512
+	for i := 0; i < backlog; i++ {
+		e.At(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := Time(backlog)
+	for i := 0; i < b.N; i++ {
+		e.At(t, fn)
+		e.Step()
+		t++
+	}
+}
+
+// BenchmarkCancelReschedule measures the ECC retiming pattern: a pending
+// event is cancelled and rescheduled at a new timestamp, over and over,
+// against a standing backlog.
+func BenchmarkCancelReschedule(b *testing.B) {
+	e := New()
+	fn := func(Time) {}
+	const far = Time(1) << 40
+	for i := 0; i < 64; i++ {
+		e.At(far+Time(i), fn)
+	}
+	h := e.At(far+100, fn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(h)
+		h = e.At(far+100+Time(i%1000), fn)
+	}
+}
+
 // BenchmarkCancelHeavy measures cancellation churn: half the scheduled
 // events are cancelled before the drain.
 func BenchmarkCancelHeavy(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := New()
-		evs := make([]*Event, 0, 10000)
+		evs := make([]Handle, 0, 10000)
 		for k := Time(0); k < 10000; k++ {
 			evs = append(evs, e.At(k, func(Time) {}))
 		}

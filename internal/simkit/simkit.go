@@ -7,12 +7,22 @@
 // among events that share a timestamp. Event handles can be cancelled, which
 // is required when an Elastic Control Command moves a running job's kill-by
 // time and its completion event must be rescheduled.
+//
+// The kernel recycles event records through a free list so the steady-state
+// schedule/dispatch cycle performs no heap allocation. Handles carry a
+// generation counter: a handle taken out on a record that has since fired
+// (or been cancelled) and been reissued for a new event can never cancel
+// the new occupant.
+//
+// Cancellation is lazy: a cancelled event's record is voided (generation
+// bump) but its queue entry stays until it surfaces at the top, where it is
+// discarded. The queue therefore never needs random-access removal, its
+// entries embed the (time, seq) ordering key — no pointer chasing in the
+// hot comparisons — and sift operations never write back into event
+// records. A compaction pass bounds the garbage when cancellations dominate.
 package simkit
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulation time in integer seconds. Integer time keeps event
 // ordering exact and runs reproducible for a given seed.
@@ -21,28 +31,67 @@ type Time = int64
 // Handler is the callback attached to a scheduled event.
 type Handler func(now Time)
 
-// Event is a scheduled occurrence. Events are ordered by (Time, sequence);
-// the sequence number preserves FIFO order of same-time events.
-type Event struct {
-	time      Time
-	seq       uint64
-	index     int // heap index; -1 once popped or cancelled
-	cancelled bool
-	fn        Handler
+// ArgHandler is a handler that receives a caller-supplied argument. AtArg
+// lets long-lived callers (the engine's arrival/completion paths) schedule
+// with one shared ArgHandler instead of allocating a fresh closure per
+// event.
+type ArgHandler func(now Time, arg any)
+
+// event is one scheduled occurrence's record. Records are pooled: gen
+// increments each time the record is voided (fired, cancelled, or
+// recycled), invalidating outstanding handles.
+type event struct {
+	time Time
+	gen  uint64
+	fn   Handler
+	afn  ArgHandler
+	arg  any
 }
 
-// Time returns the time the event fires (or was going to fire).
-func (e *Event) Time() Time { return e.time }
+// Handle identifies one scheduled event. The zero Handle is valid and
+// refers to no event. Handles stay safe after the event fires or is
+// cancelled: the record's generation counter has moved on, so a stale
+// Cancel is a no-op even if the record has been reissued.
+type Handle struct {
+	ev  *event
+	gen uint64
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Scheduled reports whether the handle's event is still pending.
+func (h Handle) Scheduled() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+// Time returns the pending event's fire time; ok is false if the event has
+// already fired or been cancelled.
+func (h Handle) Time() (t Time, ok bool) {
+	if !h.Scheduled() {
+		return 0, false
+	}
+	return h.ev.time, true
+}
+
+// chunkShift sizes the event arena's chunks (1<<chunkShift records each).
+const chunkShift = 7
 
 // Engine is the event loop. The zero value is not usable; use New.
+//
+// Event records live in chunked arenas and are addressed by a small integer
+// id. Queue entries carry the id, not a pointer, so the queue is a
+// pointer-free array: sift operations move plain bytes with no GC write
+// barriers, and the collector never scans the queue.
 type Engine struct {
 	now     Time
 	seq     uint64
 	queue   eventHeap
 	stepped uint64 // events dispatched
+	live    int    // scheduled, uncancelled events
+	dead    int    // cancelled entries still buried in the queue
+	chunks  [][]event
+	freeIDs []int32
+}
+
+// at returns the record for an event id.
+func (e *Engine) at(id int32) *event {
+	return &e.chunks[id>>chunkShift][id&(1<<chunkShift-1)]
 }
 
 // New returns an empty engine with the clock at 0.
@@ -56,57 +105,139 @@ func (e *Engine) Now() Time { return e.now }
 // Dispatched returns the number of events dispatched so far.
 func (e *Engine) Dispatched() uint64 { return e.stepped }
 
-// Pending returns the number of scheduled (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled events. O(1): a live counter is
+// maintained across At, Cancel, and dispatch.
+func (e *Engine) Pending() int { return e.live }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // (t < Now) is an error in the caller; the engine panics to surface the bug
 // instead of silently reordering history.
-func (e *Engine) At(t Time, fn Handler) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("simkit: scheduling event at %d before now %d", t, e.now))
-	}
-	ev := &Event{time: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+func (e *Engine) At(t Time, fn Handler) Handle {
+	ev := e.at(e.acquire(t))
+	ev.fn = fn
+	return Handle{ev, ev.gen}
+}
+
+// AtArg schedules fn(t, arg) at absolute time t. Unlike At, the callback is
+// a shared function plus an argument, so a caller dispatching many events
+// through one handler performs no per-event closure allocation.
+func (e *Engine) AtArg(t Time, fn ArgHandler, arg any) Handle {
+	ev := e.at(e.acquire(t))
+	ev.afn = fn
+	ev.arg = arg
+	return Handle{ev, ev.gen}
 }
 
 // After schedules fn to run d seconds from now.
-func (e *Engine) After(d Time, fn Handler) *Event {
+func (e *Engine) After(d Time, fn Handler) Handle {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op and returns false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.cancelled || ev.index < 0 {
+// acquire takes an event record from the free list (or grows the arena by
+// one chunk), stamps it, and enqueues it.
+func (e *Engine) acquire(t Time) int32 {
+	if t < e.now {
+		panic(fmt.Sprintf("simkit: scheduling event at %d before now %d", t, e.now))
+	}
+	if len(e.freeIDs) == 0 {
+		// Grow the arena a chunk at a time: cold-start scheduling costs one
+		// allocation per 1<<chunkShift events, not one per event.
+		base := int32(len(e.chunks)) << chunkShift
+		e.chunks = append(e.chunks, make([]event, 1<<chunkShift))
+		for i := int32(1<<chunkShift - 1); i >= 0; i-- {
+			e.freeIDs = append(e.freeIDs, base+i)
+		}
+	}
+	id := e.freeIDs[len(e.freeIDs)-1]
+	e.freeIDs = e.freeIDs[:len(e.freeIDs)-1]
+	ev := e.at(id)
+	ev.time = t
+	e.queue.push(entry{time: t, seq: e.seq, gen: ev.gen, id: id})
+	e.seq++
+	e.live++
+	return id
+}
+
+// recycle invalidates outstanding handles and returns the record to the
+// free list. Callback references are dropped so the arena does not pin
+// closures or arguments.
+func (e *Engine) recycle(id int32) {
+	ev := e.at(id)
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	e.freeIDs = append(e.freeIDs, id)
+}
+
+// Cancel voids a scheduled event. Cancelling an already-fired,
+// already-cancelled, or zero handle is a no-op and returns false — the
+// generation check makes a stale handle harmless even after its record has
+// been reissued. The queue entry is dropped lazily when it surfaces; if
+// cancelled entries come to dominate the queue, it is compacted.
+func (e *Engine) Cancel(h Handle) bool {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen {
 		return false
 	}
-	ev.cancelled = true
-	heap.Remove(&e.queue, ev.index)
+	// Void the record but keep it out of the pool: its queue entry still
+	// references it and will release it when popped.
+	ev.gen++
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	e.live--
+	e.dead++
+	if e.dead > 64 && e.dead > len(e.queue)/2 {
+		e.compact()
+	}
 	return true
+}
+
+// compact removes every cancelled entry from the queue and restores the
+// heap invariant. Pop order depends only on the (time, seq) total order, so
+// rebuilding the heap layout cannot change dispatch order.
+func (e *Engine) compact() {
+	q := e.queue[:0]
+	for _, en := range e.queue {
+		if en.gen == e.at(en.id).gen {
+			q = append(q, en)
+		} else {
+			e.recycle(en.id)
+		}
+	}
+	e.queue = q
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+	e.dead = 0
 }
 
 // Step dispatches the single earliest pending event and advances the clock
 // to its timestamp. It returns false when no events remain.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancelled {
+	for len(e.queue) > 0 {
+		en := e.queue.pop()
+		ev := e.at(en.id)
+		if ev.gen != en.gen {
+			// Cancelled: release the record, keep looking.
+			e.dead--
+			e.recycle(en.id)
 			continue
 		}
-		e.now = ev.time
+		e.now = en.time
 		e.stepped++
-		ev.fn(e.now)
+		e.live--
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
+		// Recycle before invoking: the record is reusable by events the
+		// handler schedules, and the generation bump voids the fired
+		// event's handles.
+		e.recycle(en.id)
+		if afn != nil {
+			afn(e.now, arg)
+		} else {
+			fn(e.now)
+		}
 		return true
 	}
 	return false
@@ -115,7 +246,7 @@ func (e *Engine) Step() bool {
 // StepTimestamp dispatches every event that shares the earliest pending
 // timestamp, including events scheduled *at that same timestamp* by the
 // handlers themselves. It returns the timestamp and true, or (0, false) if
-// the queue was empty. This is the granularity at which the scheduler is
+// no events were pending. This is the granularity at which the scheduler is
 // re-invoked: once per distinct simulated instant.
 func (e *Engine) StepTimestamp() (Time, bool) {
 	t, ok := e.PeekTime()
@@ -123,24 +254,25 @@ func (e *Engine) StepTimestamp() (Time, bool) {
 		return 0, false
 	}
 	for {
-		nt, ok := e.PeekTime()
-		if !ok || nt != t {
-			break
+		tt, ok := e.PeekTime()
+		if !ok || tt != t {
+			return t, true
 		}
 		e.Step()
 	}
-	return t, true
 }
 
-// PeekTime returns the timestamp of the earliest pending event.
+// PeekTime returns the timestamp of the earliest pending event, pruning
+// any cancelled entries that have reached the top of the queue.
 func (e *Engine) PeekTime() (Time, bool) {
-	for e.queue.Len() > 0 {
-		ev := e.queue[0]
-		if ev.cancelled {
-			heap.Pop(&e.queue)
+	for len(e.queue) > 0 {
+		en := &e.queue[0]
+		if en.gen != e.at(en.id).gen {
+			e.dead--
+			e.recycle(e.queue.pop().id)
 			continue
 		}
-		return ev.time, true
+		return en.time, true
 	}
 	return 0, false
 }
@@ -166,36 +298,74 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// eventHeap is a min-heap on (time, seq).
-type eventHeap []*Event
+// entry is one queue slot. It embeds the ordering key so heap comparisons
+// never chase the event record, and carries the generation the event was
+// scheduled with so a cancelled record (generation moved on) is
+// recognizable when the entry surfaces. Entries hold the record's arena id
+// rather than a pointer, keeping the queue pointer-free.
+type entry struct {
+	time Time
+	seq  uint64
+	gen  uint64
+	id   int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
+// eventHeap is a min-heap on (time, seq), implemented directly (no
+// container/heap) so push and pop stay monomorphic. seq is unique across
+// all entries, so the pop order is a total order independent of the heap's
+// internal layout.
+type eventHeap []entry
 
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
-func (h *eventHeap) Pop() any {
+func (h *eventHeap) push(en entry) {
+	*h = append(*h, en)
+	h.siftUp(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() entry {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	n := len(old) - 1
+	en := old[0]
+	old[0] = old[n]
+	*h = old[:n]
+	if n > 1 {
+		(*h).siftDown(0)
+	}
+	return en
 }
