@@ -7,6 +7,15 @@
 //	cwfgen -ps 0.2 -load 0.9 | simrun -algos Delayed-LOS -cs 8
 //
 // With no file argument the workload is read from stdin.
+//
+// Long runs can be split across invocations: -until stops the simulation
+// after the last event at or before the given time (reporting partial
+// metrics), -checkpoint writes the stopped session's complete state to a
+// file, and -resume continues from such a file (no workload input needed —
+// the snapshot is self-contained, including the algorithm):
+//
+//	simrun -algos Delayed-LOS -until 50000 -checkpoint part1.snap trace.cwf
+//	simrun -resume part1.snap
 package main
 
 import (
@@ -34,11 +43,21 @@ func main() {
 		jobsOut   = flag.String("jobs", "", "write per-job placement records of the FIRST algorithm as TSV ('-' for stdout)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		until     = flag.Int64("until", -1, "stop after the last event at or before this time and report partial metrics (-1 = run to completion)")
+		checkFile = flag.String("checkpoint", "", "write the stopped session's snapshot to this file (single algorithm only)")
+		resumeF   = flag.String("resume", "", "resume from a snapshot file instead of reading a workload")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(es.AlgorithmNames(), "\n"))
+		return
+	}
+
+	if *resumeF != "" {
+		if err := resumeRun(*resumeF, *until, *checkFile, *cs, *lookahead); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -79,9 +98,14 @@ func main() {
 	fmt.Printf("workload: %d jobs (%d dedicated), %d ECCs, offered load %.3f (machine %d x unit %d)\n",
 		len(w.Jobs), w.NumDedicated(), len(w.Commands), w.Load(*m), *m, *unit)
 
+	algos := strings.Split(*algosFlag, ",")
+	if *checkFile != "" && len(algos) > 1 {
+		fatal(fmt.Errorf("-checkpoint requires a single algorithm, got %d", len(algos)))
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "algorithm\tutil\tmean wait (s)\tmean run (s)\tslowdown\tded on-time\tECCs applied")
-	for i, name := range strings.Split(*algosFlag, ",") {
+	fmt.Fprintln(tw, resultHeader)
+	for i, name := range algos {
 		name = strings.TrimSpace(name)
 		opt := es.Options{M: *m, Unit: *unit, Cs: *cs, Lookahead: *lookahead, MaxECCPerJob: *maxECC}
 		var rec *es.Trace
@@ -89,13 +113,17 @@ func main() {
 			rec = es.NewTrace(*m, *unit)
 			opt.Trace = rec
 		}
-		res, err := es.Simulate(w, name, opt)
+		var res *es.Result
+		var err error
+		if *until >= 0 || *checkFile != "" {
+			res, err = runCapped(w, name, opt, *until, *checkFile)
+		} else {
+			res, err = es.Simulate(w, name, opt)
+		}
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
-		s := res.Summary
-		fmt.Fprintf(tw, "%s\t%.4f\t%.1f\t%.1f\t%.3f\t%.2f\t%d\n",
-			name, s.Utilization, s.MeanWait, s.MeanRun, s.Slowdown, s.DedicatedOnTime, res.ECC.Applied)
+		fmt.Fprint(tw, resultRow(name, res))
 		if rec != nil && *gantt != "" {
 			if *gantt == "-" {
 				fmt.Println(rec.ASCII(100))
@@ -112,6 +140,96 @@ func main() {
 		}
 	}
 	tw.Flush()
+}
+
+const resultHeader = "algorithm\tutil\tmean wait (s)\tmean run (s)\tslowdown\tded on-time\tECCs applied"
+
+// resultRow renders one algorithm's tabwriter line.
+func resultRow(name string, res *es.Result) string {
+	s := res.Summary
+	return fmt.Sprintf("%s\t%.4f\t%.1f\t%.1f\t%.3f\t%.2f\t%d\n",
+		name, s.Utilization, s.MeanWait, s.MeanRun, s.Slowdown, s.DedicatedOnTime, res.ECC.Applied)
+}
+
+// runCapped drives the workload through a session so the run can be capped
+// at -until and checkpointed.
+func runCapped(w *es.Workload, name string, opt es.Options, until int64, checkFile string) (*es.Result, error) {
+	sess, err := es.NewSession(name, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Load(w); err != nil {
+		return nil, err
+	}
+	if err := drive(sess, until, checkFile); err != nil {
+		return nil, err
+	}
+	return sess.Result()
+}
+
+// drive advances a session to the cap (or completion) and writes the
+// checkpoint if requested.
+func drive(sess *es.Session, until int64, checkFile string) error {
+	var err error
+	if until >= 0 {
+		err = sess.RunUntil(until)
+	} else {
+		err = sess.Run()
+	}
+	if err != nil {
+		return err
+	}
+	if checkFile == "" {
+		return nil
+	}
+	sn, err := sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(checkFile)
+	if err != nil {
+		return err
+	}
+	if err := sn.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "simrun: wrote %s (t=%d, %d events pending)\n", checkFile, sess.Now(), sess.Pending())
+	return nil
+}
+
+// resumeRun continues a checkpointed session: the snapshot is
+// self-contained, so no workload input is read.
+func resumeRun(path string, until int64, checkFile string, cs, lookahead int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sn, err := es.DecodeSessionSnapshot(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	sess, err := es.ResumeSnapshot(sn, es.Options{Cs: cs, Lookahead: lookahead})
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "simrun: resumed %s under %s at t=%d (%d jobs, %d events pending)\n",
+		path, sn.Scheduler, sess.Now(), len(sn.Jobs), sess.Pending())
+	if err := drive(sess, until, checkFile); err != nil {
+		return fmt.Errorf("%s: %w", sn.Scheduler, err)
+	}
+	res, err := sess.Result()
+	if err != nil {
+		return fmt.Errorf("%s: %w", sn.Scheduler, err)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, resultHeader)
+	fmt.Fprint(tw, resultRow(sn.Scheduler, res))
+	return tw.Flush()
 }
 
 // autoUnit derives the allocation quantum as the gcd of the machine size

@@ -1,10 +1,68 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	es "elastisched"
 )
+
+// TestCheckpointResumeMatchesUninterrupted is the CLI-level round trip:
+// run capped at a mid-trace time with a checkpoint file, resume from that
+// file, and the combined run's result must deep-equal the uninterrupted
+// simulation.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	var specs []es.JobSpec
+	for i := 0; i < 40; i++ {
+		specs = append(specs, es.JobSpec{
+			ID: i + 1, Size: 32 * (1 + i%6), Duration: int64(600 + 137*i),
+			Arrival: int64(200 * i), RequestedStart: -1,
+		})
+	}
+	w, err := es.BuildWorkload(specs, []es.CommandSpec{
+		{JobID: 10, Issue: 2100, Type: "ET", Amount: 900},
+		{JobID: 30, Issue: 6200, Type: "RT", Amount: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := es.Options{M: 320, Unit: 32}
+	want, err := es.Simulate(w, "Delayed-LOS-E", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := filepath.Join(t.TempDir(), "mid.snap")
+	partial, err := runCapped(w, "Delayed-LOS-E", opt, 3500, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Summary.Jobs >= want.Summary.Jobs {
+		t.Fatalf("cap at t=3500 did not stop early: %d of %d jobs done", partial.Summary.Jobs, want.Summary.Jobs)
+	}
+
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sess, err := es.ResumeSession(f, es.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed run diverged from uninterrupted run:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
 
 func TestAutoUnit(t *testing.T) {
 	w, err := es.BuildWorkload([]es.JobSpec{

@@ -62,6 +62,12 @@ type (
 	// Trace records per-job placement during a run and renders ASCII/SVG
 	// Gantt charts of the schedule.
 	Trace = trace.Recorder
+	// Session is a live, incrementally driven simulation: step it, inject
+	// jobs and commands online, snapshot and restore it. See NewSession.
+	Session = engine.Session
+	// SessionSnapshot is the complete captured state of a Session, JSON
+	// encodable via its Encode method and restorable via ResumeSession.
+	SessionSnapshot = engine.Snapshot
 )
 
 // NewTrace returns a placement recorder for a machine of m processors in
@@ -206,6 +212,90 @@ func Simulate(w *Workload, algorithm string, opt Options) (*Result, error) {
 		cfg.Observer = opt.Trace
 	}
 	return engine.Run(w, cfg)
+}
+
+// NewSession builds a live simulation under the named algorithm, without
+// admitting any work yet. Feed it a workload with Load, or individual jobs
+// and commands with Inject/InjectCommand, and drive it with Step, RunUntil
+// or Run; Snapshot captures its complete state at any point. Simulate is
+// the one-shot composition of NewSession + Load + Run + Result.
+func NewSession(algorithm string, opt Options) (*Session, error) {
+	algo, err := experiment.ByName(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if opt.M == 0 {
+		opt.M = 320
+	}
+	if opt.Unit == 0 {
+		opt.Unit = 32
+	}
+	pt := experiment.Point{Cs: opt.Cs, Lookahead: opt.Lookahead}
+	cfg := engine.Config{
+		M:            opt.M,
+		Unit:         opt.Unit,
+		Scheduler:    algo.New(pt),
+		ProcessECC:   algo.ECC,
+		MaxECCPerJob: opt.MaxECCPerJob,
+		Paranoid:     opt.Paranoid,
+		Contiguous:   opt.Contiguous,
+		Migrate:      opt.Migrate,
+	}
+	if opt.Trace != nil {
+		cfg.Observer = opt.Trace
+	}
+	return engine.New(cfg)
+}
+
+// ResumeSession reads a snapshot written by (*SessionSnapshot).Encode and
+// reconstructs the captured session: machine geometry and feature flags
+// come from the snapshot, the scheduling policy is rebuilt by the captured
+// algorithm name (opt.Cs and opt.Lookahead parameterize it; geometry
+// fields of opt are ignored). The returned session continues exactly where
+// the captured one stood.
+func ResumeSession(r io.Reader, opt Options) (*Session, error) {
+	sn, err := DecodeSessionSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return ResumeSnapshot(sn, opt)
+}
+
+// DecodeSessionSnapshot reads a snapshot previously written by
+// (*SessionSnapshot).Encode, without restoring it — for inspecting the
+// captured algorithm, clock, or job states before resuming.
+func DecodeSessionSnapshot(r io.Reader) (*SessionSnapshot, error) {
+	return engine.DecodeSnapshot(r)
+}
+
+// ResumeSnapshot restores an already-decoded snapshot; see ResumeSession.
+func ResumeSnapshot(sn *SessionSnapshot, opt Options) (*Session, error) {
+	algo, err := experiment.ByName(sn.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	pt := experiment.Point{Cs: opt.Cs, Lookahead: opt.Lookahead}
+	cfg := engine.Config{
+		M:            sn.M,
+		Unit:         sn.Unit,
+		Scheduler:    algo.New(pt),
+		ProcessECC:   sn.ProcessECC,
+		MaxECCPerJob: sn.MaxECCPerJob,
+		Paranoid:     opt.Paranoid,
+		Contiguous:   sn.Contiguous,
+		Migrate:      sn.Migrate,
+	}
+	if opt.Trace != nil {
+		cfg.Observer = opt.Trace
+	}
+	s, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Restore(sn); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // SimulateWith runs the workload under a caller-provided policy

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
 	"elastisched/internal/sched"
 )
 
@@ -79,4 +83,54 @@ func (a *Adaptive) Schedule(ctx *sched.Context) {
 		return
 	}
 	a.delayed.Schedule(ctx)
+}
+
+// adaptiveState is the serialized logical state of the selector: the EWMA
+// estimate and the set of observed job IDs. The embedded Delayed-LOS and
+// EASY delegates are stateless beyond their Scratch caches, so they carry
+// nothing.
+type adaptiveState struct {
+	Version int     `json:"version"`
+	Est     float64 `json:"est"`
+	Seen    []int   `json:"seen,omitempty"`
+	Inited  bool    `json:"inited"`
+}
+
+// adaptiveStateVersion stamps the Adaptive snapshot encoding.
+const adaptiveStateVersion = 1
+
+// SnapshotState implements sched.Snapshotter: Adaptive is the one built-in
+// policy with logical cross-cycle state (the small-job-fraction estimate
+// and which jobs it has already observed).
+func (a *Adaptive) SnapshotState() ([]byte, error) {
+	st := adaptiveState{Version: adaptiveStateVersion, Est: a.est, Inited: a.inited}
+	for id := range a.seen {
+		st.Seen = append(st.Seen, id)
+	}
+	sort.Ints(st.Seen) // deterministic bytes regardless of map order
+	return json.Marshal(st)
+}
+
+// RestoreState implements sched.Snapshotter.
+func (a *Adaptive) RestoreState(b []byte) error {
+	var st adaptiveState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("adaptive: decoding state: %v", err)
+	}
+	if st.Version != adaptiveStateVersion {
+		return fmt.Errorf("adaptive: state version %d, want %d", st.Version, adaptiveStateVersion)
+	}
+	if st.Inited && !a.inited {
+		// Run the lazy constructor so the delegates exist before the first
+		// post-restore cycle.
+		a.delayed = NewDelayedLOS(a.Cs)
+		a.easy = &sched.EASY{}
+		a.seen = make(map[int]bool, len(st.Seen))
+		a.inited = true
+	}
+	a.est = st.Est
+	for _, id := range st.Seen {
+		a.seen[id] = true
+	}
+	return nil
 }

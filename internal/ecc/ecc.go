@@ -108,6 +108,37 @@ func NewProcessor(maxPerJob int) *Processor {
 	return &Processor{MaxPerJob: maxPerJob, applied: make(map[int]int)}
 }
 
+// Snapshot is the processor's restorable state: the aggregate statistics
+// and the per-job applied-command counts the MaxPerJob budget is enforced
+// against.
+type Snapshot struct {
+	MaxPerJob int         `json:"max_per_job,omitempty"`
+	Stats     Stats       `json:"stats"`
+	Applied   map[int]int `json:"applied,omitempty"`
+}
+
+// Snapshot captures the processor state for NewProcessorFromSnapshot.
+func (p *Processor) Snapshot() Snapshot {
+	s := Snapshot{MaxPerJob: p.MaxPerJob, Stats: p.Stats}
+	if len(p.applied) > 0 {
+		s.Applied = make(map[int]int, len(p.applied))
+		for id, n := range p.applied {
+			s.Applied[id] = n
+		}
+	}
+	return s
+}
+
+// NewProcessorFromSnapshot reconstructs a processor mid-run.
+func NewProcessorFromSnapshot(s Snapshot) *Processor {
+	p := NewProcessor(s.MaxPerJob)
+	p.Stats = s.Stats
+	for id, n := range s.Applied {
+		p.applied[id] = n
+	}
+	return p
+}
+
 // Apply executes one command against the target and returns what happened.
 func (p *Processor) Apply(c cwf.Command, t Target) Outcome {
 	p.Stats.Total++

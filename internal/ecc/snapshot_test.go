@@ -1,0 +1,49 @@
+package ecc
+
+import (
+	"reflect"
+	"testing"
+
+	"elastisched/internal/cwf"
+	"elastisched/internal/job"
+)
+
+// TestSnapshotRoundTripPreservesBudget checks that a restored processor
+// carries both the aggregate statistics and the per-job applied counts the
+// MaxPerJob budget is enforced against.
+func TestSnapshotRoundTripPreservesBudget(t *testing.T) {
+	ft := newTarget()
+	ft.waiting[1] = &job.Job{ID: 1, Size: 32, Dur: 100, ReqStart: -1}
+	ft.waiting[2] = &job.Job{ID: 2, Size: 32, Dur: 100, ReqStart: -1}
+
+	p := NewProcessor(2)
+	p.Apply(cmd(1, cwf.ExtendTime, 10), ft)
+	p.Apply(cmd(1, cwf.ExtendTime, 10), ft) // job 1's budget now exhausted
+	p.Apply(cmd(2, cwf.ReduceTime, 10), ft)
+	p.Apply(cmd(9, cwf.ExtendTime, 10), ft) // unknown job
+
+	r := NewProcessorFromSnapshot(p.Snapshot())
+	if !reflect.DeepEqual(r.Stats, p.Stats) {
+		t.Errorf("stats diverged: %+v vs %+v", r.Stats, p.Stats)
+	}
+	// The restored processor must still refuse job 1 (budget spent) and
+	// still allow job 2 (one application left).
+	if out := r.Apply(cmd(1, cwf.ExtendTime, 5), ft); out != IgnoredLimit {
+		t.Errorf("job 1 after restore: %v, want ignored-limit", out)
+	}
+	if out := r.Apply(cmd(2, cwf.ExtendTime, 5), ft); out != Applied {
+		t.Errorf("job 2 after restore: %v, want applied", out)
+	}
+}
+
+func TestSnapshotIsolatedFromLiveProcessor(t *testing.T) {
+	ft := newTarget()
+	ft.waiting[1] = &job.Job{ID: 1, Size: 32, Dur: 100, ReqStart: -1}
+	p := NewProcessor(0)
+	p.Apply(cmd(1, cwf.ExtendTime, 10), ft)
+	s := p.Snapshot()
+	p.Apply(cmd(1, cwf.ExtendTime, 10), ft)
+	if s.Stats.Applied != 1 || s.Applied[1] != 1 {
+		t.Errorf("snapshot shares state with live processor: %+v", s)
+	}
+}

@@ -4,6 +4,14 @@
 // fixed point, and applies Elastic Control Commands through the ECC
 // processor for -E algorithm variants.
 //
+// The run lifecycle is a first-class Session: New(cfg) builds an empty
+// simulation, Load seeds it with a workload, Step/RunUntil/Run advance it
+// one instant, to a deadline, or to completion, Inject/InjectCommand admit
+// work online, Snapshot/Restore capture and reinstate the complete
+// simulation state, and Result reports the measured outcome. Run (the
+// package function) composes them into the one-shot execution the
+// experiment sweeps use.
+//
 // This is the role the GridSim + ALEA pair plays in the paper's Java
 // framework (Figure 3).
 package engine
@@ -41,6 +49,8 @@ type Config struct {
 	MaxCyclesPerInstant int
 	// Observer, when non-nil, receives placement events (dispatches,
 	// completions, resizes) — e.g. a trace.Recorder for Gantt rendering.
+	// Observers are not part of snapshots: a restored session reports only
+	// post-restore events to its observer.
 	Observer Observer
 	// Contiguous requires every allocation to be a contiguous node-group
 	// run (BlueGene-style partitioning, Section II): fragmentation can
@@ -58,6 +68,25 @@ type Config struct {
 	// successfully, skipping re-validation. Set by sweep drivers that replay
 	// one validated workload under many algorithms.
 	Prevalidated bool
+}
+
+// validate rejects unusable machine geometry up front, with the Unit
+// default already applied: clear errors here beat panics from deep inside
+// the machine layer on the first allocation.
+func (cfg *Config) validate() error {
+	if cfg.Scheduler == nil {
+		return errors.New("engine: no scheduler configured")
+	}
+	if cfg.M <= 0 {
+		return fmt.Errorf("engine: machine size %d must be positive", cfg.M)
+	}
+	if cfg.Unit > cfg.M {
+		return fmt.Errorf("engine: allocation unit %d exceeds machine size %d", cfg.Unit, cfg.M)
+	}
+	if cfg.M%cfg.Unit != 0 {
+		return fmt.Errorf("engine: allocation unit %d does not divide machine size %d", cfg.Unit, cfg.M)
+	}
+	return nil
 }
 
 // Observer receives placement events during a run.
@@ -90,8 +119,14 @@ type Result struct {
 	PeakFragmentedWaste int
 }
 
-// state is the live simulation.
-type state struct {
+// Session is a live, incrementally driven simulation. The zero value is
+// not usable; use New, then Load (or Restore, or Inject) to admit work.
+//
+// A Session is single-goroutine: it must not be shared without external
+// synchronization. Snapshots are only taken between steps — every public
+// method returns at an instant boundary, so any point the caller can
+// observe is a valid snapshot point.
+type Session struct {
 	cfg Config
 	eng *simkit.Engine
 
@@ -99,6 +134,13 @@ type state struct {
 	batch  *job.BatchQueue
 	ded    *job.DedicatedQueue
 	active *job.ActiveList
+
+	// jobs lists every job this session owns — Load clones plus injected
+	// jobs — in admission order. Snapshots reference jobs by index into it.
+	jobs []*job.Job
+	// ids dedups injected job IDs; built lazily on the first Inject so the
+	// sweep hot path (Load + Run only) never allocates it.
+	ids map[int]bool
 
 	// completion maps job ID -> pending completion event. Generated and
 	// trace job IDs are dense small integers, so the common representation
@@ -119,18 +161,23 @@ type state struct {
 	// so the hot paths schedule through simkit.AtArg without allocating a
 	// closure per event.
 	arriveH, completeH, commandH simkit.ArgHandler
+
+	// loaded latches after Load or Restore; failed latches the first
+	// unrecoverable error (livelock), after which the session is dead.
+	loaded bool
+	failed error
 }
 
 // noopWake is the dedicated-start wake event: it exists only to force a
 // scheduler cycle at the requested start instant.
 func noopWake(int64) {}
 
-func (s *state) arriveEv(now int64, arg any)   { s.arrive(arg.(*job.Job), now) }
-func (s *state) completeEv(now int64, arg any) { s.complete(arg.(*job.Job), now) }
-func (s *state) commandEv(now int64, arg any)  { s.command(*arg.(*cwf.Command), now) }
+func (s *Session) arriveEv(now int64, arg any)   { s.arrive(arg.(*job.Job), now) }
+func (s *Session) completeEv(now int64, arg any) { s.complete(arg.(*job.Job), now) }
+func (s *Session) commandEv(now int64, arg any)  { s.command(*arg.(*cwf.Command), now) }
 
 // setCompletion records the pending completion event for a job ID.
-func (s *state) setCompletion(id int, h simkit.Handle) {
+func (s *Session) setCompletion(id int, h simkit.Handle) {
 	if s.completion != nil {
 		s.completion[id] = h
 		return
@@ -138,8 +185,11 @@ func (s *state) setCompletion(id int, h simkit.Handle) {
 	s.completionMap[id] = h
 }
 
-// getCompletion returns the recorded completion handle (zero if none).
-func (s *state) getCompletion(id int) simkit.Handle {
+// getCompletion returns the recorded completion handle. The zero Handle
+// comes back for IDs with no pending completion; callers may pass it
+// straight to simkit's Cancel, which documents cancelling a zero or stale
+// handle as a no-op.
+func (s *Session) getCompletion(id int) simkit.Handle {
 	if s.completion != nil {
 		return s.completion[id]
 	}
@@ -147,7 +197,7 @@ func (s *state) getCompletion(id int) simkit.Handle {
 }
 
 // clearCompletion drops the record once the job has completed.
-func (s *state) clearCompletion(id int) {
+func (s *Session) clearCompletion(id int) {
 	if s.completion != nil {
 		s.completion[id] = simkit.Handle{}
 		return
@@ -155,27 +205,56 @@ func (s *state) clearCompletion(id int) {
 	delete(s.completionMap, id)
 }
 
-// Run executes the workload under the configuration and returns the
-// measured result. The workload is not mutated: jobs are cloned first, so
-// the same workload can be replayed under every algorithm of a comparison.
-func Run(w *cwf.Workload, cfg Config) (*Result, error) {
-	if cfg.Scheduler == nil {
-		return nil, errors.New("engine: no scheduler configured")
+// sizeCompletionTable picks the completion-table representation for the
+// given maximum job ID over n jobs: a flat slice for dense ID spaces, the
+// map fallback for sparse ones.
+func (s *Session) sizeCompletionTable(maxID, n int) {
+	if maxID < 4*n+1024 {
+		s.completion = make([]simkit.Handle, maxID+1)
+		s.completionMap = nil
+	} else {
+		s.completion = nil
+		s.completionMap = make(map[int]simkit.Handle, n)
 	}
+}
+
+// ensureCompletionCapacity grows the completion table to admit an injected
+// job ID, migrating from the flat slice to the map when the ID space turns
+// sparse.
+func (s *Session) ensureCompletionCapacity(id int) {
+	if s.completion == nil {
+		return // map handles any ID
+	}
+	if id < len(s.completion) {
+		return
+	}
+	if id < 4*(len(s.jobs)+1)+1024 {
+		// append gives amortized growth for sequential online IDs.
+		s.completion = append(s.completion, make([]simkit.Handle, id+1-len(s.completion))...)
+		return
+	}
+	m := make(map[int]simkit.Handle, len(s.jobs)+1)
+	for i, h := range s.completion {
+		if h.Scheduled() {
+			m[i] = h
+		}
+	}
+	s.completion = nil
+	s.completionMap = m
+}
+
+// New builds an empty session for the configuration: machine and queues
+// ready, clock at zero, no work admitted. It validates the configuration
+// (scheduler present, coherent machine geometry) up front.
+func New(cfg Config) (*Session, error) {
 	if cfg.Unit <= 0 {
 		cfg.Unit = 1
 	}
 	if cfg.MaxCyclesPerInstant <= 0 {
 		cfg.MaxCyclesPerInstant = 1 << 20
 	}
-	if !cfg.Prevalidated {
-		if err := w.Validate(cfg.M); err != nil {
-			return nil, err
-		}
-	}
-	hasDed := w.NumDedicated() > 0
-	if hasDed && !cfg.Scheduler.Heterogeneous() {
-		return nil, fmt.Errorf("engine: workload has dedicated jobs but %s is batch-only", cfg.Scheduler.Name())
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 
 	newMachine := machine.New
@@ -186,25 +265,17 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 	if cfg.Contiguous && cfg.Migrate {
 		mach.EnableMigration()
 	}
-	s := &state{
+	s := &Session{
 		cfg:       cfg,
 		eng:       simkit.New(),
 		mach:      mach,
 		batch:     job.NewBatchQueue(),
 		ded:       job.NewDedicatedQueue(),
 		active:    job.NewActiveList(),
-		collector: metrics.NewCollectorSized(cfg.M, len(w.Jobs)),
-	}
-	maxID := 0
-	for _, j := range w.Jobs {
-		if j.ID > maxID {
-			maxID = j.ID
-		}
-	}
-	if maxID < 4*len(w.Jobs)+1024 {
-		s.completion = make([]simkit.Handle, maxID+1)
-	} else {
-		s.completionMap = make(map[int]simkit.Handle, len(w.Jobs))
+		collector: metrics.NewCollector(cfg.M),
+		// Empty but non-nil: the dense representation, grown on demand by
+		// injections; Load and Restore size it for their job population.
+		completion: make([]simkit.Handle, 0),
 	}
 	if cfg.ProcessECC {
 		s.proc = ecc.NewProcessor(cfg.MaxECCPerJob)
@@ -219,19 +290,54 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 	s.arriveH = s.arriveEv
 	s.completeH = s.completeEv
 	s.commandH = s.commandEv
+	return s, nil
+}
+
+// pristine reports whether the session has neither admitted work nor
+// dispatched events — the only state Load and Restore accept.
+func (s *Session) pristine() bool {
+	return !s.loaded && len(s.jobs) == 0 && s.eng.Dispatched() == 0 && s.eng.Pending() == 0
+}
+
+// Load seeds the session with a workload. The workload is not mutated:
+// jobs are cloned first, so the same workload can be replayed under every
+// algorithm of a comparison. Load may be called once, on a fresh session.
+func (s *Session) Load(w *cwf.Workload) error {
+	if !s.pristine() {
+		return errors.New("engine: Load on a session that already has work")
+	}
+	if !s.cfg.Prevalidated {
+		if err := w.Validate(s.cfg.M); err != nil {
+			return err
+		}
+	}
+	if w.NumDedicated() > 0 && !s.cfg.Scheduler.Heterogeneous() {
+		return fmt.Errorf("engine: workload has dedicated jobs but %s is batch-only", s.cfg.Scheduler.Name())
+	}
+
+	s.collector = metrics.NewCollectorSized(s.cfg.M, len(w.Jobs))
+	maxID := 0
+	for _, j := range w.Jobs {
+		if j.ID > maxID {
+			maxID = j.ID
+		}
+	}
+	s.sizeCompletionTable(maxID, len(w.Jobs))
 
 	// Clone jobs (quantizing sizes to the machine unit) and schedule the
 	// arrival stream. One backing slice holds every clone; events carry
 	// pointers into it.
 	clones := make([]job.Job, len(w.Jobs))
+	s.jobs = make([]*job.Job, 0, len(w.Jobs))
 	for i, orig := range w.Jobs {
 		clones[i] = *orig
 		j := &clones[i]
 		q, err := s.mach.Quantize(j.Size)
 		if err != nil {
-			return nil, fmt.Errorf("engine: job %d: %v", j.ID, err)
+			return fmt.Errorf("engine: job %d: %v", j.ID, err)
 		}
 		j.Size = q
+		s.jobs = append(s.jobs, j)
 		s.eng.AtArg(j.Arrival, s.arriveH, j)
 	}
 	cmds := make([]cwf.Command, len(w.Commands))
@@ -239,32 +345,176 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 	for i := range cmds {
 		s.eng.AtArg(cmds[i].Issue, s.commandH, &cmds[i])
 	}
+	s.loaded = true
+	return nil
+}
 
-	// Main loop: drain each instant's events, then schedule to fixed point.
-	for {
-		if _, ok := s.eng.StepTimestamp(); !ok {
-			break
-		}
-		if err := s.scheduleInstant(); err != nil {
-			return nil, err
-		}
-		if cfg.Contiguous {
-			if w := s.mach.FragmentedWaste(); w > s.peakWaste {
-				s.peakWaste = w
-			}
-		}
-		if cfg.Paranoid {
-			if err := s.checkInvariants(); err != nil {
-				return nil, err
-			}
+// Inject admits one job online, at or after the current instant — the
+// entry point a serving layer feeds live submissions through. The job is
+// cloned and its size quantized; the caller's struct is not retained. The
+// injected arrival participates in scheduling exactly like a loaded one.
+func (s *Session) Inject(j *job.Job) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	if err := j.Validate(s.cfg.M); err != nil {
+		return err
+	}
+	if j.Class == job.Dedicated && !s.cfg.Scheduler.Heterogeneous() {
+		return fmt.Errorf("engine: job %d is dedicated but %s is batch-only", j.ID, s.cfg.Scheduler.Name())
+	}
+	if j.Arrival < s.eng.Now() {
+		return fmt.Errorf("engine: inject job %d with arrival %d before now %d", j.ID, j.Arrival, s.eng.Now())
+	}
+	if s.ids == nil {
+		s.ids = make(map[int]bool, len(s.jobs)+1)
+		for _, ex := range s.jobs {
+			s.ids[ex.ID] = true
 		}
 	}
+	if s.ids[j.ID] {
+		return fmt.Errorf("engine: inject duplicate job ID %d", j.ID)
+	}
 
-	if s.active.Len() != 0 || s.batch.Len() != 0 || s.ded.Len() != 0 {
+	clone := new(job.Job)
+	*clone = *j
+	q, err := s.mach.Quantize(clone.Size)
+	if err != nil {
+		return fmt.Errorf("engine: job %d: %v", clone.ID, err)
+	}
+	clone.Size = q
+	s.ensureCompletionCapacity(clone.ID)
+	s.jobs = append(s.jobs, clone)
+	s.ids[clone.ID] = true
+	s.eng.AtArg(clone.Arrival, s.arriveH, clone)
+	return nil
+}
+
+// InjectCommand admits one Elastic Control Command online, issued at or
+// after the current instant. A command referencing a job this session has
+// never seen is applied anyway and accounted as ignored by the processor,
+// matching how a stale command in a workload file is treated.
+func (s *Session) InjectCommand(c cwf.Command) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	if !c.Type.IsECC() {
+		return fmt.Errorf("engine: inject %v which is not an ECC", c)
+	}
+	if c.Amount <= 0 {
+		return fmt.Errorf("engine: inject %v with non-positive amount", c)
+	}
+	if c.Issue < s.eng.Now() {
+		return fmt.Errorf("engine: inject %v with issue %d before now %d", c, c.Issue, s.eng.Now())
+	}
+	cp := new(cwf.Command)
+	*cp = c
+	s.eng.AtArg(cp.Issue, s.commandH, cp)
+	return nil
+}
+
+// Step advances the simulation by exactly one instant: it dispatches every
+// event sharing the earliest pending timestamp, then runs the scheduler to
+// its fixed point there. It reports false when no events remain (the
+// simulation is complete) or an error is latched.
+func (s *Session) Step() (bool, error) {
+	if s.failed != nil {
+		return false, s.failed
+	}
+	if _, ok := s.eng.StepTimestamp(); !ok {
+		return false, nil
+	}
+	if err := s.afterInstant(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RunUntil advances the simulation through every instant with timestamp at
+// most deadline, then stops with later events still pending. The clock is
+// left at the last dispatched instant (it does not jump to the deadline).
+func (s *Session) RunUntil(deadline int64) error {
+	if s.failed != nil {
+		return s.failed
+	}
+	for {
+		t, ok := s.eng.PeekTime()
+		if !ok || t > deadline {
+			return nil
+		}
+		s.eng.StepTimestamp()
+		if err := s.afterInstant(); err != nil {
+			return err
+		}
+	}
+}
+
+// Run advances the simulation until no events remain.
+func (s *Session) Run() error {
+	if s.failed != nil {
+		return s.failed
+	}
+	for {
+		if _, ok := s.eng.StepTimestamp(); !ok {
+			return nil
+		}
+		if err := s.afterInstant(); err != nil {
+			return err
+		}
+	}
+}
+
+// afterInstant completes one instant after its events drained: scheduler
+// fixed point, fragmentation accounting, paranoid invariant checks.
+func (s *Session) afterInstant() error {
+	if err := s.scheduleInstant(); err != nil {
+		s.failed = err
+		return err
+	}
+	if s.cfg.Contiguous {
+		if w := s.mach.FragmentedWaste(); w > s.peakWaste {
+			s.peakWaste = w
+		}
+	}
+	if s.cfg.Paranoid {
+		if err := s.checkInvariants(); err != nil {
+			s.failed = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Now returns the current simulated time (also the ecc.Target clock).
+func (s *Session) Now() int64 { return s.eng.Now() }
+
+// NextEventTime returns the timestamp of the next pending event, if any.
+func (s *Session) NextEventTime() (int64, bool) { return s.eng.PeekTime() }
+
+// Pending returns the number of scheduled future events.
+func (s *Session) Pending() int { return s.eng.Pending() }
+
+// Waiting returns the number of queued (batch plus dedicated) jobs.
+func (s *Session) Waiting() int { return s.batch.Len() + s.ded.Len() }
+
+// Running returns the number of jobs currently on the machine.
+func (s *Session) Running() int { return s.active.Len() }
+
+// Done reports whether the simulation has drained every event.
+func (s *Session) Done() bool { return s.failed == nil && s.eng.Pending() == 0 }
+
+// Result reports the metrics accumulated so far. It may be called at any
+// instant boundary: mid-run it digests the partial history; once the event
+// queue has drained it is the run's final outcome, and jobs still queued
+// or running at that point are reported as a scheduler deadlock error.
+func (s *Session) Result() (*Result, error) {
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	if s.eng.Pending() == 0 && (s.active.Len() != 0 || s.batch.Len() != 0 || s.ded.Len() != 0) {
 		return nil, fmt.Errorf("engine: drained event queue with %d running, %d batch-queued, %d dedicated-queued jobs (scheduler deadlock)",
 			s.active.Len(), s.batch.Len(), s.ded.Len())
 	}
-
 	res := &Result{
 		Summary:              s.collector.Summary(),
 		DroppedECC:           s.dropped,
@@ -280,12 +530,30 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// Run executes the workload under the configuration and returns the
+// measured result: New + Load + Session.Run + Result. The workload is not
+// mutated, so the same workload can be replayed under every algorithm of a
+// comparison.
+func Run(w *cwf.Workload, cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Load(w); err != nil {
+		return nil, err
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	return s.Result()
+}
+
 // checkInvariants verifies, at the end of an instant, the machine's
 // internal consistency and the paper's Notations-box orderings: W^d sorted
 // by requested start, A sorted by residual (kill-by) time, W^b FIFO by
 // arrival after any rigid prefix, and the machine's used count matching the
 // active list.
-func (s *state) checkInvariants() error {
+func (s *Session) checkInvariants() error {
 	if err := s.mach.CheckInvariants(); err != nil {
 		return err
 	}
@@ -326,7 +594,7 @@ func (s *state) checkInvariants() error {
 }
 
 // scheduleInstant re-invokes the policy until it makes no progress.
-func (s *state) scheduleInstant() error {
+func (s *Session) scheduleInstant() error {
 	for iter := 0; ; iter++ {
 		if iter >= s.cfg.MaxCyclesPerInstant {
 			return fmt.Errorf("engine: scheduler %s made progress for %d consecutive cycles at t=%d (livelock)",
@@ -347,15 +615,15 @@ func (s *state) scheduleInstant() error {
 // debugging() first: a variadic call boxes its arguments at the call site,
 // which would put per-event allocations on the hot path even with no log
 // attached.
-func (s *state) debugf(format string, args ...any) {
+func (s *Session) debugf(format string, args ...any) {
 	fmt.Fprintf(s.cfg.DebugLog, format+"\n", args...)
 }
 
 // debugging reports whether a debug log is attached.
-func (s *state) debugging() bool { return s.cfg.DebugLog != nil }
+func (s *Session) debugging() bool { return s.cfg.DebugLog != nil }
 
 // arrive admits a job to its waiting queue.
-func (s *state) arrive(j *job.Job, now int64) {
+func (s *Session) arrive(j *job.Job, now int64) {
 	j.State = job.Waiting
 	j.LastSkip = -1
 	if s.debugging() {
@@ -377,7 +645,7 @@ func (s *state) arrive(j *job.Job, now int64) {
 // start dispatches a waiting job; invoked by the policy via Context.Start.
 // It returns false when a contiguous placement fails due to fragmentation
 // (after a compaction retry if migration is enabled).
-func (s *state) start(j *job.Job) bool {
+func (s *Session) start(j *job.Job) bool {
 	now := s.eng.Now()
 	if err := s.mach.Alloc(j.ID, j.Size); err != nil {
 		if !s.mach.Contiguous() || j.Size > s.mach.Free() {
@@ -413,7 +681,7 @@ func (s *state) start(j *job.Job) bool {
 }
 
 // complete retires a running job at its kill-by time.
-func (s *state) complete(j *job.Job, now int64) {
+func (s *Session) complete(j *job.Job, now int64) {
 	if err := s.mach.Release(j.ID); err != nil {
 		panic(fmt.Sprintf("engine: completing job %d: %v", j.ID, err))
 	}
@@ -431,7 +699,7 @@ func (s *state) complete(j *job.Job, now int64) {
 }
 
 // command processes one Elastic Control Command event.
-func (s *state) command(c cwf.Command, now int64) {
+func (s *Session) command(c cwf.Command, now int64) {
 	if s.proc == nil {
 		s.dropped++
 		if s.debugging() {
@@ -447,11 +715,8 @@ func (s *state) command(c cwf.Command, now int64) {
 
 // --- ecc.Target implementation -------------------------------------------
 
-// Now implements ecc.Target.
-func (s *state) Now() int64 { return s.eng.Now() }
-
 // FindWaiting implements ecc.Target.
-func (s *state) FindWaiting(id int) *job.Job {
+func (s *Session) FindWaiting(id int) *job.Job {
 	if j := s.batch.Find(id); j != nil {
 		return j
 	}
@@ -459,12 +724,12 @@ func (s *state) FindWaiting(id int) *job.Job {
 }
 
 // FindRunning implements ecc.Target.
-func (s *state) FindRunning(id int) *job.Job { return s.active.Find(id) }
+func (s *Session) FindRunning(id int) *job.Job { return s.active.Find(id) }
 
 // RetimeRunning implements ecc.Target: re-sort the active list and move the
 // completion event to the new effective termination time (the actual
 // runtime capped by the mutated kill-by time).
-func (s *state) RetimeRunning(j *job.Job) {
+func (s *Session) RetimeRunning(j *job.Job) {
 	now := s.eng.Now()
 	if j.EndTime < now {
 		j.EndTime = now
@@ -479,7 +744,7 @@ func (s *state) RetimeRunning(j *job.Job) {
 }
 
 // ResizeRunning implements ecc.Target.
-func (s *state) ResizeRunning(j *job.Job, newSize int) error {
+func (s *Session) ResizeRunning(j *job.Job, newSize int) error {
 	delta := newSize - j.Size
 	if err := s.mach.Resize(j.ID, newSize); err != nil {
 		return err
@@ -493,7 +758,7 @@ func (s *state) ResizeRunning(j *job.Job, newSize int) error {
 }
 
 // MachineTotal implements ecc.Target.
-func (s *state) MachineTotal() int { return s.mach.Total() }
+func (s *Session) MachineTotal() int { return s.mach.Total() }
 
 // MachineUnit implements ecc.Target.
-func (s *state) MachineUnit() int { return s.mach.Unit() }
+func (s *Session) MachineUnit() int { return s.mach.Unit() }

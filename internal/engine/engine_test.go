@@ -566,8 +566,8 @@ func TestDebugLogRecordsLifecycle(t *testing.T) {
 }
 
 func TestCheckInvariantsCatchesCorruption(t *testing.T) {
-	mk := func() *state {
-		return &state{
+	mk := func() *Session {
+		return &Session{
 			cfg:    Config{M: 320, Unit: 32, Scheduler: sched.FCFS{}},
 			mach:   machine.New(320, 32),
 			batch:  job.NewBatchQueue(),

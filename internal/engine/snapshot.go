@@ -1,0 +1,361 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"elastisched/internal/cwf"
+	"elastisched/internal/ecc"
+	"elastisched/internal/job"
+	"elastisched/internal/machine"
+	"elastisched/internal/metrics"
+	"elastisched/internal/sched"
+)
+
+// SnapshotVersion stamps the snapshot encoding. Decoders reject snapshots
+// from a different version rather than guessing at field semantics.
+const SnapshotVersion = 1
+
+// Event kinds in a snapshot.
+const (
+	evArrive   = "arrive"   // a job's arrival is still pending
+	evComplete = "complete" // a running job's completion
+	evCommand  = "command"  // an Elastic Control Command issue
+	evWake     = "wake"     // a bare scheduler wake (dedicated start time)
+)
+
+// EventSnap is one pending kernel event. Order within Snapshot.Events is
+// dispatch order: restore re-schedules them in sequence, which reproduces
+// the kernel's (time, seq) total order exactly.
+type EventSnap struct {
+	Kind string `json:"kind"`
+	Time int64  `json:"time"`
+	// Job indexes Snapshot.Jobs for arrive/complete events; -1 otherwise.
+	Job int `json:"job"`
+	// Cmd is the pending command for command events.
+	Cmd *cwf.Command `json:"cmd,omitempty"`
+}
+
+// Snapshot is the complete, self-contained state of a Session at an
+// instant boundary. It is plain data: JSON-encodable via Encode /
+// DecodeSnapshot, inspectable, and restorable into a fresh Session built
+// with an equivalent Config (same geometry and feature flags; the
+// scheduler may differ, enabling policy-swap resume — captured policy
+// state then does not carry over).
+type Snapshot struct {
+	Version   int    `json:"version"`
+	Scheduler string `json:"scheduler"`
+
+	// Machine geometry and feature flags the restoring Config must match.
+	M            int  `json:"m"`
+	Unit         int  `json:"unit"`
+	Contiguous   bool `json:"contiguous,omitempty"`
+	Migrate      bool `json:"migrate,omitempty"`
+	ProcessECC   bool `json:"process_ecc,omitempty"`
+	MaxECCPerJob int  `json:"max_ecc_per_job,omitempty"`
+
+	Now        int64  `json:"now"`
+	Dispatched uint64 `json:"dispatched"`
+	Cycles     uint64 `json:"cycles"`
+
+	DroppedECC  int `json:"dropped_ecc,omitempty"`
+	FragRejects int `json:"frag_rejects,omitempty"`
+	PeakWaste   int `json:"peak_waste,omitempty"`
+
+	// Jobs holds every job the session owns, in admission order, with all
+	// mutable fields (state, skip counts, ECC-adjusted requirements) as of
+	// the capture instant. Queue membership and events reference jobs by
+	// index into this slice.
+	Jobs []job.Job `json:"jobs"`
+	// Batch/Dedicated/Active list queue membership as Jobs indices in exact
+	// queue order.
+	Batch     []int `json:"batch,omitempty"`
+	Dedicated []int `json:"dedicated,omitempty"`
+	Active    []int `json:"active,omitempty"`
+
+	Events []EventSnap `json:"events,omitempty"`
+
+	Machine machine.Snapshot `json:"machine"`
+	Metrics metrics.Snapshot `json:"metrics"`
+	ECC     *ecc.Snapshot    `json:"ecc,omitempty"`
+
+	// SchedState is the policy's opaque sched.Snapshotter encoding; empty
+	// for stateless policies.
+	SchedState []byte `json:"sched_state,omitempty"`
+}
+
+// Encode writes the snapshot as JSON.
+func (sn *Snapshot) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(sn)
+}
+
+// DecodeSnapshot reads a snapshot previously written by Encode.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var sn Snapshot
+	if err := json.NewDecoder(r).Decode(&sn); err != nil {
+		return nil, fmt.Errorf("engine: decoding snapshot: %v", err)
+	}
+	if sn.Version != SnapshotVersion {
+		return nil, fmt.Errorf("engine: snapshot version %d, want %d", sn.Version, SnapshotVersion)
+	}
+	return &sn, nil
+}
+
+// Snapshot captures the session's complete state. It may be called at any
+// instant boundary — which is every point a caller can observe, since
+// Step, RunUntil and Run all return between instants. The session is not
+// perturbed and continues running; the snapshot shares nothing with it.
+func (s *Session) Snapshot() (*Snapshot, error) {
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	sn := &Snapshot{
+		Version:      SnapshotVersion,
+		Scheduler:    s.cfg.Scheduler.Name(),
+		M:            s.cfg.M,
+		Unit:         s.cfg.Unit,
+		Contiguous:   s.cfg.Contiguous,
+		Migrate:      s.cfg.Migrate,
+		ProcessECC:   s.cfg.ProcessECC,
+		MaxECCPerJob: s.cfg.MaxECCPerJob,
+		Now:          s.eng.Now(),
+		Dispatched:   s.eng.Dispatched(),
+		Cycles:       s.cycles,
+		DroppedECC:   s.dropped,
+		FragRejects:  s.fragRejects,
+		PeakWaste:    s.peakWaste,
+		Machine:      s.mach.Snapshot(),
+		Metrics:      s.collector.Snapshot(),
+	}
+	index := make(map[*job.Job]int, len(s.jobs))
+	sn.Jobs = make([]job.Job, len(s.jobs))
+	for i, j := range s.jobs {
+		index[j] = i
+		sn.Jobs[i] = *j
+	}
+	idxOf := func(list []*job.Job) ([]int, error) {
+		if len(list) == 0 {
+			return nil, nil
+		}
+		out := make([]int, len(list))
+		for i, j := range list {
+			idx, ok := index[j]
+			if !ok {
+				return nil, fmt.Errorf("engine: snapshot found queued job %d the session does not own", j.ID)
+			}
+			out[i] = idx
+		}
+		return out, nil
+	}
+	var err error
+	if sn.Batch, err = idxOf(s.batch.Jobs()); err != nil {
+		return nil, err
+	}
+	if sn.Dedicated, err = idxOf(s.ded.Jobs()); err != nil {
+		return nil, err
+	}
+	if sn.Active, err = idxOf(s.active.Jobs()); err != nil {
+		return nil, err
+	}
+
+	for _, pe := range s.eng.PendingInOrder() {
+		ev := EventSnap{Time: pe.Time, Job: -1}
+		switch arg := pe.Arg.(type) {
+		case nil:
+			ev.Kind = evWake
+		case *cwf.Command:
+			ev.Kind = evCommand
+			c := *arg
+			ev.Cmd = &c
+		case *job.Job:
+			idx, ok := index[arg]
+			if !ok {
+				return nil, fmt.Errorf("engine: snapshot found pending event for job %d the session does not own", arg.ID)
+			}
+			ev.Job = idx
+			// A job pointer argument is either the job's arrival or its
+			// completion; the completion is the one whose handle the
+			// completion table holds.
+			if pe.Handle == s.getCompletion(arg.ID) {
+				ev.Kind = evComplete
+			} else {
+				ev.Kind = evArrive
+			}
+		default:
+			return nil, fmt.Errorf("engine: snapshot found pending event with unknown argument %T", pe.Arg)
+		}
+		sn.Events = append(sn.Events, ev)
+	}
+
+	if s.proc != nil {
+		p := s.proc.Snapshot()
+		sn.ECC = &p
+	}
+	if sshot, ok := s.cfg.Scheduler.(sched.Snapshotter); ok {
+		b, err := sshot.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("engine: capturing %s state: %v", s.cfg.Scheduler.Name(), err)
+		}
+		sn.SchedState = b
+	}
+	return sn, nil
+}
+
+// Restore reinstates a captured snapshot into this session, which must be
+// fresh (no Load, no injections, no steps). The session's Config must
+// match the snapshot's geometry and feature flags. The configured
+// scheduler need not be the captured one — restoring under a different
+// policy is the supported policy-swap resume — but when it is the same
+// policy and the snapshot carries policy state, that state is reinstated
+// (and the policy must support it).
+//
+// After Restore the session continues exactly where the captured one
+// stood: running it to completion yields a Result identical to the
+// uninterrupted run's.
+func (s *Session) Restore(sn *Snapshot) error {
+	if !s.pristine() {
+		return fmt.Errorf("engine: Restore on a session that already has work")
+	}
+	if sn.Version != SnapshotVersion {
+		return fmt.Errorf("engine: snapshot version %d, want %d", sn.Version, SnapshotVersion)
+	}
+	switch {
+	case sn.M != s.cfg.M || sn.Unit != s.cfg.Unit:
+		return fmt.Errorf("engine: snapshot machine %d/%d, config %d/%d", sn.M, sn.Unit, s.cfg.M, s.cfg.Unit)
+	case sn.Contiguous != s.cfg.Contiguous || sn.Migrate != s.cfg.Migrate:
+		return fmt.Errorf("engine: snapshot allocation mode (contiguous=%v migrate=%v) differs from config (contiguous=%v migrate=%v)",
+			sn.Contiguous, sn.Migrate, s.cfg.Contiguous, s.cfg.Migrate)
+	case sn.ProcessECC != s.cfg.ProcessECC || sn.MaxECCPerJob != s.cfg.MaxECCPerJob:
+		return fmt.Errorf("engine: snapshot ECC processing (%v/%d) differs from config (%v/%d)",
+			sn.ProcessECC, sn.MaxECCPerJob, s.cfg.ProcessECC, s.cfg.MaxECCPerJob)
+	case sn.Metrics.M != s.cfg.M:
+		return fmt.Errorf("engine: snapshot metrics for machine %d, config %d", sn.Metrics.M, s.cfg.M)
+	}
+
+	// Jobs: one backing slice, pointers into it everywhere (queues, events,
+	// machine ownership is by ID).
+	clones := make([]job.Job, len(sn.Jobs))
+	copy(clones, sn.Jobs)
+	jobs := make([]*job.Job, len(clones))
+	maxID := 0
+	hetero := false
+	for i := range clones {
+		jobs[i] = &clones[i]
+		if clones[i].ID > maxID {
+			maxID = clones[i].ID
+		}
+		if clones[i].Class == job.Dedicated && clones[i].State != job.Finished {
+			hetero = true
+		}
+	}
+	if hetero && !s.cfg.Scheduler.Heterogeneous() {
+		return fmt.Errorf("engine: snapshot has live dedicated jobs but %s is batch-only", s.cfg.Scheduler.Name())
+	}
+
+	jobAt := func(idx int, where string) (*job.Job, error) {
+		if idx < 0 || idx >= len(jobs) {
+			return nil, fmt.Errorf("engine: snapshot %s references job index %d of %d", where, idx, len(jobs))
+		}
+		return jobs[idx], nil
+	}
+
+	mach, err := machine.FromSnapshot(sn.Machine)
+	if err != nil {
+		return fmt.Errorf("engine: restoring machine: %v", err)
+	}
+	if mach.Total() != s.cfg.M || mach.Unit() != s.cfg.Unit {
+		return fmt.Errorf("engine: snapshot machine state is %d/%d, config %d/%d", mach.Total(), mach.Unit(), s.cfg.M, s.cfg.Unit)
+	}
+
+	// All validation that can fail is done; commit to the session.
+	s.jobs = jobs
+	s.sizeCompletionTable(maxID, len(jobs))
+	s.mach = mach
+	s.ctx.Machine = mach
+	s.collector = metrics.NewCollectorFromSnapshot(sn.Metrics)
+	if s.cfg.ProcessECC {
+		if sn.ECC != nil {
+			s.proc = ecc.NewProcessorFromSnapshot(*sn.ECC)
+		} else {
+			s.proc = ecc.NewProcessor(s.cfg.MaxECCPerJob)
+		}
+	}
+	s.dropped = sn.DroppedECC
+	s.cycles = sn.Cycles
+	s.fragRejects = sn.FragRejects
+	s.peakWaste = sn.PeakWaste
+
+	for _, idx := range sn.Batch {
+		j, err := jobAt(idx, "batch queue")
+		if err != nil {
+			return err
+		}
+		s.batch.Push(j) // plain tail append: reproduces captured order, rigid prefix included
+	}
+	for _, idx := range sn.Dedicated {
+		j, err := jobAt(idx, "dedicated queue")
+		if err != nil {
+			return err
+		}
+		s.ded.Push(j)
+	}
+	for _, idx := range sn.Active {
+		j, err := jobAt(idx, "active list")
+		if err != nil {
+			return err
+		}
+		s.active.Insert(j)
+	}
+
+	// Re-schedule pending events in captured dispatch order: the kernel
+	// assigns sequence numbers monotonically, so this order IS the restored
+	// dispatch order.
+	for _, ev := range sn.Events {
+		if ev.Time < sn.Now {
+			return fmt.Errorf("engine: snapshot event at t=%d before snapshot time %d", ev.Time, sn.Now)
+		}
+		switch ev.Kind {
+		case evArrive:
+			j, err := jobAt(ev.Job, "arrival event")
+			if err != nil {
+				return err
+			}
+			s.eng.AtArg(ev.Time, s.arriveH, j)
+		case evComplete:
+			j, err := jobAt(ev.Job, "completion event")
+			if err != nil {
+				return err
+			}
+			if j.State != job.Running {
+				return fmt.Errorf("engine: snapshot completion for job %d in state %v", j.ID, j.State)
+			}
+			s.setCompletion(j.ID, s.eng.AtArg(ev.Time, s.completeH, j))
+		case evCommand:
+			if ev.Cmd == nil {
+				return fmt.Errorf("engine: snapshot command event at t=%d without a command", ev.Time)
+			}
+			cp := new(cwf.Command)
+			*cp = *ev.Cmd
+			s.eng.AtArg(ev.Time, s.commandH, cp)
+		case evWake:
+			s.eng.At(ev.Time, noopWake)
+		default:
+			return fmt.Errorf("engine: snapshot event kind %q unknown", ev.Kind)
+		}
+	}
+	s.eng.RestoreClock(sn.Now, sn.Dispatched)
+
+	if len(sn.SchedState) > 0 && sn.Scheduler == s.cfg.Scheduler.Name() {
+		sshot, ok := s.cfg.Scheduler.(sched.Snapshotter)
+		if !ok {
+			return fmt.Errorf("engine: snapshot carries %s state but the configured policy cannot restore it", sn.Scheduler)
+		}
+		if err := sshot.RestoreState(sn.SchedState); err != nil {
+			return fmt.Errorf("engine: restoring %s state: %v", sn.Scheduler, err)
+		}
+	}
+	s.loaded = true
+	return nil
+}

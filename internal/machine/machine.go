@@ -410,6 +410,102 @@ func (m *Machine) Groups() []int {
 	return out
 }
 
+// OwnerSnap records one job's allocation in a Snapshot: the node-group
+// indices it holds, in allocation order (the order matters — Resize shrinks
+// from the tail and Compact rewrites in place, so reconstructing it from
+// the group map alone would lose it).
+type OwnerSnap struct {
+	JobID  int   `json:"job_id"`
+	Groups []int `json:"groups"`
+}
+
+// Snapshot is the machine's complete restorable state. FreeStack is carried
+// verbatim because its order determines which groups future allocations
+// receive: restoring it exactly keeps a resumed run's placements identical
+// to the uninterrupted run's.
+type Snapshot struct {
+	Total      int         `json:"total"`
+	Unit       int         `json:"unit"`
+	Contiguous bool        `json:"contiguous,omitempty"`
+	Migratory  bool        `json:"migratory,omitempty"`
+	Groups     []int       `json:"groups"`
+	FreeStack  []int       `json:"free_stack,omitempty"`
+	Owners     []OwnerSnap `json:"owners,omitempty"`
+	Migrations int         `json:"migrations,omitempty"`
+}
+
+// Snapshot captures the machine state for later FromSnapshot restoration.
+func (m *Machine) Snapshot() Snapshot {
+	s := Snapshot{
+		Total:      m.total,
+		Unit:       m.unit,
+		Contiguous: m.contiguous,
+		Migratory:  m.migratory,
+		Groups:     append([]int(nil), m.groups...),
+		Migrations: m.migrations,
+	}
+	if !m.contiguous {
+		s.FreeStack = append([]int(nil), m.freeStack...)
+	}
+	for id, idx := range m.owner {
+		if idx != nil {
+			s.Owners = append(s.Owners, OwnerSnap{JobID: id, Groups: append([]int(nil), idx...)})
+		}
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a machine from a Snapshot and verifies its
+// internal consistency, so a corrupted or hand-edited snapshot is rejected
+// instead of silently producing an inconsistent simulation.
+func FromSnapshot(s Snapshot) (*Machine, error) {
+	if s.Total <= 0 || s.Unit <= 0 || s.Total%s.Unit != 0 {
+		return nil, fmt.Errorf("machine: snapshot geometry %d/%d invalid", s.Total, s.Unit)
+	}
+	if len(s.Groups) != s.Total/s.Unit {
+		return nil, fmt.Errorf("machine: snapshot has %d groups, geometry needs %d", len(s.Groups), s.Total/s.Unit)
+	}
+	m := &Machine{total: s.Total, unit: s.Unit, contiguous: s.Contiguous, migratory: s.Migratory, migrations: s.Migrations}
+	m.groups = append([]int(nil), s.Groups...)
+	freeGroups := 0
+	for _, g := range m.groups {
+		if g == -1 {
+			freeGroups++
+		}
+	}
+	m.free = freeGroups * m.unit
+	for _, o := range s.Owners {
+		if o.JobID < 0 {
+			return nil, fmt.Errorf("machine: snapshot owner with negative job ID %d", o.JobID)
+		}
+		for _, g := range o.Groups {
+			if g < 0 || g >= len(m.groups) {
+				return nil, fmt.Errorf("machine: snapshot job %d owns out-of-range group %d", o.JobID, g)
+			}
+		}
+		m.setOwner(o.JobID, append([]int(nil), o.Groups...))
+		m.nOwned++
+	}
+	if s.Contiguous {
+		if len(s.FreeStack) != 0 {
+			return nil, fmt.Errorf("machine: contiguous snapshot carries a free stack")
+		}
+	} else {
+		seen := make(map[int]bool, len(s.FreeStack))
+		for _, g := range s.FreeStack {
+			if g < 0 || g >= len(m.groups) || m.groups[g] != -1 || seen[g] {
+				return nil, fmt.Errorf("machine: snapshot free stack entry %d invalid", g)
+			}
+			seen[g] = true
+		}
+		m.freeStack = append([]int(nil), s.FreeStack...)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("machine: inconsistent snapshot: %v", err)
+	}
+	return m, nil
+}
+
 // CheckInvariants verifies internal consistency: the free counter matches
 // the group map and the owner index is exact. Used by tests and the
 // engine's paranoid mode.

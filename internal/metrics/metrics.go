@@ -165,6 +165,87 @@ func (c *Collector) SizeChanged(delta int, t int64) {
 	c.noteBusy(t)
 }
 
+// BusyStep is one exported entry of the busy-count step function.
+type BusyStep struct {
+	T    int64 `json:"t"`
+	Busy int   `json:"busy"`
+}
+
+// JobPoint is one exported per-job record (arrival, finish, wait).
+type JobPoint struct {
+	Arrival int64   `json:"arrival"`
+	Finish  int64   `json:"finish"`
+	Wait    float64 `json:"wait"`
+}
+
+// Snapshot is the collector's complete accumulator state, sufficient to
+// resume metering mid-run. The per-job series keep their accumulation
+// order, so a restored collector's Summary is bit-identical to the
+// uninterrupted run's (float sums depend on order).
+type Snapshot struct {
+	M           int        `json:"m"`
+	Busy        int        `json:"busy"`
+	LastT       int64      `json:"last_t"`
+	Area        float64    `json:"area"`
+	HaveT0      bool       `json:"have_t0"`
+	T0          int64      `json:"t0"`
+	TEnd        int64      `json:"t_end"`
+	Waits       []float64  `json:"waits,omitempty"`
+	RunSum      float64    `json:"run_sum"`
+	SlowSum     float64    `json:"slow_sum"`
+	BatchSum    float64    `json:"batch_sum"`
+	BatchCount  int        `json:"batch_count"`
+	DedSum      float64    `json:"ded_sum"`
+	DedOnTime   int        `json:"ded_on_time"`
+	DedTotal    int        `json:"ded_total"`
+	JobsStarted int        `json:"jobs_started"`
+	JobsDone    int        `json:"jobs_done"`
+	Queued      int        `json:"queued"`
+	MaxQueued   int        `json:"max_queued"`
+	BusySteps   []BusyStep `json:"busy_steps,omitempty"`
+	PerJob      []JobPoint `json:"per_job,omitempty"`
+}
+
+// Snapshot captures the collector state for NewCollectorFromSnapshot.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		M: c.m, Busy: c.busy, LastT: c.lastT, Area: c.area,
+		HaveT0: c.haveT0, T0: c.t0, TEnd: c.tEnd,
+		Waits:  append([]float64(nil), c.waits...),
+		RunSum: c.runSum, SlowSum: c.slowSum, BatchSum: c.batchSum, BatchCount: c.batchCount,
+		DedSum: c.dedSum, DedOnTime: c.dedOnTime, DedTotal: c.dedTotal,
+		JobsStarted: c.jobsStarted, JobsDone: c.jobsDone,
+		Queued: c.queued, MaxQueued: c.maxQueued,
+	}
+	for _, b := range c.busySteps {
+		s.BusySteps = append(s.BusySteps, BusyStep{T: b.t, Busy: b.busy})
+	}
+	for _, p := range c.perJob {
+		s.PerJob = append(s.PerJob, JobPoint{Arrival: p.arrival, Finish: p.finish, Wait: p.wait})
+	}
+	return s
+}
+
+// NewCollectorFromSnapshot reconstructs a collector mid-run.
+func NewCollectorFromSnapshot(s Snapshot) *Collector {
+	c := &Collector{
+		m: s.M, busy: s.Busy, lastT: s.LastT, area: s.Area,
+		haveT0: s.HaveT0, t0: s.T0, tEnd: s.TEnd,
+		waits:  append([]float64(nil), s.Waits...),
+		runSum: s.RunSum, slowSum: s.SlowSum, batchSum: s.BatchSum, batchCount: s.BatchCount,
+		dedSum: s.DedSum, dedOnTime: s.DedOnTime, dedTotal: s.DedTotal,
+		jobsStarted: s.JobsStarted, jobsDone: s.JobsDone,
+		queued: s.Queued, maxQueued: s.MaxQueued,
+	}
+	for _, b := range s.BusySteps {
+		c.busySteps = append(c.busySteps, busyStep{t: b.T, busy: b.Busy})
+	}
+	for _, p := range s.PerJob {
+		c.perJob = append(c.perJob, jobPoint{arrival: p.Arrival, finish: p.Finish, wait: p.Wait})
+	}
+	return c
+}
+
 // Summary is the digest of one run.
 type Summary struct {
 	Jobs        int

@@ -83,6 +83,32 @@ type Scheduler interface {
 	Schedule(ctx *Context)
 }
 
+// Snapshotter is the optional state-capture extension of Scheduler, the
+// policy half of the engine's session snapshot/restore. A policy that
+// carries logical cross-cycle state (anything beyond its configuration and
+// per-job fields, which the engine snapshots itself) implements it so a
+// restored session resumes with the exact decision state of the captured
+// run. The contract:
+//
+//   - SnapshotState returns a self-contained, self-versioned encoding of
+//     the policy's logical state. Pure caches and scratch buffers (the DP
+//     cycle memo, reusable selection slices) must be EXCLUDED: they are
+//     required to be behaviour-neutral, so a restored policy rebuilds them
+//     cold. The encoding must survive a byte-for-byte round trip through
+//     any transport (the engine stores it opaquely).
+//   - RestoreState reinstates state captured by SnapshotState on a freshly
+//     constructed policy of the same type and configuration, and rejects
+//     encodings it does not recognize.
+//
+// Stateless policies (FCFS, EASY, CONS, and the LOS family, whose only
+// cross-cycle state is the behaviour-neutral Scratch memo) simply do not
+// implement the interface and round-trip for free.
+type Snapshotter interface {
+	Scheduler
+	SnapshotState() ([]byte, error)
+	RestoreState([]byte) error
+}
+
 // Freeze is a reservation constraint pair (freeze end time, freeze end
 // capacity) — the paper's (fret, frec), the LOS paper's shadow time and
 // extra capacity. A job started now that would still be running at Time

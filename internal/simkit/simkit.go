@@ -22,7 +22,10 @@
 // records. A compaction pass bounds the garbage when cancellations dominate.
 package simkit
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Time is simulation time in integer seconds. Integer time keeps event
 // ordering exact and runs reproducible for a given seed.
@@ -49,9 +52,13 @@ type event struct {
 }
 
 // Handle identifies one scheduled event. The zero Handle is valid and
-// refers to no event. Handles stay safe after the event fires or is
-// cancelled: the record's generation counter has moved on, so a stale
-// Cancel is a no-op even if the record has been reissued.
+// refers to no event: Scheduled reports false, Time reports !ok, and
+// Cancel is a guaranteed no-op. Handles stay safe after the event fires or
+// is cancelled: the record's generation counter has moved on, so a stale
+// Cancel is a no-op even if the record has been reissued — callers that
+// keep handles in lookup tables (the engine's completion table) may Cancel
+// whatever the table returns, including the zero Handle for an absent ID,
+// without guarding.
 type Handle struct {
 	ev  *event
 	gen uint64
@@ -296,6 +303,68 @@ func (e *Engine) RunUntil(deadline Time) {
 		}
 		e.Step()
 	}
+}
+
+// PendingEvent describes one live scheduled event, for state capture. Arg
+// is the AtArg argument (nil for At/After events); Handle identifies the
+// event so callers can match it against handles they retained (e.g. a
+// completion table). Ordering in the slice returned by PendingInOrder is
+// dispatch order.
+type PendingEvent struct {
+	Handle Handle
+	Time   Time
+	Arg    any
+}
+
+// PendingInOrder returns every live (uncancelled, unfired) event in the
+// exact order the engine would dispatch them: ascending (time, seq). It is
+// the capture half of a snapshot: a caller that re-schedules equivalent
+// events into a fresh engine in this order reproduces the dispatch order
+// exactly, because seq numbers are assigned monotonically at scheduling
+// time.
+func (e *Engine) PendingInOrder() []PendingEvent {
+	type ordered struct {
+		time Time
+		seq  uint64
+		id   int32
+	}
+	live := make([]ordered, 0, e.live)
+	for _, en := range e.queue {
+		if en.gen == e.at(en.id).gen {
+			live = append(live, ordered{en.time, en.seq, en.id})
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].time != live[j].time {
+			return live[i].time < live[j].time
+		}
+		return live[i].seq < live[j].seq
+	})
+	out := make([]PendingEvent, len(live))
+	for i, o := range live {
+		ev := e.at(o.id)
+		out[i] = PendingEvent{Handle: Handle{ev, ev.gen}, Time: o.time, Arg: ev.arg}
+	}
+	return out
+}
+
+// RestoreClock primes the engine with the clock and dispatch counter of a
+// captured run, the restore half of a snapshot. The intended sequence on a
+// fresh engine is: re-schedule the captured pending events in
+// PendingInOrder order (all of them land at times >= the captured now),
+// then RestoreClock. Restoring onto an engine whose clock has already
+// advanced past now is a caller bug and panics.
+func (e *Engine) RestoreClock(now Time, dispatched uint64) {
+	if e.now > now {
+		panic(fmt.Sprintf("simkit: RestoreClock(%d) with clock already at %d", now, e.now))
+	}
+	for _, en := range e.queue {
+		if en.gen == e.at(en.id).gen && en.time < now {
+			panic(fmt.Sprintf("simkit: RestoreClock(%d) with event pending at %d", now, en.time))
+		}
+	}
+	e.now = now
+	e.stepped = dispatched
 }
 
 // entry is one queue slot. It embeds the ordering key so heap comparisons
