@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json fuzz repro examples clean
+.PHONY: all build vet test race cover bench bench-json bench-gate fuzz repro examples clean
 
 all: build vet test
 
@@ -33,11 +33,19 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson
 
-# Short fuzz pass over the trace parsers and the DP packing kernels.
+# Gate the current tree against the newest committed BENCH_*.json: fails
+# when any recorded benchmark regressed past the tolerance factor (loose on
+# ns/op, which is machine-sensitive; tight on deterministic alloc counts).
+bench-gate:
+	$(GO) run ./cmd/benchgate
+
+# Short fuzz pass over the trace parsers, the DP packing kernels, and the
+# persistent capacity profile.
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzParseLine -fuzztime=10s ./internal/cwf
 	$(GO) test -run=Fuzz -fuzz=FuzzParse -fuzztime=10s ./internal/cwf
 	$(GO) test -run=Fuzz -fuzz=FuzzDPEquivalence -fuzztime=10s ./internal/core
+	$(GO) test -run=Fuzz -fuzz=FuzzProfileOps -fuzztime=10s ./internal/sched
 
 # Full evaluation suite with TSV outputs under results/.
 repro:

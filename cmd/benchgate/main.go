@@ -1,0 +1,129 @@
+// Command benchgate re-runs the benchmarks recorded in a committed
+// BENCH_<date>.json snapshot and fails when any of them regressed beyond a
+// tolerance factor. It is the cheap, automatable half of the regeneration
+// workflow: benchjson records numbers for review, benchgate checks fresh
+// runs against them.
+//
+// Benchmark timings are machine- and load-sensitive, so the default
+// tolerance is deliberately loose (1.75x) — the gate exists to catch
+// order-of-magnitude regressions (an accidentally disabled cache, a
+// restored quadratic path), not single-digit drift. Alloc counts are
+// deterministic and get a tight gate: any increase beyond 10% fails.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate                      # newest BENCH_*.json
+//	go run ./cmd/benchgate -file BENCH_x.json -tolerance 1.5
+//	go run ./cmd/benchgate -bench 'Simulate500' -pkgs ./internal/engine
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"elastisched/internal/benchparse"
+)
+
+type snapshot struct {
+	Generated  string             `json:"generated"`
+	Benchmarks []benchparse.Bench `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		file      = flag.String("file", "", "snapshot to gate against (empty = newest BENCH_*.json)")
+		benchRE   = flag.String("bench", ".", "benchmark name regexp passed to go test")
+		pkgs      = flag.String("pkgs", "./internal/core,./internal/sched,./internal/simkit,./internal/engine", "comma-separated packages to benchmark")
+		tolerance = flag.Float64("tolerance", 1.75, "max allowed ns/op ratio current/recorded")
+		count     = flag.Int("count", 1, "-count passed to go test (best run is compared)")
+	)
+	flag.Parse()
+
+	path := *file
+	if path == "" {
+		matches, err := filepath.Glob("BENCH_*.json")
+		if err != nil || len(matches) == 0 {
+			fatal(fmt.Errorf("no BENCH_*.json snapshot found (run cmd/benchjson first)"))
+		}
+		sort.Strings(matches)
+		path = matches[len(matches)-1]
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	recorded := map[string]benchparse.Bench{}
+	for _, b := range snap.Benchmarks {
+		recorded[b.Pkg+"."+b.Name] = b
+	}
+
+	args := []string{"test", "-run=NONE", "-bench", *benchRE, "-benchmem", "-count", fmt.Sprint(*count)}
+	args = append(args, strings.Split(*pkgs, ",")...)
+	var buf bytes.Buffer
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		fatal(fmt.Errorf("go %s: %w", strings.Join(args, " "), err))
+	}
+	current, _, err := benchparse.Parse(&buf)
+	if err != nil {
+		fatal(err)
+	}
+
+	// With -count > 1 keep the fastest run per benchmark: the minimum is the
+	// best estimate of the code's cost under machine noise.
+	best := map[string]benchparse.Bench{}
+	for _, b := range current {
+		key := b.Pkg + "." + b.Name
+		if prev, ok := best[key]; !ok || b.NsPerOp < prev.NsPerOp {
+			best[key] = b
+		}
+	}
+
+	failed, compared := 0, 0
+	for key, cur := range best {
+		rec, ok := recorded[key]
+		if !ok || rec.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		if ratio := cur.NsPerOp / rec.NsPerOp; ratio > *tolerance {
+			failed++
+			fmt.Printf("benchgate: FAIL %s: %.0f ns/op vs recorded %.0f (%.2fx > %.2fx)\n",
+				key, cur.NsPerOp, rec.NsPerOp, ratio, *tolerance)
+		}
+		if rec.AllocsPerOp > 0 {
+			if ratio := float64(cur.AllocsPerOp) / float64(rec.AllocsPerOp); ratio > 1.10 {
+				failed++
+				fmt.Printf("benchgate: FAIL %s: %d allocs/op vs recorded %d (+%.0f%%)\n",
+					key, cur.AllocsPerOp, rec.AllocsPerOp, 100*(ratio-1))
+			}
+		}
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no benchmark in the fresh run matches %s — check -bench/-pkgs", path))
+	}
+	if failed > 0 {
+		fmt.Printf("benchgate: %d of %d gated benchmarks regressed beyond tolerance (vs %s)\n", failed, compared, path)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — %d benchmarks within %.2fx of %s\n", compared, *tolerance, path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

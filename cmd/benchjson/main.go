@@ -22,15 +22,17 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"elastisched/internal/benchparse"
 )
 
 type doc struct {
 	Generated string `json:"generated"`
-	Env
-	Benchmarks []Bench `json:"benchmarks"`
+	benchparse.Env
+	Benchmarks []benchparse.Bench `json:"benchmarks"`
 	// Baseline carries pre-change numbers parsed from -baseline, so one
 	// file documents the before/after pair.
-	Baseline []Bench `json:"baseline,omitempty"`
+	Baseline []benchparse.Bench `json:"baseline,omitempty"`
 }
 
 func main() {
@@ -58,7 +60,7 @@ func main() {
 		fatal(fmt.Errorf("go %s: %w", strings.Join(args, " "), err))
 	}
 
-	benches, env, err := parseBench(&buf)
+	benches, env, err := benchparse.Parse(&buf)
 	if err != nil {
 		fatal(err)
 	}
@@ -77,7 +79,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		d.Baseline, _, err = parseBench(f)
+		d.Baseline, _, err = benchparse.Parse(f)
 		f.Close()
 		if err != nil {
 			fatal(err)

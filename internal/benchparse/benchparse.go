@@ -1,4 +1,8 @@
-package main
+// Package benchparse parses raw `go test -bench -benchmem` output into
+// structured measurements. It is shared by cmd/benchjson (which snapshots
+// numbers into BENCH_<date>.json files) and cmd/benchgate (which compares
+// fresh runs against a committed snapshot).
+package benchparse
 
 import (
 	"bufio"
@@ -28,12 +32,12 @@ type Env struct {
 	CPU    string `json:"cpu"`
 }
 
-// parseBench reads raw `go test -bench -benchmem` output: goos/goarch/
+// Parse reads raw `go test -bench -benchmem` output: goos/goarch/
 // cpu/pkg header lines set the environment and package attribution, and
 // each Benchmark line becomes one Bench. The GOMAXPROCS suffix
 // (BenchmarkFoo-8) is stripped from names so snapshots from machines
 // with different core counts stay comparable.
-func parseBench(r io.Reader) ([]Bench, Env, error) {
+func Parse(r io.Reader) ([]Bench, Env, error) {
 	var (
 		out []Bench
 		env Env

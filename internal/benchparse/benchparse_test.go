@@ -1,4 +1,4 @@
-package main
+package benchparse
 
 import (
 	"strings"
@@ -23,7 +23,7 @@ ok  	elastisched/internal/sched	1.001s
 `
 
 func TestParseBench(t *testing.T) {
-	benches, env, err := parseBench(strings.NewReader(sample))
+	benches, env, err := Parse(strings.NewReader(sample))
 	if err != nil {
 		t.Fatalf("parseBench: %v", err)
 	}

@@ -32,7 +32,13 @@ type Target interface {
 	// RetimeRunning must be called after a running job's EndTime changed:
 	// the engine re-sorts the active list and reschedules the completion
 	// event (an EndTime at or before Now completes the job immediately).
-	RetimeRunning(j *job.Job)
+	// oldEnd is the kill-by time before the mutation, so the engine can
+	// propagate the delta to capacity caches.
+	RetimeRunning(j *job.Job, oldEnd int64)
+	// TouchWaiting must be called after a waiting job's requirements (Dur
+	// or Size) were mutated in place, so the engine can invalidate
+	// queue-derived scheduler state.
+	TouchWaiting(j *job.Job)
 	// ResizeRunning changes a running job's allocation to newSize
 	// processors (already quantized). Growing fails if the free capacity
 	// is insufficient.
@@ -185,6 +191,7 @@ func (p *Processor) applyWaiting(c cwf.Command, j *job.Job, t Target) Outcome {
 	case cwf.ExtendTime:
 		j.Dur += c.Amount
 		p.Stats.ExtendedSeconds += c.Amount
+		t.TouchWaiting(j)
 		return Applied
 	case cwf.ReduceTime:
 		out := Applied
@@ -195,6 +202,7 @@ func (p *Processor) applyWaiting(c cwf.Command, j *job.Job, t Target) Outcome {
 		}
 		p.Stats.ReducedSeconds += j.Dur - nd
 		j.Dur = nd
+		t.TouchWaiting(j)
 		return out
 	case cwf.ExtendProc:
 		return p.resizeWaiting(j, j.Size+int(c.Amount), t)
@@ -223,6 +231,7 @@ func (p *Processor) resizeWaiting(j *job.Job, want int, t Target) Outcome {
 		p.Stats.ShrunkProcs += j.Size - size
 	}
 	j.Size = size
+	t.TouchWaiting(j)
 	return out
 }
 
@@ -230,13 +239,15 @@ func (p *Processor) resizeWaiting(j *job.Job, want int, t Target) Outcome {
 func (p *Processor) applyRunning(c cwf.Command, j *job.Job, t Target) Outcome {
 	switch c.Type {
 	case cwf.ExtendTime:
+		oldEnd := j.EndTime
 		j.EndTime += c.Amount
 		j.Dur = j.EndTime - j.StartTime
 		p.Stats.ExtendedSeconds += c.Amount
-		t.RetimeRunning(j)
+		t.RetimeRunning(j, oldEnd)
 		return Applied
 	case cwf.ReduceTime:
 		out := Applied
+		oldEnd := j.EndTime
 		newEnd := j.EndTime - c.Amount
 		floor := t.Now()
 		if s := j.StartTime + 1; s > floor {
@@ -249,7 +260,7 @@ func (p *Processor) applyRunning(c cwf.Command, j *job.Job, t Target) Outcome {
 		p.Stats.ReducedSeconds += j.EndTime - newEnd
 		j.EndTime = newEnd
 		j.Dur = j.EndTime - j.StartTime
-		t.RetimeRunning(j)
+		t.RetimeRunning(j, oldEnd)
 		return out
 	case cwf.ExtendProc:
 		unit := t.MachineUnit()

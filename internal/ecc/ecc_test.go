@@ -17,6 +17,8 @@ type fakeTarget struct {
 	unit     int
 	free     int
 	retimed  []*job.Job
+	oldEnds  []int64
+	touched  []*job.Job
 	resizeOK bool
 }
 
@@ -32,7 +34,11 @@ func (f *fakeTarget) FindWaiting(id int) *job.Job { return f.waiting[id] }
 func (f *fakeTarget) FindRunning(id int) *job.Job { return f.running[id] }
 func (f *fakeTarget) MachineTotal() int           { return f.total }
 func (f *fakeTarget) MachineUnit() int            { return f.unit }
-func (f *fakeTarget) RetimeRunning(j *job.Job)    { f.retimed = append(f.retimed, j) }
+func (f *fakeTarget) RetimeRunning(j *job.Job, oldEnd int64) {
+	f.retimed = append(f.retimed, j)
+	f.oldEnds = append(f.oldEnds, oldEnd)
+}
+func (f *fakeTarget) TouchWaiting(j *job.Job) { f.touched = append(f.touched, j) }
 func (f *fakeTarget) ResizeRunning(j *job.Job, n int) error {
 	if !f.resizeOK {
 		return errors.New("no capacity")

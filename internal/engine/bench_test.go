@@ -24,7 +24,7 @@ func BenchmarkSimulate500(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, name := range []string{"FCFS", "EASY", "CONS", "LOS", "Delayed-LOS", "EASY-D", "LOS-D", "Hybrid-LOS"} {
+	for _, name := range []string{"FCFS", "EASY", "CONS", "CONS-D", "LOS", "Delayed-LOS", "EASY-D", "LOS-D", "Hybrid-LOS"} {
 		b.Run(name, func(b *testing.B) {
 			w := batch
 			if freshScheduler(name).Heterogeneous() {

@@ -157,6 +157,11 @@ type Session struct {
 	// ctx is the scheduler context, built once and reset per cycle; its
 	// scratch buffers (the DP candidate window) survive across cycles.
 	ctx sched.Context
+	// st is non-nil when the policy accepts state deltas (sched.Stateful):
+	// the engine then reports starts, completions, ECC mutations and queue
+	// changes so the policy maintains its caches incrementally instead of
+	// rebuilding them every cycle. Armed via ResetDeltas in Load/Restore.
+	st sched.Stateful
 	// arriveH/completeH/commandH are the shared event callbacks, bound once
 	// so the hot paths schedule through simkit.AtArg without allocating a
 	// closure per event.
@@ -287,6 +292,9 @@ func New(cfg Config) (*Session, error) {
 		Active:    s.active,
 		StartFn:   s.start,
 	}
+	if st, ok := cfg.Scheduler.(sched.Stateful); ok {
+		s.st = st
+	}
 	s.arriveH = s.arriveEv
 	s.completeH = s.completeEv
 	s.commandH = s.commandEv
@@ -344,6 +352,9 @@ func (s *Session) Load(w *cwf.Workload) error {
 	copy(cmds, w.Commands)
 	for i := range cmds {
 		s.eng.AtArg(cmds[i].Issue, s.commandH, &cmds[i])
+	}
+	if s.st != nil {
+		s.st.ResetDeltas()
 	}
 	s.loaded = true
 	return nil
@@ -630,6 +641,9 @@ func (s *Session) arrive(j *job.Job, now int64) {
 		s.debugf("t=%d arrive job=%d class=%s size=%d dur=%d", now, j.ID, j.Class, j.Size, j.Dur)
 	}
 	s.collector.JobArrived(j, now)
+	if s.st != nil {
+		s.st.JobArrived(j, now)
+	}
 	if j.Class == job.Dedicated {
 		s.ded.Push(j)
 		if j.ReqStart > now {
@@ -674,6 +688,9 @@ func (s *Session) start(j *job.Job) bool {
 		s.debugf("t=%d start job=%d size=%d killby=%d wait=%d", now, j.ID, j.Size, j.EndTime, j.Wait())
 	}
 	s.collector.JobStarted(j, now)
+	if s.st != nil {
+		s.st.JobStarted(j, now)
+	}
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.JobStarted(j, now, s.mach.OwnedGroups(j.ID))
 	}
@@ -693,6 +710,9 @@ func (s *Session) complete(j *job.Job, now int64) {
 		s.debugf("t=%d finish job=%d ran=%d", now, j.ID, j.RunTime())
 	}
 	s.collector.JobFinished(j, now)
+	if s.st != nil {
+		s.st.JobFinished(j, now)
+	}
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.JobFinished(j, now)
 	}
@@ -729,7 +749,7 @@ func (s *Session) FindRunning(id int) *job.Job { return s.active.Find(id) }
 // RetimeRunning implements ecc.Target: re-sort the active list and move the
 // completion event to the new effective termination time (the actual
 // runtime capped by the mutated kill-by time).
-func (s *Session) RetimeRunning(j *job.Job) {
+func (s *Session) RetimeRunning(j *job.Job, oldEnd int64) {
 	now := s.eng.Now()
 	if j.EndTime < now {
 		j.EndTime = now
@@ -741,20 +761,35 @@ func (s *Session) RetimeRunning(j *job.Job) {
 		at = now
 	}
 	s.setCompletion(j.ID, s.eng.AtArg(at, s.completeH, j))
+	if s.st != nil {
+		s.st.JobRetimed(j, oldEnd, now)
+	}
 }
 
 // ResizeRunning implements ecc.Target.
 func (s *Session) ResizeRunning(j *job.Job, newSize int) error {
-	delta := newSize - j.Size
+	oldSize := j.Size
+	delta := newSize - oldSize
 	if err := s.mach.Resize(j.ID, newSize); err != nil {
 		return err
 	}
 	j.Size = newSize
 	s.collector.SizeChanged(delta, s.eng.Now())
+	if s.st != nil {
+		s.st.JobResized(j, oldSize, s.eng.Now())
+	}
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.JobResized(j, s.eng.Now(), newSize)
 	}
 	return nil
+}
+
+// TouchWaiting implements ecc.Target: a queued job's requirements changed
+// in place, invalidating queue-derived scheduler caches.
+func (s *Session) TouchWaiting(j *job.Job) {
+	if s.st != nil {
+		s.st.QueueChanged()
+	}
 }
 
 // MachineTotal implements ecc.Target.

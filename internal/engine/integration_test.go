@@ -18,7 +18,7 @@ import (
 // policies are flagged so the driver can feed them dedicated jobs.
 func allSchedulers() []sched.Scheduler {
 	return []sched.Scheduler{
-		sched.FCFS{}, sched.SJF{}, sched.LJF{}, sched.Conservative{}, sched.ConservativeD{},
+		sched.FCFS{}, sched.SJF{}, sched.LJF{}, &sched.Conservative{}, &sched.ConservativeD{},
 		&sched.EASY{}, &sched.EASY{Ded: true},
 		core.NewLOS(false), core.NewLOS(true), core.NewLOSPlus(),
 		core.NewDelayedLOS(7), core.NewHybridLOS(7),
@@ -121,9 +121,9 @@ func freshScheduler(name string) sched.Scheduler {
 	case "LJF":
 		return sched.LJF{}
 	case "CONS":
-		return sched.Conservative{}
+		return &sched.Conservative{}
 	case "CONS-D":
-		return sched.ConservativeD{}
+		return &sched.ConservativeD{}
 	case "LOS+":
 		return core.NewLOSPlus()
 	case "EASY":

@@ -356,6 +356,13 @@ func (s *Session) Restore(sn *Snapshot) error {
 			return fmt.Errorf("engine: restoring %s state: %v", sn.Scheduler, err)
 		}
 	}
+	if s.st != nil {
+		// Arm delta delivery and invalidate any caches: the restore-rebuild
+		// rule — delta-maintained state is never carried across sessions, it
+		// is rebuilt from the restored queues and active list on the first
+		// cycle.
+		s.st.ResetDeltas()
+	}
 	s.loaded = true
 	return nil
 }

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"elastisched/internal/sched"
+	"elastisched/internal/workload"
+)
+
+// coldPolicy forwards Scheduler only, hiding any Stateful implementation,
+// so the engine never arms the delta feed: the wrapped policy runs a full
+// pass every cycle, exactly like the pre-Stateful implementation.
+type coldPolicy struct{ s sched.Scheduler }
+
+func (c coldPolicy) Name() string                { return c.s.Name() }
+func (c coldPolicy) Heterogeneous() bool         { return c.s.Heterogeneous() }
+func (c coldPolicy) Schedule(ctx *sched.Context) { c.s.Schedule(ctx) }
+
+// TestStatefulFeedIsBehaviourNeutral pins the sched.Stateful contract: a
+// policy fed engine deltas (settled skips, arrival increments, retained
+// profiles) must produce the exact placement stream of the same policy
+// running a cold full pass every cycle. This is the differential check
+// that catches fixed-point bugs — e.g. EASY settling after a pass that
+// started jobs, which relaxes the recomputed freezes on the engine's
+// verification cycle (the EASY-D divergence fixed in PR 4) — without
+// relying on the committed figure TSVs to notice.
+func TestStatefulFeedIsBehaviourNeutral(t *testing.T) {
+	policies := []func() sched.Scheduler{
+		func() sched.Scheduler { return &sched.EASY{} },
+		func() sched.Scheduler { return &sched.EASY{Ded: true} },
+		func() sched.Scheduler { return &sched.Conservative{} },
+		func() sched.Scheduler { return &sched.ConservativeD{} },
+	}
+	scenarios := []struct {
+		name string
+		mut  func(*workload.Params)
+	}{
+		{"batch", func(p *workload.Params) { p.TargetLoad = 1.0 }},
+		// The fig9 configuration (P_D=0.5, P_S=0.2, load 1.0) at full size:
+		// this is the workload family where the EASY-D settle-after-start
+		// divergence actually manifested; smaller runs miss it.
+		{"heterogeneous", func(p *workload.Params) { p.PD = 0.5; p.PS = 0.2; p.TargetLoad = 1.0 }},
+		{"dedicated-heavy", func(p *workload.Params) { p.PD = 0.95; p.TargetLoad = 0.9 }},
+		{"elastic-hetero", func(p *workload.Params) { p.PD = 0.5; p.PE = 0.2; p.PR = 0.1; p.TargetLoad = 1.0 }},
+	}
+	for _, sc := range scenarios {
+		for seed := int64(1); seed <= 3; seed++ {
+			p := workload.DefaultParams()
+			p.Seed = seed
+			sc.mut(&p)
+			w, err := workload.Generate(p)
+			if err != nil {
+				t.Fatalf("%s: %v", sc.name, err)
+			}
+			for _, mk := range policies {
+				if w.NumDedicated() > 0 && !mk().Heterogeneous() {
+					continue
+				}
+				warm := runTraced(t, w, mk())
+				cold := runTraced(t, w, coldPolicy{s: mk()})
+				name := mk().Name()
+				if len(warm) != len(cold) {
+					t.Fatalf("%s/%s seed %d: %d spans with delta feed vs %d cold",
+						sc.name, name, seed, len(warm), len(cold))
+				}
+				for i := range warm {
+					if !reflect.DeepEqual(warm[i], cold[i]) {
+						t.Fatalf("%s/%s seed %d: span %d diverges: with feed %+v, cold %+v",
+							sc.name, name, seed, i, warm[i], cold[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -76,11 +76,11 @@ func registry() map[string]Algorithm {
 			}
 			return l
 		}},
-		"CONS-D": {Name: "CONS-D", New: func(Point) sched.Scheduler { return sched.ConservativeD{} }},
+		"CONS-D": {Name: "CONS-D", New: func(Point) sched.Scheduler { return &sched.ConservativeD{} }},
 		"FCFS":   {Name: "FCFS", New: func(Point) sched.Scheduler { return sched.FCFS{} }},
 		"SJF":    {Name: "SJF", New: func(Point) sched.Scheduler { return sched.SJF{} }},
 		"LJF":    {Name: "LJF", New: func(Point) sched.Scheduler { return sched.LJF{} }},
-		"CONS":   {Name: "CONS", New: func(Point) sched.Scheduler { return sched.Conservative{} }},
+		"CONS":   {Name: "CONS", New: func(Point) sched.Scheduler { return &sched.Conservative{} }},
 		"Adaptive": {Name: "Adaptive", New: func(pt Point) sched.Scheduler {
 			return core.NewAdaptive(pt.EffectiveCs())
 		}},

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -24,11 +25,9 @@ func fig1Panel() *Sweep {
 	}
 }
 
-// BenchmarkFig1PanelE2E measures the full figure-panel pipeline — workload
-// generation, every (algorithm, point, seed) simulation, and the
-// deterministic reduction — at the expsuite default worker count.
-func BenchmarkFig1PanelE2E(b *testing.B) {
-	workers := runtime.GOMAXPROCS(0)
+// runFig1Panel executes one panel at the given worker count and reports the
+// throughput metrics shared by every Fig1Panel benchmark variant.
+func runFig1Panel(b *testing.B, workers int) {
 	b.ReportAllocs()
 	var jobs, gen, reused int
 	for i := 0; i < b.N; i++ {
@@ -51,6 +50,31 @@ func BenchmarkFig1PanelE2E(b *testing.B) {
 	// once per (point, seed); every other algorithm's run is a hit.
 	b.ReportMetric(float64(gen), "wl-generated/op")
 	b.ReportMetric(float64(reused), "wl-reused/op")
+	// Parallel-scaling regressions are invisible without knowing how wide
+	// the run actually was: record both the requested worker count and the
+	// scheduler parallelism available to it. On a GOMAXPROCS=1 host the
+	// workers=2/4 variants necessarily match workers=1 — run-level
+	// parallelism only buys wall clock when the Go scheduler has cores to
+	// spread the workers over.
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "maxprocs")
+}
+
+// BenchmarkFig1PanelE2E measures the full figure-panel pipeline — workload
+// generation, every (algorithm, point, seed) simulation, and the
+// deterministic reduction — at fixed worker counts plus the expsuite
+// default (GOMAXPROCS). The fixed sub-benchmarks make scaling regressions
+// visible in recorded snapshots: workers=4 beating workers=1 only on hosts
+// where maxprocs allows it.
+func BenchmarkFig1PanelE2E(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runFig1Panel(b, workers)
+		})
+	}
+	b.Run("workers=maxprocs", func(b *testing.B) {
+		runFig1Panel(b, runtime.GOMAXPROCS(0))
+	})
 }
 
 // BenchmarkFig1PanelSerial is the same panel forced to one worker: the

@@ -172,14 +172,19 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 		defer wg.Done()
 		for t := range tasks {
 			out := slot(t.ai, t.pi, t.si)
-			if failed.Load() {
-				// A run already failed: drain the queue without doing the
-				// remaining work.
-				continue
-			}
 			pt := s.Points[t.pi]
 			params := pt.Params
 			params.Seed = seeds[t.si]
+			if failed.Load() {
+				// A run already failed: skip the engine run, but still
+				// resolve the (memoized) workload-cache entry and record its
+				// error, so the deterministic error scan below sees the same
+				// first failure at every worker count.
+				if _, err := cache.get(t.pi, t.si, params); err != nil {
+					out.err = err
+				}
+				continue
+			}
 			w, err := cache.get(t.pi, t.si, params)
 			if err != nil {
 				out.err = err

@@ -7,9 +7,9 @@
 package metrics
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"slices"
 
 	"elastisched/internal/job"
 )
@@ -314,12 +314,18 @@ func (c *Collector) Summary() Summary {
 		s.Slowdown = (s.MeanWait + s.MeanRun) / s.MeanRun
 	}
 	if n := len(c.waits); n > 0 {
-		// One sorted copy serves every order statistic.
+		// Exact order statistics via selection: identical values to sorting
+		// the copy and indexing, at O(n) instead of O(n log n) per statistic.
 		ys := append([]float64(nil), c.waits...)
-		slices.Sort(ys)
-		s.MedianWait = ys[int(0.5*float64(n-1))]
-		s.P95Wait = ys[int(0.95*float64(n-1))]
-		s.MaxWait = ys[n-1]
+		s.MedianWait = kth(ys, int(0.5*float64(n-1)))
+		s.P95Wait = kth(ys, int(0.95*float64(n-1)))
+		mx := c.waits[0]
+		for _, v := range c.waits[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		s.MaxWait = mx
 	}
 	if c.batchCount > 0 {
 		s.MeanBatchWait = c.batchSum / float64(c.batchCount)
@@ -335,6 +341,49 @@ func (c *Collector) Summary() Summary {
 	return s
 }
 
+// kth returns the k-th smallest element (0-based) of xs, reordering xs in
+// place — the exact value a full sort would put at index k, computed by
+// Hoare-partition quickselect with median-of-three pivots in expected O(n).
+// Values must be totally ordered (the collector never records NaN waits).
+func kth[T cmp.Ordered](xs []T, k int) T {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		p := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < p {
+				i++
+			}
+			for xs[j] > p {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return xs[k]
+		}
+	}
+	return xs[k]
+}
+
 // steadyState computes utilization and mean wait over the central window
 // between the 10th- and 90th-percentile completion instants.
 func (c *Collector) steadyState() (window [2]int64, util, wait float64) {
@@ -346,9 +395,8 @@ func (c *Collector) steadyState() (window [2]int64, util, wait float64) {
 	for i, p := range c.perJob {
 		finishes[i] = p.finish
 	}
-	slices.Sort(finishes)
-	t0 := finishes[n/10]
-	t1 := finishes[n-1-n/10]
+	t0 := kth(finishes, n/10)
+	t1 := kth(finishes, n-1-n/10)
 	if t1 <= t0 {
 		return [2]int64{t0, t1}, 0, 0
 	}

@@ -1,45 +1,33 @@
 package sched
 
-import "elastisched/internal/job"
-
 // ConservativeD extends conservative backfilling to heterogeneous
 // workloads (an extra baseline beyond the paper's EASY-D/LOS-D): every
 // pending dedicated job holds a hard reservation at its requested start
 // time in the capacity profile, and every batch job receives its earliest
 // reservation around those; nothing may delay anything that reserved
 // earlier.
-type ConservativeD struct{}
+//
+// The zero value is ready to use. Like Conservative, the policy carries a
+// persistent delta-maintained capacity base; a fresh instance is required
+// per run.
+type ConservativeD struct {
+	consCore
+}
 
 // Name implements Scheduler.
-func (ConservativeD) Name() string { return "CONS-D" }
+func (*ConservativeD) Name() string { return "CONS-D" }
 
 // Heterogeneous implements Scheduler.
-func (ConservativeD) Heterogeneous() bool { return true }
+func (*ConservativeD) Heterogeneous() bool { return true }
 
 // Schedule moves due dedicated jobs to the queue head, then runs the
 // conservative pass with dedicated reservations pinned in the profile.
-func (ConservativeD) Schedule(ctx *Context) {
+func (s *ConservativeD) Schedule(ctx *Context) {
 	if MoveDueDedicated(ctx, 0) {
+		// The queue changed shape under the pass's feet; the fixed-point
+		// re-invocation must run in full.
+		s.invalidate()
 		return
 	}
-	prof := NewProfile(ctx.Now, ctx.M(), ctx.Active)
-	// Pin the future dedicated demand. A dedicated job whose slot is
-	// already infeasible (overlapping demand beyond the machine) degrades
-	// to its earliest feasible start, mirroring the unavoidable delay of
-	// Algorithm 2 lines 24-30.
-	for _, d := range ctx.Dedicated.Jobs() {
-		at := d.ReqStart
-		if !prof.CanPlace(at, d.Dur, d.Size) {
-			at = prof.EarliestFit(at, d.Dur, d.Size)
-		}
-		prof.Reserve(at, at+d.Dur, d.Size)
-	}
-	queue := append([]*job.Job(nil), ctx.Batch.Jobs()...)
-	for _, j := range queue {
-		at := prof.EarliestFit(ctx.Now, j.Dur, j.Size)
-		prof.Reserve(at, at+j.Dur, j.Size)
-		if at == ctx.Now {
-			ctx.Start(j)
-		}
-	}
+	s.pass(ctx, true)
 }

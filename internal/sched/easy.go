@@ -16,6 +16,13 @@ import "elastisched/internal/job"
 type EASY struct {
 	// Ded enables the dedicated-queue appendage (EASY-D).
 	Ded bool
+
+	// deltaTracker makes EASY Stateful: its only cross-cycle state is the
+	// settled flag, which lets the engine's fixed-point verification pass
+	// (and any cycle whose deltas were all absorbed) return in O(1). EASY
+	// needs no persistent profile — its shadow reservation is a single
+	// (time, capacity) pair recomputed in O(active) when a pass does run.
+	deltaTracker
 }
 
 // Name implements Scheduler.
@@ -29,12 +36,25 @@ func (e *EASY) Name() string {
 // Heterogeneous implements Scheduler.
 func (e *EASY) Heterogeneous() bool { return e.Ded }
 
-// Schedule runs one EASY cycle.
+// Schedule runs one EASY cycle. A completed pass that started *nothing*
+// and rejected nothing settles: the shadow and dedicated freezes are pure
+// functions of queue/active state, and Freeze.Allows only gets stricter as
+// now advances, so re-running against unchanged state at any later instant
+// still starts nothing — until the engine reports a delta the cycle is
+// skipped outright. A pass that did start jobs must not settle: its starts
+// change the active set, and the freezes recomputed from it on the
+// engine's same-instant verification cycle can move later, admitting a
+// candidate this pass rejected (observable with EASY-D, where a backfill
+// can flip the dedicated freeze from the on-time to the drain branch).
 func (e *EASY) Schedule(ctx *Context) {
+	if e.canSkip(ctx) {
+		return
+	}
 	if e.Ded {
 		// Rigid jobs keep FIFO-of-due-time order at the queue head: move one
 		// per cycle; the engine's fixed-point loop drains the rest.
 		if MoveDueDedicated(ctx, 0) {
+			e.settled = false
 			return
 		}
 	}
@@ -45,17 +65,25 @@ func (e *EASY) Schedule(ctx *Context) {
 	}
 
 	// Phase 1: start in order while the head fits and respects the freeze.
+	clean, started := true, false
 	for {
 		h := ctx.Batch.Head()
 		if h == nil {
+			if clean && !started {
+				e.settle()
+			}
 			return
 		}
 		if !ctx.Fits(h.Size) || !dfz.Allows(ctx.Now, h) {
 			break
 		}
 		if !ctx.Start(h) {
+			// The machine rejected a capacity-feasible start (contiguous
+			// fragmentation); the settled-pass argument does not hold.
+			clean = false
 			break
 		}
+		started = true
 		dfz.Commit(ctx.Now, h)
 	}
 
@@ -77,12 +105,17 @@ func (e *EASY) Schedule(ctx *Context) {
 			continue
 		}
 		if !ctx.Start(j) {
+			clean = false
 			continue
 		}
+		started = true
 		sfz.Commit(ctx.Now, j)
 		dfz.Commit(ctx.Now, j)
 		jobs = ctx.Batch.Jobs()
 		i--
+	}
+	if clean && !started {
+		e.settle()
 	}
 }
 

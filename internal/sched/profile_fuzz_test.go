@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"elastisched/internal/job"
+)
+
+// profileOpsMachine drives one Profile through an interleaved sequence of
+// Reserve / Release / retime / Advance / fitReserve operations decoded from
+// a byte stream, cross-checking it after every mutation against a profile
+// rebuilt from scratch out of the surviving reservations — the exact
+// invariant the delta-maintained scheduler state relies on: applying the
+// inverse deltas must leave the profile indistinguishable from a rebuild.
+//
+// The harness tracks the outstanding reservations itself and only issues
+// operations that keep free capacity within [0, m], mirroring the engine
+// (which never releases capacity it did not reserve and never reserves past
+// what EarliestFit approved).
+type profileOpsMachine struct {
+	t    *testing.T
+	m    int
+	now  int64
+	p    Profile
+	live [][3]int64 // from, to, size of outstanding reservations
+}
+
+func (pm *profileOpsMachine) rebuilt() *Profile {
+	fresh := NewProfile(pm.now, pm.m, job.NewActiveList())
+	for _, x := range pm.live {
+		from := x[0]
+		if from < pm.now {
+			from = pm.now
+		}
+		fresh.Reserve(from, x[1], int(x[2]))
+	}
+	return fresh
+}
+
+// check compares the delta-maintained profile against the rebuilt reference
+// at every boundary either profile knows about, plus midpoints.
+func (pm *profileOpsMachine) check() {
+	fresh := pm.rebuilt()
+	probe := func(t int64) {
+		if t < pm.now {
+			return
+		}
+		if got, want := pm.p.FreeAt(t), fresh.FreeAt(t); got != want {
+			pm.t.Fatalf("now=%d: FreeAt(%d) = %d, rebuilt reference %d (live %v)",
+				pm.now, t, got, want, pm.live)
+		}
+	}
+	for _, ts := range [][]int64{pm.p.times[pm.p.head:], fresh.times[fresh.head:]} {
+		for _, bt := range ts {
+			probe(bt)
+			probe(bt + 1)
+		}
+	}
+}
+
+// step decodes and executes one operation. Returns false when the stream is
+// exhausted.
+func (pm *profileOpsMachine) step(data []byte, i *int) bool {
+	if *i+4 > len(data) {
+		return false
+	}
+	op := data[*i] % 6
+	a := int64(data[*i+1])
+	b := 1 + int64(data[*i+2])%120
+	c := 1 + int(data[*i+3])%pm.m
+	*i += 4
+
+	switch op {
+	case 0: // Reserve at an approved position
+		from := pm.now + a
+		if pm.p.CanPlace(from, b, c) {
+			pm.p.Reserve(from, from+b, c)
+			pm.live = append(pm.live, [3]int64{from, from + b, int64(c)})
+		}
+	case 1: // fitReserve vs EarliestFit-then-Reserve on the reference
+		fresh := pm.rebuilt()
+		want := fresh.EarliestFit(pm.now+a, b, c)
+		got := pm.p.fitReserve(pm.now+a, b, c)
+		if got != want {
+			pm.t.Fatalf("now=%d: fitReserve(%d,%d,%d) = %d, reference EarliestFit %d (live %v)",
+				pm.now, pm.now+a, b, c, got, want, pm.live)
+		}
+		pm.live = append(pm.live, [3]int64{got, got + b, int64(c)})
+	case 2: // Release an outstanding reservation (the engine's job-finish delta)
+		if len(pm.live) == 0 {
+			return true
+		}
+		k := int(a) % len(pm.live)
+		x := pm.live[k]
+		from := x[0]
+		if from < pm.now {
+			from = pm.now
+		}
+		pm.p.Release(from, x[1], int(x[2]))
+		pm.live = append(pm.live[:k], pm.live[k+1:]...)
+	case 3: // retime an outstanding reservation (the ECC extend/reduce delta)
+		if len(pm.live) == 0 {
+			return true
+		}
+		k := int(a) % len(pm.live)
+		x := &pm.live[k]
+		newTo := pm.now + b
+		switch oldTo := x[1]; {
+		case newTo > oldTo:
+			if pm.p.CanPlace(oldTo, newTo-oldTo, int(x[2])) {
+				pm.p.Reserve(oldTo, newTo, int(x[2]))
+				x[1] = newTo
+			}
+		case newTo < oldTo:
+			from := newTo
+			if from < x[0] {
+				from = x[0] // shrinking below the start empties the reservation
+			}
+			if from < pm.now {
+				from = pm.now
+			}
+			pm.p.Release(from, oldTo, int(x[2]))
+			x[1] = newTo
+		}
+		if x[1] <= pm.now || x[1] <= x[0] {
+			pm.live = append(pm.live[:k], pm.live[k+1:]...)
+		}
+	case 4: // Advance time
+		pm.now += a % 64
+		pm.p.Advance(pm.now)
+		keep := pm.live[:0]
+		for _, x := range pm.live {
+			if x[1] > pm.now {
+				keep = append(keep, x)
+			}
+		}
+		pm.live = keep
+	case 5: // pure queries against the rebuilt reference
+		fresh := pm.rebuilt()
+		from, dur := pm.now+a, b
+		if got, want := pm.p.CanPlace(from, dur, c), fresh.CanPlace(from, dur, c); got != want {
+			pm.t.Fatalf("now=%d: CanPlace(%d,%d,%d) = %v, rebuilt reference %v (live %v)",
+				pm.now, from, dur, c, got, want, pm.live)
+		}
+		if got, want := pm.p.EarliestFit(from, dur, c), fresh.EarliestFit(from, dur, c); got != want {
+			pm.t.Fatalf("now=%d: EarliestFit(%d,%d,%d) = %d, rebuilt reference %d (live %v)",
+				pm.now, from, dur, c, got, want, pm.live)
+		}
+		return true // no mutation: skip the full cross-check
+	}
+	pm.check()
+	return true
+}
+
+func runProfileOps(t *testing.T, m int, data []byte) {
+	pm := &profileOpsMachine{t: t, m: m}
+	pm.p.Rebuild(0, m, job.NewActiveList())
+	for i := 0; pm.step(data, &i); {
+	}
+}
+
+// FuzzProfileOps mutates a profile through arbitrary interleavings of the
+// persistent-profile operations and requires it to match a profile rebuilt
+// from scratch after every mutation.
+func FuzzProfileOps(f *testing.F) {
+	f.Add([]byte{0, 10, 50, 64, 1, 0, 30, 64, 2, 0, 0, 0, 4, 20, 0, 0})
+	f.Add([]byte{1, 0, 100, 200, 3, 0, 10, 0, 4, 63, 0, 0, 5, 5, 40, 100})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runProfileOps(t, 320, data)
+	})
+}
+
+// TestProfileDeltaMaintenanceMatchesRebuild drives the same state machine
+// from seeded pseudo-random streams, so the rebuild equivalence is checked
+// on every plain `go test` run, not only under the fuzzer.
+func TestProfileDeltaMaintenanceMatchesRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 400; trial++ {
+		data := make([]byte, 160)
+		r.Read(data)
+		m := 32 * (1 + r.Intn(10))
+		runProfileOps(t, m, data)
+	}
+}

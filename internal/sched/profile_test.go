@@ -112,7 +112,7 @@ func TestConservativeStartsFIFOWhenFree(t *testing.T) {
 	h := newHarness(t, 320, 32)
 	h.addBatch(1, 128, 100)
 	h.addBatch(2, 128, 100)
-	h.cycle(Conservative{})
+	h.cycle(&Conservative{})
 	h.wantStartedSet(1, 2)
 }
 
@@ -131,7 +131,7 @@ func TestConservativeNeverDelaysAnyReservation(t *testing.T) {
 	h.addBatch(1, 320, 500)
 	h.addBatch(2, 160, 100)
 	h.addBatch(3, 160, 600)
-	h.cycle(Conservative{})
+	h.cycle(&Conservative{})
 	// J3 running 0..600 would hold 160 during J1's reservation 100..600:
 	// free at 100 would be 160 < 320. Conservative refuses. J2 likewise
 	// (it would hold 160 during 0..100? no: J2 starting now ends at 100,
@@ -140,7 +140,7 @@ func TestConservativeNeverDelaysAnyReservation(t *testing.T) {
 }
 
 func TestConservativeFlags(t *testing.T) {
-	c := Conservative{}
+	c := &Conservative{}
 	if c.Name() != "CONS" || c.Heterogeneous() {
 		t.Error("conservative flags wrong")
 	}
@@ -196,7 +196,7 @@ func TestConservativeDStartsDueDedicated(t *testing.T) {
 	h := newHarness(t, 320, 32)
 	h.addDed(1, 96, 100, 30)
 	h.now = 30
-	h.cycle(ConservativeD{})
+	h.cycle(&ConservativeD{})
 	h.wantStarted(1)
 }
 
@@ -207,7 +207,7 @@ func TestConservativeDProtectsFutureDedicated(t *testing.T) {
 	h.addDed(1, 320, 100, 100)
 	h.addBatch(2, 64, 500) // would overlap the reservation
 	h.addBatch(3, 64, 50)  // ends before it
-	h.cycle(ConservativeD{})
+	h.cycle(&ConservativeD{})
 	h.wantStartedSet(3)
 }
 
@@ -219,12 +219,12 @@ func TestConservativeDDegradedDedicatedSlot(t *testing.T) {
 	h.addRunning(9, 320, 150)
 	h.addDed(1, 320, 100, 100) // will actually go at 150
 	h.addBatch(2, 320, 40)     // would fit 150..190? no: dedicated holds 150..250
-	h.cycle(ConservativeD{})
+	h.cycle(&ConservativeD{})
 	h.wantStarted() // nothing can start now; no panic from overcommit
 }
 
 func TestConservativeDFlags(t *testing.T) {
-	c := ConservativeD{}
+	c := &ConservativeD{}
 	if c.Name() != "CONS-D" || !c.Heterogeneous() {
 		t.Error("flags wrong")
 	}

@@ -100,9 +100,11 @@ type Scheduler interface {
 //     constructed policy of the same type and configuration, and rejects
 //     encodings it does not recognize.
 //
-// Stateless policies (FCFS, EASY, CONS, and the LOS family, whose only
-// cross-cycle state is the behaviour-neutral Scratch memo) simply do not
-// implement the interface and round-trip for free.
+// Logically stateless policies (FCFS, EASY, CONS, and the LOS family)
+// simply do not implement the interface and round-trip for free: their
+// only cross-cycle state — the behaviour-neutral Scratch memo, and the
+// delta-maintained caches of Stateful policies, which ResetDeltas
+// invalidates on restore — is rebuilt cold.
 type Snapshotter interface {
 	Scheduler
 	SnapshotState() ([]byte, error)

@@ -1,0 +1,110 @@
+package sched
+
+import "elastisched/internal/job"
+
+// Stateful is the optional delta-feed extension of Scheduler — the policy
+// half of the engine's incremental-state contract. A policy that maintains
+// cross-cycle caches derived from engine state (the persistent capacity
+// profile of CONS/CONS-D, the settled flag of EASY) implements it; the
+// engine then reports every state change the policy did not make itself,
+// so the policy can update its caches by delta instead of rebuilding them
+// from the Context every cycle.
+//
+// The contract:
+//
+//   - ResetDeltas arms delta delivery. The engine calls it after Load and
+//     after Restore, before the first scheduling cycle. Until it is
+//     called, the policy must assume no deltas arrive and derive all state
+//     from the Context on every Schedule call — this keeps standalone use
+//     (tests, harnesses driving Schedule directly) working unchanged.
+//     After Restore it doubles as the invalidation signal: caches are
+//     rebuilt from the restored Context, never carried across sessions.
+//   - The Job* methods report state changes: JobArrived fires when a job
+//     joins a waiting queue; JobStarted fires for every dispatch,
+//     including starts the policy itself made through Context.Start;
+//     JobFinished fires when a job leaves the machine (its EndTime still
+//     holds the kill-by value the capacity plan was built on); JobRetimed
+//     fires when ECC extend/reduce moves a running job's kill-by time from
+//     oldEnd to j.EndTime; JobResized fires when ECC grow/shrink moves a
+//     running job's allocation from oldSize to j.Size.
+//   - QueueChanged reports a waiting-set mutation not covered above: an
+//     ECC rewriting a queued job's requirements in place.
+//
+// Deltas other than JobStarted are delivered between Schedule calls, never
+// during one; JobStarted is delivered synchronously inside Context.Start.
+// All caches must be behaviour-neutral: a policy fed deltas must make
+// exactly the starts it would make rebuilding from the Context each cycle
+// (the session property test checks this by running every algorithm cold
+// after restore and requiring deep-equal results).
+type Stateful interface {
+	Scheduler
+	ResetDeltas()
+	JobArrived(j *job.Job, now int64)
+	JobStarted(j *job.Job, now int64)
+	JobFinished(j *job.Job, now int64)
+	JobRetimed(j *job.Job, oldEnd, now int64)
+	JobResized(j *job.Job, oldSize int, now int64)
+	QueueChanged()
+}
+
+// deltaTracker is the bookkeeping half of a Stateful policy: it records
+// whether a delta feed is attached (live) and whether the policy has
+// reached a settled fixed point — a completed scheduling pass after which
+// a re-run against unchanged state provably starts nothing. While settled
+// and undisturbed, Schedule may return immediately: the engine's
+// fixed-point verification pass (and any later cycle whose deltas were all
+// absorbed) becomes O(1) instead of a full reschedule.
+//
+// Embedders inherit default delta handlers that clear the settled flag on
+// every external change; handlers that additionally maintain a capacity
+// cache (consCore) shadow them.
+type deltaTracker struct {
+	live    bool // engine attached a delta feed (ResetDeltas was called)
+	settled bool // last pass reached a fixed point; no external change since
+}
+
+// ResetDeltas implements Stateful.
+func (d *deltaTracker) ResetDeltas() { d.live = true; d.settled = false }
+
+// JobArrived implements Stateful.
+func (d *deltaTracker) JobArrived(*job.Job, int64) { d.settled = false }
+
+// JobStarted implements Stateful. Starts do not unsettle: the only starts
+// that occur are the policy's own, and the pass that made them accounted
+// for them before settling.
+func (d *deltaTracker) JobStarted(*job.Job, int64) {}
+
+// JobFinished implements Stateful.
+func (d *deltaTracker) JobFinished(*job.Job, int64) { d.settled = false }
+
+// JobRetimed implements Stateful.
+func (d *deltaTracker) JobRetimed(*job.Job, int64, int64) { d.settled = false }
+
+// JobResized implements Stateful.
+func (d *deltaTracker) JobResized(*job.Job, int, int64) { d.settled = false }
+
+// QueueChanged implements Stateful.
+func (d *deltaTracker) QueueChanged() { d.settled = false }
+
+// settle records a clean fixed point. Only meaningful with a live feed:
+// without one there is no signal to unsettle, so the flag stays off and
+// every cycle runs in full.
+func (d *deltaTracker) settle() {
+	if d.live {
+		d.settled = true
+	}
+}
+
+// canSkip reports whether a scheduling cycle may be skipped outright: the
+// feed is live, the last pass settled, no delta arrived since — and no
+// dedicated head has come due (moving it is queue work time alone can
+// trigger, which no delta announces).
+func (d *deltaTracker) canSkip(ctx *Context) bool {
+	if !d.live || !d.settled {
+		return false
+	}
+	if h := ctx.Dedicated.Head(); h != nil && h.ReqStart <= ctx.Now {
+		return false
+	}
+	return true
+}

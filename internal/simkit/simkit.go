@@ -392,34 +392,48 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+// siftUp and siftDown shift a hole instead of swapping: the displaced
+// entry is held in a register and written exactly once at its final slot,
+// halving the memory traffic of the swap formulation. The comparisons are
+// the same (time, seq) order as less; seq uniqueness makes ties
+// impossible, so strict comparisons suffice.
 func (h eventHeap) siftUp(i int) {
+	en := h[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		p := h[parent]
+		if p.time < en.time || (p.time == en.time && p.seq < en.seq) {
 			break
 		}
-		h[i], h[parent] = h[parent], h[i]
+		h[i] = p
 		i = parent
 	}
+	h[i] = en
 }
 
 func (h eventHeap) siftDown(i int) {
 	n := len(h)
+	en := h[i]
 	for {
 		left := 2*i + 1
 		if left >= n {
 			break
 		}
 		least := left
-		if right := left + 1; right < n && h.less(right, left) {
-			least = right
+		lt, ls := h[left].time, h[left].seq
+		if right := left + 1; right < n {
+			if h[right].time < lt || (h[right].time == lt && h[right].seq < ls) {
+				least = right
+				lt, ls = h[right].time, h[right].seq
+			}
 		}
-		if !h.less(least, i) {
+		if en.time < lt || (en.time == lt && en.seq < ls) {
 			break
 		}
-		h[i], h[least] = h[least], h[i]
+		h[i] = h[least]
 		i = least
 	}
+	h[i] = en
 }
 
 func (h *eventHeap) push(en entry) {

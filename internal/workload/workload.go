@@ -280,9 +280,17 @@ func Generate(p Params) (*cwf.Workload, error) {
 			fmt.Sprintf("MaxNodes: %d", p.M),
 			fmt.Sprintf("Generator: lublin+two-stage-uniform seed=%d N=%d PS=%g PD=%g PE=%g PR=%g", p.Seed, p.N, p.PS, p.PD, p.PE, p.PR),
 		},
+		// One backing array for all jobs instead of N little heap objects;
+		// commands pre-sized to their expected count. (Consumers receive
+		// *job.Job as before — the engine copies jobs before mutating them,
+		// so sharing a backing array is as safe as sharing the pointers.)
+		Jobs:     make([]*job.Job, 0, p.N),
+		Commands: make([]cwf.Command, 0, int(float64(p.N)*(p.PE+p.PR))+8),
 	}
+	backing := make([]job.Job, p.N)
 	for i, pr := range protos {
-		j := &job.Job{
+		j := &backing[i]
+		*j = job.Job{
 			ID:       i + 1,
 			Size:     pr.size,
 			Dur:      pr.dur,
@@ -388,13 +396,14 @@ func (p Params) arrivalTimes(r *rand.Rand) []int64 {
 	switch p.Mode {
 	case HourlyCount, DailyCycle:
 		var hour int64
+		var offs []float64 // per-hour scratch, reused across hours
 		for len(out) < p.N {
 			weight := p.rushWeight(int(hour % 24))
 			if p.Mode == DailyCycle {
 				weight *= dayProfile[int(hour%24)]
 			}
 			n := int(math.Round(dist.Gamma{Alpha: p.AlphaNum, Beta: p.BetaNum}.Sample(r) * weight))
-			offs := make([]float64, 0, n)
+			offs = offs[:0]
 			for i := 0; i < n; i++ {
 				offs = append(offs, r.Float64()*3600)
 			}
