@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json bench-gate fuzz repro examples clean
+.PHONY: all build vet test race cover bench bench-json bench-gate fuzz chaos repro examples clean
 
 all: build vet test
 
@@ -46,6 +46,13 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzParse -fuzztime=10s ./internal/cwf
 	$(GO) test -run=Fuzz -fuzz=FuzzDPEquivalence -fuzztime=10s ./internal/core
 	$(GO) test -run=Fuzz -fuzz=FuzzProfileOps -fuzztime=10s ./internal/sched
+	$(GO) test -run=Fuzz -fuzz=FuzzFaultTrace -fuzztime=10s ./internal/fault
+
+# Chaos harness: every registry algorithm under seeded node-group fault
+# traces and retry policies, each schedule certified by the audit oracle,
+# plus mid-outage snapshot/restore round trips (see DESIGN.md section 10).
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/experiment
 
 # Full evaluation suite with TSV outputs under results/.
 repro:

@@ -46,6 +46,15 @@ func main() {
 		until     = flag.Int64("until", -1, "stop after the last event at or before this time and report partial metrics (-1 = run to completion)")
 		checkFile = flag.String("checkpoint", "", "write the stopped session's snapshot to this file (single algorithm only)")
 		resumeF   = flag.String("resume", "", "resume from a snapshot file instead of reading a workload")
+
+		mtbf       = flag.Float64("mtbf", 0, "per-node-group mean time between failures in s (0 = fault injection off)")
+		mttr       = flag.Float64("mttr", 0, "per-node-group mean time to repair in s (with -mtbf)")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault trace sampling seed (with -mtbf)")
+		faultFile  = flag.String("fault-trace", "", "scripted fault trace file (\"<time> fail|repair <groups>\" lines; exclusive with -mtbf)")
+		retryMode  = flag.String("retry", "requeue", "policy for batch jobs killed by a failure: requeue or drop")
+		restart    = flag.String("restart", "full", "runtime a requeued job restarts with: full or remaining")
+		maxRetries = flag.Int("max-retries", 0, "requeues per job before it is dropped (0 = unlimited)")
+		backoff    = flag.Int64("retry-backoff", 0, "delay in s before a killed job is resubmitted")
 	)
 	flag.Parse()
 
@@ -103,52 +112,134 @@ func main() {
 		fatal(fmt.Errorf("-checkpoint requires a single algorithm, got %d", len(algos)))
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, resultHeader)
+	fc, err := faultConfig(*mtbf, *mttr, *faultSeed, *faultFile, *retryMode, *restart, *maxRetries, *backoff)
+	if err != nil {
+		fatal(err)
+	}
+	opt := es.Options{M: *m, Unit: *unit, Cs: *cs, Lookahead: *lookahead, MaxECCPerJob: *maxECC, Faults: fc}
+	so := sweepOpts{gantt: *gantt, jobsOut: *jobsOut, until: *until, checkFile: *checkFile}
+	if err := runSweep(w, algos, opt, os.Stdout, so); err != nil {
+		fatal(err)
+	}
+}
+
+// sweepOpts bundles the rendering and session-control knobs of one sweep.
+type sweepOpts struct {
+	gantt, jobsOut string
+	until          int64
+	checkFile      string
+}
+
+// runSweep runs every algorithm in order, writing one result row per
+// completed run. A failing run aborts the sweep, but the rows already
+// completed are flushed first: a mid-sweep abort keeps its partial results.
+func runSweep(w *es.Workload, algos []string, opt es.Options, out io.Writer, so sweepOpts) error {
+	faulty := opt.Faults != nil
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, resultHeader(faulty))
+	var sweepErr error
 	for i, name := range algos {
 		name = strings.TrimSpace(name)
-		opt := es.Options{M: *m, Unit: *unit, Cs: *cs, Lookahead: *lookahead, MaxECCPerJob: *maxECC}
+		aopt := opt
 		var rec *es.Trace
-		if (*gantt != "" || *jobsOut != "") && i == 0 {
-			rec = es.NewTrace(*m, *unit)
-			opt.Trace = rec
+		if (so.gantt != "" || so.jobsOut != "") && i == 0 {
+			rec = es.NewTrace(opt.M, opt.Unit)
+			aopt.Trace = rec
 		}
 		var res *es.Result
 		var err error
-		if *until >= 0 || *checkFile != "" {
-			res, err = runCapped(w, name, opt, *until, *checkFile)
+		if so.until >= 0 || so.checkFile != "" {
+			res, err = runCapped(w, name, aopt, so.until, so.checkFile)
 		} else {
-			res, err = es.Simulate(w, name, opt)
+			res, err = es.Simulate(w, name, aopt)
 		}
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			sweepErr = fmt.Errorf("%s: %w", name, err)
+			break
 		}
-		fmt.Fprint(tw, resultRow(name, res))
-		if rec != nil && *gantt != "" {
-			if *gantt == "-" {
-				fmt.Println(rec.ASCII(100))
-			} else if err := os.WriteFile(*gantt, []byte(rec.SVG(1000, 420)), 0o644); err != nil {
-				fatal(err)
+		fmt.Fprint(tw, resultRow(name, res, faulty))
+		if rec != nil && so.gantt != "" {
+			if so.gantt == "-" {
+				fmt.Fprintln(out, rec.ASCII(100))
+			} else if err := os.WriteFile(so.gantt, []byte(rec.SVG(1000, 420)), 0o644); err != nil {
+				sweepErr = err
+				break
 			} else {
-				fmt.Fprintf(os.Stderr, "simrun: wrote %s\n", *gantt)
+				fmt.Fprintf(os.Stderr, "simrun: wrote %s\n", so.gantt)
 			}
 		}
-		if rec != nil && *jobsOut != "" {
-			if err := writeJobs(*jobsOut, rec); err != nil {
-				fatal(err)
+		if rec != nil && so.jobsOut != "" {
+			if err := writeJobs(so.jobsOut, rec); err != nil {
+				sweepErr = err
+				break
 			}
 		}
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil && sweepErr == nil {
+		sweepErr = err
+	}
+	return sweepErr
 }
 
-const resultHeader = "algorithm\tutil\tmean wait (s)\tmean run (s)\tslowdown\tded on-time\tECCs applied"
+// faultConfig assembles Options.Faults from the fault flags; nil when fault
+// injection is off.
+func faultConfig(mtbf, mttr float64, seed int64, traceFile, retry, restart string, maxRetries int, backoff int64) (*es.FaultConfig, error) {
+	if mtbf <= 0 && traceFile == "" {
+		return nil, nil
+	}
+	fc := &es.FaultConfig{MTBF: mtbf, MTTR: mttr, Seed: seed}
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		t, err := es.ParseFaultTrace(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", traceFile, err)
+		}
+		fc.Trace = t
+	}
+	switch retry {
+	case "requeue":
+		fc.Retry.Mode = es.Requeue
+	case "drop":
+		fc.Retry.Mode = es.Drop
+	default:
+		return nil, fmt.Errorf("-retry: want requeue or drop, got %q", retry)
+	}
+	switch restart {
+	case "full":
+		fc.Retry.Restart = es.FullRuntime
+	case "remaining":
+		fc.Retry.Restart = es.RemainingRuntime
+	default:
+		return nil, fmt.Errorf("-restart: want full or remaining, got %q", restart)
+	}
+	fc.Retry.MaxRetries = maxRetries
+	fc.Retry.Backoff = backoff
+	return fc, nil
+}
+
+// resultHeader renders the tabwriter header; fault-injected sweeps carry
+// the failure-accounting columns.
+func resultHeader(faulty bool) string {
+	h := "algorithm\tutil\tmean wait (s)\tmean run (s)\tslowdown\tded on-time\tECCs applied"
+	if faulty {
+		h += "\tkilled\tretried\tdropped\tdown proc-s"
+	}
+	return h
+}
 
 // resultRow renders one algorithm's tabwriter line.
-func resultRow(name string, res *es.Result) string {
+func resultRow(name string, res *es.Result, faulty bool) string {
 	s := res.Summary
-	return fmt.Sprintf("%s\t%.4f\t%.1f\t%.1f\t%.3f\t%.2f\t%d\n",
+	row := fmt.Sprintf("%s\t%.4f\t%.1f\t%.1f\t%.3f\t%.2f\t%d",
 		name, s.Utilization, s.MeanWait, s.MeanRun, s.Slowdown, s.DedicatedOnTime, res.ECC.Applied)
+	if faulty {
+		row += fmt.Sprintf("\t%d\t%d\t%d\t%.0f", s.KilledJobs, s.RetriedJobs, s.DroppedJobs, s.DownProcSeconds)
+	}
+	return row + "\n"
 }
 
 // runCapped drives the workload through a session so the run can be capped
@@ -227,8 +318,9 @@ func resumeRun(path string, until int64, checkFile string, cs, lookahead int) er
 		return fmt.Errorf("%s: %w", sn.Scheduler, err)
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, resultHeader)
-	fmt.Fprint(tw, resultRow(sn.Scheduler, res))
+	faulty := sn.Retry != nil
+	fmt.Fprintln(tw, resultHeader(faulty))
+	fmt.Fprint(tw, resultRow(sn.Scheduler, res, faulty))
 	return tw.Flush()
 }
 

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	es "elastisched"
@@ -61,6 +63,154 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("resumed run diverged from uninterrupted run:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// sweepWorkload builds a small deterministic workload for sweep tests.
+func sweepWorkload(t *testing.T) *es.Workload {
+	t.Helper()
+	var specs []es.JobSpec
+	for i := 0; i < 30; i++ {
+		specs = append(specs, es.JobSpec{
+			ID: i + 1, Size: 32 * (1 + i%5), Duration: int64(500 + 90*i),
+			Arrival: int64(150 * i), RequestedStart: -1,
+		})
+	}
+	w, err := es.BuildWorkload(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestSweepAbortFlushesPartialResults: when an algorithm mid-sweep fails,
+// runSweep must return the error (so main exits non-zero) AND the rows of
+// the algorithms that already completed must have been flushed.
+func TestSweepAbortFlushesPartialResults(t *testing.T) {
+	w := sweepWorkload(t)
+	var out bytes.Buffer
+	err := runSweep(w, []string{"EASY", "no-such-algorithm", "FCFS"},
+		es.Options{M: 320, Unit: 32}, &out, sweepOpts{until: -1})
+	if err == nil {
+		t.Fatal("sweep with an unknown algorithm reported success")
+	}
+	if !strings.Contains(err.Error(), "no-such-algorithm") {
+		t.Errorf("error does not name the failing algorithm: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "algorithm") || !strings.Contains(got, "EASY") {
+		t.Errorf("completed EASY row lost on abort; output:\n%s", got)
+	}
+	if strings.Contains(got, "FCFS") {
+		t.Errorf("sweep continued past the failing algorithm; output:\n%s", got)
+	}
+}
+
+// TestFaultConfigFlags covers the flag-to-FaultConfig assembly, including
+// the typed rejections.
+func TestFaultConfigFlags(t *testing.T) {
+	if fc, err := faultConfig(0, 0, 1, "", "requeue", "full", 0, 0); err != nil || fc != nil {
+		t.Errorf("faults-off config = (%v, %v), want (nil, nil)", fc, err)
+	}
+	fc, err := faultConfig(50000, 1200, 9, "", "drop", "remaining", 3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := es.RetryPolicy{Mode: es.Drop, Restart: es.RemainingRuntime, MaxRetries: 3, Backoff: 60}
+	if fc.MTBF != 50000 || fc.MTTR != 1200 || fc.Seed != 9 || fc.Retry != want {
+		t.Errorf("faultConfig = %+v, want MTBF 50000 MTTR 1200 seed 9 retry %+v", fc, want)
+	}
+	if _, err := faultConfig(50000, 0, 1, "", "bogus", "full", 0, 0); err == nil {
+		t.Error("bad -retry accepted")
+	}
+	if _, err := faultConfig(50000, 0, 1, "", "requeue", "bogus", 0, 0); err == nil {
+		t.Error("bad -restart accepted")
+	}
+	if _, err := faultConfig(0, 0, 1, filepath.Join(t.TempDir(), "absent"), "requeue", "full", 0, 0); err == nil {
+		t.Error("missing -fault-trace file accepted")
+	}
+	script := filepath.Join(t.TempDir(), "faults.txt")
+	if err := os.WriteFile(script, []byte("# outage\n3000 fail 0,1\n3400 repair 0,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fc, err = faultConfig(0, 0, 1, script, "requeue", "full", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Trace == nil || len(fc.Trace.Events) != 2 {
+		t.Errorf("scripted trace not loaded: %+v", fc)
+	}
+}
+
+// TestFaultSweepReportsFailureColumns runs a fault-injected sweep through
+// the CLI path and checks the failure-accounting columns appear.
+func TestFaultSweepReportsFailureColumns(t *testing.T) {
+	w := sweepWorkload(t)
+	script := filepath.Join(t.TempDir(), "faults.txt")
+	if err := os.WriteFile(script, []byte("1000 fail 0,1,2,3,4,5,6,7,8,9\n1500 repair 0,1,2,3,4,5,6,7,8,9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := faultConfig(0, 0, 1, script, "requeue", "full", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runSweep(w, []string{"EASY"}, es.Options{M: 320, Unit: 32, Faults: fc}, &out, sweepOpts{until: -1}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "killed") || !strings.Contains(got, "down proc-s") {
+		t.Errorf("fault columns missing from header:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row, got:\n%s", got)
+	}
+	if fields := strings.Fields(lines[1]); fields[len(fields)-1] == "0" {
+		t.Errorf("full-machine outage recorded zero down proc-seconds:\n%s", got)
+	}
+}
+
+// TestFaultCheckpointResume is the fault-injected CLI round trip: cap a
+// scripted-outage run mid-outage with a checkpoint, resume from the file,
+// and the combined result must deep-equal the uninterrupted run.
+func TestFaultCheckpointResume(t *testing.T) {
+	w := sweepWorkload(t)
+	tr, err := es.ParseFaultTrace(strings.NewReader("2000 fail 0,1\n2600 repair 0,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := es.Options{M: 320, Unit: 32, Faults: &es.FaultConfig{Trace: tr}}
+	want, err := es.Simulate(w, "EASY", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Summary.KilledJobs == 0 {
+		t.Fatal("outage killed nothing; the round trip would not cover the fault path")
+	}
+
+	snap := filepath.Join(t.TempDir(), "mid.snap")
+	if _, err := runCapped(w, "EASY", opt, 2200, snap); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sess, err := es.ResumeSession(f, es.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed fault run diverged:\ngot:  %+v\nwant: %+v", got, want)
 	}
 }
 

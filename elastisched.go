@@ -32,6 +32,7 @@ import (
 	"elastisched/internal/cwf"
 	"elastisched/internal/engine"
 	"elastisched/internal/experiment"
+	"elastisched/internal/fault"
 	"elastisched/internal/job"
 	"elastisched/internal/metrics"
 	"elastisched/internal/sched"
@@ -68,7 +69,38 @@ type (
 	// SessionSnapshot is the complete captured state of a Session, JSON
 	// encodable via its Encode method and restorable via ResumeSession.
 	SessionSnapshot = engine.Snapshot
+	// FaultConfig enables node-group fault injection for a run: either a
+	// scripted FaultTrace or sampled MTBF/MTTR outages, plus the retry
+	// policy applied to killed jobs. Attach it via Options.Faults.
+	FaultConfig = engine.FaultConfig
+	// FaultTrace is a replayable sequence of node-group failure and repair
+	// events; parse one with ParseFaultTrace or let the engine sample one.
+	FaultTrace = fault.Trace
+	// FaultEvent is one failure or repair of a set of node groups.
+	FaultEvent = fault.Event
+	// RetryPolicy configures what happens to batch jobs killed by a
+	// failure: Requeue (at the head of the queue, with FullRuntime or
+	// RemainingRuntime restart, bounded by MaxRetries and delayed by
+	// Backoff) or Drop.
+	RetryPolicy = fault.RetryPolicy
 )
+
+// Retry-policy mode and restart constants; see RetryPolicy.
+const (
+	Requeue          = fault.Requeue
+	Drop             = fault.Drop
+	FullRuntime      = fault.FullRuntime
+	RemainingRuntime = fault.RemainingRuntime
+)
+
+// ParseFaultTrace reads a scripted fault trace: one "<time> fail|repair
+// <group>[,<group>...]" event per line, times non-decreasing, #-comments
+// ignored.
+func ParseFaultTrace(r io.Reader) (*FaultTrace, error) { return fault.Parse(r) }
+
+// WriteFaultTrace emits a trace in the format ParseFaultTrace reads — for
+// persisting a sampled trace (Session.FaultTrace) as a replayable script.
+func WriteFaultTrace(w io.Writer, t *FaultTrace) error { return fault.Write(w, t) }
 
 // NewTrace returns a placement recorder for a machine of m processors in
 // groups of unit; attach it via Options.Trace.
@@ -176,6 +208,9 @@ type Options struct {
 	// Migrate enables on-the-fly defragmentation (compaction) when a
 	// contiguous placement fails.
 	Migrate bool
+	// Faults enables node-group fault injection (incompatible with
+	// Contiguous). See FaultConfig.
+	Faults *FaultConfig
 }
 
 // AlgorithmNames lists every algorithm accepted by Simulate: the paper's
@@ -207,6 +242,7 @@ func Simulate(w *Workload, algorithm string, opt Options) (*Result, error) {
 		Paranoid:     opt.Paranoid,
 		Contiguous:   opt.Contiguous,
 		Migrate:      opt.Migrate,
+		Faults:       opt.Faults,
 	}
 	if opt.Trace != nil {
 		cfg.Observer = opt.Trace
@@ -240,6 +276,7 @@ func NewSession(algorithm string, opt Options) (*Session, error) {
 		Paranoid:     opt.Paranoid,
 		Contiguous:   opt.Contiguous,
 		Migrate:      opt.Migrate,
+		Faults:       opt.Faults,
 	}
 	if opt.Trace != nil {
 		cfg.Observer = opt.Trace
@@ -285,6 +322,12 @@ func ResumeSnapshot(sn *SessionSnapshot, opt Options) (*Session, error) {
 		Contiguous:   sn.Contiguous,
 		Migrate:      sn.Migrate,
 	}
+	if sn.Retry != nil {
+		// A fault-injected session: the pending failure/repair events live in
+		// the snapshot itself (no trace is re-sampled on restore), so the
+		// rebuilt config only needs the matching retry policy.
+		cfg.Faults = &engine.FaultConfig{Trace: &fault.Trace{}, Retry: *sn.Retry}
+	}
 	if opt.Trace != nil {
 		cfg.Observer = opt.Trace
 	}
@@ -319,6 +362,7 @@ func SimulateWith(w *Workload, s Scheduler, processECC bool, opt Options) (*Resu
 		Paranoid:     opt.Paranoid,
 		Contiguous:   opt.Contiguous,
 		Migrate:      opt.Migrate,
+		Faults:       opt.Faults,
 	}
 	if opt.Trace != nil {
 		cfg.Observer = opt.Trace

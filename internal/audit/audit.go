@@ -12,6 +12,14 @@
 //   - allocations respect the machine's node-group quantum and no two jobs
 //     share a node group at the same instant.
 //
+// Under fault injection (Options.Faults) the oracle additionally verifies
+// the failure semantics: no placement overlaps a window in which one of its
+// node groups was down, kills and resubmissions follow the retry policy
+// (drop means no further spans, retry budgets and backoffs are respected),
+// and retried jobs account for the right amount of runtime. Trace-level
+// inconsistencies (repairs with no preceding failure, double failures) are
+// folded into the report.
+//
 // Integration tests run every scheduling policy through this auditor, so a
 // bookkeeping bug in the engine and a matching bug in the metrics cannot
 // mask each other.
@@ -22,6 +30,7 @@ import (
 	"sort"
 
 	"elastisched/internal/cwf"
+	"elastisched/internal/fault"
 	"elastisched/internal/job"
 	"elastisched/internal/trace"
 )
@@ -58,6 +67,13 @@ type Options struct {
 	// checks: EP/RP commands change allocations mid-run, so the dispatch
 	// snapshot in a span no longer describes the whole lifetime.
 	SizeElastic bool
+	// Faults is the fault trace the run executed under. When non-nil the
+	// fault-aware rules apply: jobs may occupy the machine once per
+	// attempt (killed spans followed by resubmissions), and every span is
+	// checked against the trace's down windows and the retry policy.
+	Faults *fault.Trace
+	// Retry is the engine's retry policy; meaningful only with Faults.
+	Retry fault.RetryPolicy
 }
 
 // Check audits the spans of one run against the workload it came from.
@@ -76,7 +92,9 @@ func Check(w *cwf.Workload, spans []trace.Span, opt Options) Report {
 		byID[j.ID] = j
 	}
 
-	// Per-span lawfulness.
+	// Per-span lawfulness. Under fault injection a job may legitimately
+	// appear once per attempt; the structural rules for repeats live in
+	// checkFaults. Without it, a second span is a violation outright.
 	seen := make(map[int]bool, len(spans))
 	for _, sp := range spans {
 		j, ok := byID[sp.JobID]
@@ -84,7 +102,7 @@ func Check(w *cwf.Workload, spans []trace.Span, opt Options) Report {
 			add("job %d placed but never submitted", sp.JobID)
 			continue
 		}
-		if seen[sp.JobID] {
+		if seen[sp.JobID] && opt.Faults == nil {
 			add("job %d placed twice", sp.JobID)
 			continue
 		}
@@ -99,8 +117,10 @@ func Check(w *cwf.Workload, spans []trace.Span, opt Options) Report {
 			add("job %d has empty span [%d, %d)", sp.JobID, sp.Start, sp.End)
 		}
 		if !opt.Elastic {
-			if got, want := sp.End-sp.Start, j.EffectiveRuntime(); got != want {
-				add("job %d ran %d s, expected %d", sp.JobID, got, want)
+			if opt.Faults == nil {
+				if got, want := sp.End-sp.Start, j.EffectiveRuntime(); got != want {
+					add("job %d ran %d s, expected %d", sp.JobID, got, want)
+				}
 			}
 			if sp.Size < j.Size || sp.Size%opt.Unit != 0 {
 				add("job %d placed on %d procs, submitted %d (unit %d)", sp.JobID, sp.Size, j.Size, opt.Unit)
@@ -119,6 +139,10 @@ func Check(w *cwf.Workload, spans []trace.Span, opt Options) Report {
 		if !seen[id] {
 			add("job %d submitted but never placed", id)
 		}
+	}
+
+	if opt.Faults != nil {
+		checkFaults(byID, spans, opt, add)
 	}
 
 	if opt.SizeElastic {
@@ -173,4 +197,117 @@ func Check(w *cwf.Workload, spans []trace.Span, opt Options) Report {
 		add("schedule ends with %d processors still marked busy", busy)
 	}
 	return rep
+}
+
+// checkFaults verifies the failure semantics of a fault-injected run:
+// trace sanity, down-window exclusion, and the retry policy's structural
+// rules over each job's sequence of attempts.
+func checkFaults(byID map[int]*job.Job, spans []trace.Span, opt Options, add func(string, ...any)) {
+	groups := opt.M / opt.Unit
+	for _, issue := range opt.Faults.Lint(groups) {
+		add("fault trace: %s", issue)
+	}
+
+	// Horizon for down windows: past every span and every trace event, so
+	// a failure never repaired stays down through the whole schedule.
+	var horizon int64
+	for _, sp := range spans {
+		if sp.End > horizon {
+			horizon = sp.End
+		}
+	}
+	for _, e := range opt.Faults.Events {
+		if e.Time >= horizon {
+			horizon = e.Time + 1
+		}
+	}
+	windows := opt.Faults.DownWindows(groups, horizon)
+
+	// No span may overlap a down window of a group it holds. Killed spans
+	// end exactly at the failure instant, so the half-open intervals do
+	// not intersect for a lawful kill. Spans resized by EP/RP commands are
+	// exempt: their dispatch-time group set no longer describes the whole
+	// lifetime.
+	attempts := make(map[int][]trace.Span, len(byID))
+	for _, sp := range spans {
+		attempts[sp.JobID] = append(attempts[sp.JobID], sp)
+		if opt.SizeElastic && len(sp.Resizes) > 0 {
+			continue
+		}
+		for _, g := range sp.Groups {
+			if g < 0 || g >= groups {
+				continue
+			}
+			for _, w := range windows[g] {
+				if sp.Start < w[1] && w[0] < sp.End {
+					add("job %d occupies group %d which is down [%d, %d) during its span [%d, %d)",
+						sp.JobID, g, w[0], w[1], sp.Start, sp.End)
+				}
+			}
+		}
+	}
+
+	for id, atts := range attempts {
+		j := byID[id]
+		if j == nil {
+			continue // already reported as never submitted
+		}
+		// Recorder spans come sorted by start; attempts of one job never
+		// overlap, so this is also attempt order.
+		for i, sp := range atts {
+			last := i == len(atts)-1
+			if !sp.Killed && !last {
+				add("job %d placed again after completing at t=%d", id, sp.End)
+			}
+			if sp.Killed && !last {
+				// A resubmission exists: it must be lawful for the policy
+				// and respect the backoff.
+				switch {
+				case j.Class == job.Dedicated:
+					add("dedicated job %d resubmitted after its kill at t=%d", id, sp.End)
+				case opt.Retry.Mode == fault.Drop:
+					add("job %d resubmitted after its kill at t=%d under a drop policy", id, sp.End)
+				case opt.Retry.MaxRetries > 0 && i >= opt.Retry.MaxRetries:
+					add("job %d resubmitted %d times, retry limit %d", id, i+1, opt.Retry.MaxRetries)
+				}
+				if next := atts[i+1]; next.Start < sp.End+opt.Retry.Backoff {
+					add("job %d restarted at %d before backoff %d from its kill at %d",
+						id, next.Start, opt.Retry.Backoff, sp.End)
+				}
+			}
+		}
+		if opt.Elastic {
+			continue
+		}
+		// Runtime accounting. eff is what the job needed end to end; kills
+		// may each add up to one clamp second under RemainingRuntime.
+		eff := j.EffectiveRuntime()
+		kills := 0
+		var total int64
+		for _, sp := range atts {
+			total += sp.End - sp.Start
+			if sp.Killed {
+				kills++
+				if sp.End-sp.Start > eff {
+					add("job %d attempt ran %d s before its kill, above its effective runtime %d",
+						id, sp.End-sp.Start, eff)
+				}
+			}
+		}
+		completed := !atts[len(atts)-1].Killed
+		if !completed {
+			continue
+		}
+		switch opt.Retry.Restart {
+		case fault.FullRuntime:
+			if got := atts[len(atts)-1].End - atts[len(atts)-1].Start; got != eff {
+				add("job %d final attempt ran %d s, expected full restart runtime %d", id, got, eff)
+			}
+		case fault.RemainingRuntime:
+			if total < eff || total > eff+int64(kills) {
+				add("job %d ran %d s across %d attempts, expected within [%d, %d]",
+					id, total, len(atts), eff, eff+int64(kills))
+			}
+		}
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"elastisched/internal/cwf"
+	"elastisched/internal/fault"
 	"elastisched/internal/job"
 	"elastisched/internal/trace"
 )
@@ -166,4 +167,148 @@ func wantViolation(t *testing.T, rep Report, substr string) {
 		}
 	}
 	t.Errorf("no violation containing %q; got %v", substr, rep.Violations)
+}
+
+// --- fault-aware rules ----------------------------------------------------
+
+func fopts(tr *fault.Trace, p fault.RetryPolicy) Options {
+	o := opts()
+	o.Faults = tr
+	o.Retry = p
+	return o
+}
+
+func killedSpan(id, size int, start, end int64, groups ...int) trace.Span {
+	sp := span(id, size, start, end, groups...)
+	sp.Killed = true
+	return sp
+}
+
+func ftr(evs ...fault.Event) *fault.Trace { return &fault.Trace{Events: evs} }
+
+func fev(t int64, k fault.Kind, groups ...int) fault.Event {
+	return fault.Event{Time: t, Kind: k, Groups: groups}
+}
+
+func TestFaultCleanKillAndRetryOK(t *testing.T) {
+	// Job killed at the failure instant, resubmitted, reruns in full on a
+	// healthy group: lawful under the default retry policy.
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(40, fault.Fail, 0), fev(200, fault.Repair, 0))
+	spans := []trace.Span{
+		killedSpan(1, 64, 0, 40, 0, 1),
+		span(1, 64, 40, 140, 2, 3),
+	}
+	rep := Check(w, spans, fopts(tr, fault.RetryPolicy{}))
+	if !rep.OK() {
+		t.Fatalf("lawful kill+retry flagged: %v", rep.Violations)
+	}
+}
+
+func TestFaultDetectsPlacementOnDownGroup(t *testing.T) {
+	// Group 0 is down [40, 200); the span keeps running on it past the
+	// failure instant.
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(40, fault.Fail, 0), fev(200, fault.Repair, 0))
+	rep := Check(w, []trace.Span{span(1, 64, 0, 100, 0, 1)}, fopts(tr, fault.RetryPolicy{}))
+	wantViolation(t, rep, "occupies group 0 which is down [40, 200)")
+}
+
+func TestFaultDetectsResubmitUnderDropPolicy(t *testing.T) {
+	// A killed job must never resubmit under a drop policy.
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(40, fault.Fail, 0), fev(200, fault.Repair, 0))
+	spans := []trace.Span{
+		killedSpan(1, 64, 0, 40, 0, 1),
+		span(1, 64, 40, 140, 2, 3),
+	}
+	rep := Check(w, spans, fopts(tr, fault.RetryPolicy{Mode: fault.Drop}))
+	wantViolation(t, rep, "resubmitted after its kill at t=40 under a drop policy")
+}
+
+func TestFaultDetectsDedicatedResubmission(t *testing.T) {
+	d := &job.Job{ID: 1, Size: 64, Dur: 100, Arrival: 0, ReqStart: 0, Class: job.Dedicated}
+	w := wlOf(d)
+	tr := ftr(fev(40, fault.Fail, 0), fev(200, fault.Repair, 0))
+	s1 := killedSpan(1, 64, 0, 40, 0, 1)
+	s1.Class = job.Dedicated
+	s2 := span(1, 64, 40, 140, 2, 3)
+	s2.Class = job.Dedicated
+	rep := Check(w, []trace.Span{s1, s2}, fopts(tr, fault.RetryPolicy{}))
+	wantViolation(t, rep, "dedicated job 1 resubmitted after its kill")
+}
+
+func TestFaultDetectsRepairBeforeFailure(t *testing.T) {
+	// A repair with no preceding failure is a trace-level inconsistency the
+	// report must surface.
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(10, fault.Repair, 3))
+	rep := Check(w, []trace.Span{span(1, 64, 0, 100, 0, 1)}, fopts(tr, fault.RetryPolicy{}))
+	wantViolation(t, rep, "group 3 repaired at t=10 with no preceding failure")
+}
+
+func TestFaultDetectsRetryBudgetOverrun(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(10, fault.Fail, 0), fev(11, fault.Repair, 0),
+		fev(50, fault.Fail, 2), fev(51, fault.Repair, 2))
+	spans := []trace.Span{
+		killedSpan(1, 64, 0, 10, 0, 1),
+		killedSpan(1, 64, 11, 50, 2, 3),
+		span(1, 64, 51, 151, 4, 5),
+	}
+	rep := Check(w, spans, fopts(tr, fault.RetryPolicy{MaxRetries: 1}))
+	wantViolation(t, rep, "resubmitted 2 times, retry limit 1")
+}
+
+func TestFaultDetectsBackoffViolation(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(40, fault.Fail, 0), fev(200, fault.Repair, 0))
+	spans := []trace.Span{
+		killedSpan(1, 64, 0, 40, 0, 1),
+		span(1, 64, 45, 145, 2, 3), // backoff is 10: too early
+	}
+	rep := Check(w, spans, fopts(tr, fault.RetryPolicy{Backoff: 10}))
+	wantViolation(t, rep, "restarted at 45 before backoff 10")
+}
+
+func TestFaultDetectsShortFullRestart(t *testing.T) {
+	// Full restart must rerun the whole effective runtime.
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(40, fault.Fail, 0), fev(200, fault.Repair, 0))
+	spans := []trace.Span{
+		killedSpan(1, 64, 0, 40, 0, 1),
+		span(1, 64, 40, 100, 2, 3), // only 60s: remaining, not full
+	}
+	rep := Check(w, spans, fopts(tr, fault.RetryPolicy{Restart: fault.FullRuntime}))
+	wantViolation(t, rep, "final attempt ran 60 s, expected full restart runtime 100")
+}
+
+func TestFaultRemainingRuntimeBounds(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(40, fault.Fail, 0), fev(200, fault.Repair, 0))
+	ok := []trace.Span{
+		killedSpan(1, 64, 0, 40, 0, 1),
+		span(1, 64, 40, 100, 2, 3), // 40 + 60 = 100 = exact
+	}
+	rep := Check(w, ok, fopts(tr, fault.RetryPolicy{Restart: fault.RemainingRuntime}))
+	if !rep.OK() {
+		t.Fatalf("exact remaining-runtime retry flagged: %v", rep.Violations)
+	}
+	bad := []trace.Span{
+		killedSpan(1, 64, 0, 40, 0, 1),
+		span(1, 64, 40, 130, 2, 3), // 40 + 90 = 130 > eff + kills
+	}
+	rep = Check(w, bad, fopts(tr, fault.RetryPolicy{Restart: fault.RemainingRuntime}))
+	wantViolation(t, rep, "expected within [100, 101]")
+}
+
+func TestFaultDetectsPlacementAfterCompletion(t *testing.T) {
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(500, fault.Fail, 9), fev(501, fault.Repair, 9))
+	spans := []trace.Span{
+		span(1, 64, 0, 100, 0, 1),
+		span(1, 64, 200, 300, 0, 1),
+	}
+	rep := Check(w, spans, fopts(tr, fault.RetryPolicy{}))
+	wantViolation(t, rep, "placed again after completing")
 }

@@ -23,6 +23,7 @@ import (
 
 	"elastisched/internal/cwf"
 	"elastisched/internal/ecc"
+	"elastisched/internal/fault"
 	"elastisched/internal/job"
 	"elastisched/internal/machine"
 	"elastisched/internal/metrics"
@@ -68,6 +69,12 @@ type Config struct {
 	// successfully, skipping re-validation. Set by sweep drivers that replay
 	// one validated workload under many algorithms.
 	Prevalidated bool
+	// Faults, when non-nil, enables fault injection: node groups fail and
+	// recover per the configured trace or MTBF/MTTR model, killing the jobs
+	// that hold them; the retry policy decides what happens to the victims.
+	// Incompatible with Contiguous allocation (compaction and contiguity
+	// reasoning are not fault-aware yet; see ROADMAP).
+	Faults *FaultConfig
 }
 
 // validate rejects unusable machine geometry up front, with the Unit
@@ -86,6 +93,20 @@ func (cfg *Config) validate() error {
 	if cfg.M%cfg.Unit != 0 {
 		return fmt.Errorf("engine: allocation unit %d does not divide machine size %d", cfg.Unit, cfg.M)
 	}
+	if cfg.Faults != nil {
+		if cfg.Contiguous {
+			return errors.New("engine: fault injection is not supported with contiguous allocation")
+		}
+		if err := cfg.Faults.validate(); err != nil {
+			return err
+		}
+		if cfg.Faults.Trace != nil {
+			groups := cfg.M / cfg.Unit
+			if err := cfg.Faults.Trace.Validate(groups); err != nil {
+				return fmt.Errorf("engine: fault trace: %w", err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -97,6 +118,10 @@ type Observer interface {
 	JobFinished(j *job.Job, now int64)
 	// JobResized fires after an EP/RP command changed the allocation.
 	JobResized(j *job.Job, now int64, newSize int)
+	// JobKilled fires when a node-group failure kills the running job. If
+	// the retry policy requeues it, a later JobStarted opens its next
+	// attempt.
+	JobKilled(j *job.Job, now int64)
 }
 
 // Result is the outcome of a run.
@@ -162,10 +187,13 @@ type Session struct {
 	// changes so the policy maintains its caches incrementally instead of
 	// rebuilding them every cycle. Armed via ResetDeltas in Load/Restore.
 	st sched.Stateful
-	// arriveH/completeH/commandH are the shared event callbacks, bound once
-	// so the hot paths schedule through simkit.AtArg without allocating a
-	// closure per event.
-	arriveH, completeH, commandH simkit.ArgHandler
+	// arriveH/completeH/commandH/faultH are the shared event callbacks,
+	// bound once so the hot paths schedule through simkit.AtArg without
+	// allocating a closure per event.
+	arriveH, completeH, commandH, faultH simkit.ArgHandler
+	// ftrace is the resolved fault trace (scripted or sampled at Load);
+	// nil when fault injection is off.
+	ftrace *fault.Trace
 
 	// loaded latches after Load or Restore; failed latches the first
 	// unrecoverable error (livelock), after which the session is dead.
@@ -298,6 +326,11 @@ func New(cfg Config) (*Session, error) {
 	s.arriveH = s.arriveEv
 	s.completeH = s.completeEv
 	s.commandH = s.commandEv
+	if cfg.Faults != nil {
+		// Bound lazily: fault-free runs never dispatch a fault event, and a
+		// fault snapshot only restores into a fault-enabled config.
+		s.faultH = s.faultEv
+	}
 	return s, nil
 }
 
@@ -352,6 +385,18 @@ func (s *Session) Load(w *cwf.Workload) error {
 	copy(cmds, w.Commands)
 	for i := range cmds {
 		s.eng.AtArg(cmds[i].Issue, s.commandH, &cmds[i])
+	}
+	if s.cfg.Faults != nil {
+		// Default sampling horizon: the workload's span under estimates.
+		var horizon int64
+		for _, j := range s.jobs {
+			if end := j.Arrival + j.Dur; end > horizon {
+				horizon = end
+			}
+		}
+		if err := s.loadFaults(horizon); err != nil {
+			return err
+		}
 	}
 	if s.st != nil {
 		s.st.ResetDeltas()
@@ -651,6 +696,12 @@ func (s *Session) arrive(j *job.Job, now int64) {
 			// event lands there.
 			s.eng.At(j.ReqStart, noopWake)
 		}
+		return
+	}
+	if j.Rigid {
+		// A failure victim resubmitted by the retry policy re-enters at the
+		// head of the batch queue. Fresh arrivals never carry Rigid.
+		s.batch.PushFront(j)
 		return
 	}
 	s.batch.Push(j)

@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"elastisched/internal/fault"
+	"elastisched/internal/job"
+)
+
+// FaultConfig attaches the failure model to a run: a fault trace (scripted,
+// or sampled from MTBF/MTTR at Load) and the retry policy for killed batch
+// jobs. Faults operate at node-group granularity — the machine's allocation
+// quantum is also its failure domain.
+type FaultConfig struct {
+	// Trace is a scripted fault scenario. When nil, a trace is sampled at
+	// Load from the renewal model below.
+	Trace *fault.Trace
+
+	// MTBF and MTTR parameterize the sampled model (per node group, sim
+	// seconds). Used only when Trace is nil; MTBF must then be positive.
+	MTBF float64
+	MTTR float64
+	// Seed selects the random stream of the sampled trace.
+	Seed int64
+	// Horizon bounds sampled failures to [0, Horizon). Zero means "the
+	// loaded workload's span" (last arrival + that job's estimate).
+	Horizon int64
+
+	// Retry governs batch jobs killed by a failure. Dedicated victims are
+	// always dropped. The zero value requeues immediately, full restart,
+	// unlimited retries.
+	Retry fault.RetryPolicy
+}
+
+// validate checks the fault configuration, wrapping the fault package's
+// typed errors so callers can test with errors.Is.
+func (fc *FaultConfig) validate() error {
+	if fc.Trace == nil {
+		if fc.MTBF <= 0 {
+			return fmt.Errorf("engine: fault config: %w (got %g)", fault.ErrNonPositiveMTBF, fc.MTBF)
+		}
+		if fc.MTTR < 0 {
+			return fmt.Errorf("engine: fault config: %w (got %g)", fault.ErrNegativeMTTR, fc.MTTR)
+		}
+	} else if fc.MTBF != 0 || fc.MTTR != 0 {
+		return errors.New("engine: fault config has both a scripted trace and MTBF/MTTR generation parameters")
+	}
+	if fc.Horizon < 0 {
+		return fmt.Errorf("engine: fault config: %w (got %d)", fault.ErrNonPositiveSpan, fc.Horizon)
+	}
+	if err := fc.Retry.Validate(); err != nil {
+		return fmt.Errorf("engine: fault config: %w", err)
+	}
+	return nil
+}
+
+// FaultTrace returns the fault trace this session runs under — the
+// scripted one, or the trace sampled at Load — and nil when fault
+// injection is off or no workload has been loaded.
+func (s *Session) FaultTrace() *fault.Trace { return s.ftrace }
+
+// loadFaults resolves the session's fault trace (sampling one if the
+// configuration asks for it), validates it against the machine geometry,
+// and schedules its events. Called by Load only: a restored session gets
+// its pending fault events from the snapshot instead.
+func (s *Session) loadFaults(horizon int64) error {
+	fc := s.cfg.Faults
+	t := fc.Trace
+	if t == nil {
+		if fc.Horizon > 0 {
+			horizon = fc.Horizon
+		}
+		if horizon <= 0 {
+			// Empty workload: nothing to fail.
+			s.ftrace = &fault.Trace{}
+			return nil
+		}
+		var err error
+		t, err = fault.Generate(fault.GenParams{
+			Groups:  s.mach.NumGroups(),
+			MTBF:    fc.MTBF,
+			MTTR:    fc.MTTR,
+			Horizon: horizon,
+			Seed:    fc.Seed,
+		})
+		if err != nil {
+			return fmt.Errorf("engine: sampling fault trace: %w", err)
+		}
+	}
+	if err := t.Validate(s.mach.NumGroups()); err != nil {
+		return fmt.Errorf("engine: fault trace: %w", err)
+	}
+	s.ftrace = t
+	for i := range t.Events {
+		ev := t.Events[i] // copy: the event outlives the caller's trace
+		s.eng.AtArg(ev.Time, s.faultH, &ev)
+	}
+	return nil
+}
+
+func (s *Session) faultEv(now int64, arg any) { s.applyFault(arg.(*fault.Event), now) }
+
+// applyFault executes one failure or repair event. Failures take the named
+// node groups out of service and kill every running job holding one of
+// them; repairs return Down groups to service. Capacity-change deltas go
+// to the collector and the policy only when the in-service size actually
+// moved (re-failing a down group or repairing a healthy one is a no-op).
+func (s *Session) applyFault(ev *fault.Event, now int64) {
+	switch ev.Kind {
+	case fault.Fail:
+		failed, victims, err := s.mach.FailGroups(ev.Groups)
+		if err != nil {
+			// The trace was validated against this machine at Load/Restore;
+			// an out-of-range group here is an engine bug.
+			panic(fmt.Sprintf("engine: applying fault at t=%d: %v", now, err))
+		}
+		if s.debugging() {
+			s.debugf("t=%d fail groups=%v down=%d victims=%d", now, ev.Groups, failed, len(victims))
+		}
+		for _, id := range victims {
+			j := s.active.Find(id)
+			if j == nil {
+				panic(fmt.Sprintf("engine: failure victim job %d not in active list at t=%d", id, now))
+			}
+			s.kill(j, now)
+		}
+		if failed > 0 || len(victims) > 0 {
+			s.notifyCapacity(now)
+		}
+	case fault.Repair:
+		repaired, err := s.mach.RepairGroups(ev.Groups)
+		if err != nil {
+			panic(fmt.Sprintf("engine: applying repair at t=%d: %v", now, err))
+		}
+		if s.debugging() {
+			s.debugf("t=%d repair groups=%v restored=%d", now, ev.Groups, repaired)
+		}
+		if repaired > 0 {
+			s.notifyCapacity(now)
+		}
+	default:
+		panic(fmt.Sprintf("engine: fault event with unknown kind %d at t=%d", ev.Kind, now))
+	}
+}
+
+// notifyCapacity reports an in-service capacity change to the collector
+// and the policy's delta feed.
+func (s *Session) notifyCapacity(now int64) {
+	s.collector.CapacityChanged(s.mach.DownProcs(), now)
+	if s.st != nil {
+		s.st.CapacityChanged(now)
+	}
+}
+
+// kill removes a running job hit by a node-group failure: its allocation is
+// released (the failed groups go Down rather than free), its completion
+// event cancelled, and the retry policy decides its fate — resubmission at
+// the head of the batch queue after the backoff, or leaving the system as
+// Dropped. Dedicated victims are always dropped: their rigid start time has
+// passed.
+func (s *Session) kill(j *job.Job, now int64) {
+	if err := s.mach.Release(j.ID); err != nil {
+		panic(fmt.Sprintf("engine: killing job %d: %v", j.ID, err))
+	}
+	s.active.Remove(j)
+	s.eng.Cancel(s.getCompletion(j.ID))
+	s.clearCompletion(j.ID)
+
+	p := s.cfg.Faults.Retry
+	requeue := j.Class == job.Batch && p.Mode == fault.Requeue &&
+		(p.MaxRetries == 0 || j.Retries < p.MaxRetries)
+
+	s.collector.JobKilled(j, now, requeue)
+	if s.st != nil {
+		s.st.JobKilled(j, now)
+	}
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobKilled(j, now)
+	}
+
+	if !requeue {
+		j.State = job.Dropped
+		j.FinishTime = now
+		if s.debugging() {
+			s.debugf("t=%d kill job=%d dropped retries=%d", now, j.ID, j.Retries)
+		}
+		return
+	}
+
+	// Reshape the job for resubmission. Under RemainingRuntime (checkpointed
+	// jobs) only the unfinished work comes back: the estimate becomes the
+	// residual to the kill-by time and the actual runtime shrinks by the
+	// elapsed work, both clamped to at least one second (the failure may
+	// land exactly at the kill-by instant). Under FullRuntime the job
+	// restarts from scratch with its current requirements.
+	if p.Restart == fault.RemainingRuntime {
+		eff := j.EffectiveRuntime()
+		elapsed := now - j.StartTime
+		j.Dur = max64(j.EndTime-now, 1)
+		if j.Actual > 0 {
+			j.Actual = max64(eff-elapsed, 1)
+		}
+	}
+	j.Retries++
+	j.Arrival = now + p.Backoff
+	// Rigid entitles the resubmission to the head of the batch queue,
+	// exactly like a dedicated job moved by Algorithm 3.
+	j.Rigid = true
+	j.State = job.Waiting
+	s.eng.AtArg(j.Arrival, s.arriveH, j)
+	if s.debugging() {
+		s.debugf("t=%d kill job=%d requeued at=%d dur=%d retries=%d", now, j.ID, j.Arrival, j.Dur, j.Retries)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

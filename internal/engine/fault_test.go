@@ -1,0 +1,369 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"elastisched/internal/fault"
+	"elastisched/internal/job"
+	"elastisched/internal/sched"
+	"elastisched/internal/trace"
+	"elastisched/internal/workload"
+)
+
+// ftrace builds a scripted trace from (time, kind, group) triples.
+func ftrace(evs ...fault.Event) *fault.Trace {
+	return &fault.Trace{Events: evs}
+}
+
+func fail(t int64, groups ...int) fault.Event {
+	return fault.Event{Time: t, Kind: fault.Fail, Groups: groups}
+}
+
+func repair(t int64, groups ...int) fault.Event {
+	return fault.Event{Time: t, Kind: fault.Repair, Groups: groups}
+}
+
+func TestFailureKillsAndRequeuesAtHead(t *testing.T) {
+	// A full-machine job is killed at t=50; the failed group heals at t=60.
+	// Under the default policy (requeue, full restart) the job restarts at
+	// 60 — at the head of the queue, ahead of a job that arrived earlier
+	// than its resubmission.
+	w := wl(batch(1, 320, 100, 0), batch(2, 320, 10, 5))
+	rec := trace.NewRecorder(320, 32)
+	r := mustRun(t, w, Config{Scheduler: sched.FCFS{}, Observer: rec,
+		Faults: &FaultConfig{Trace: ftrace(fail(50, 0), repair(60, 0))}})
+
+	s := r.Summary
+	if s.KilledJobs != 1 || s.RetriedJobs != 1 || s.DroppedJobs != 0 {
+		t.Errorf("killed/retried/dropped = %d/%d/%d, want 1/1/0", s.KilledJobs, s.RetriedJobs, s.DroppedJobs)
+	}
+	if s.Jobs != 2 {
+		t.Errorf("finished jobs = %d, want 2", s.Jobs)
+	}
+	if s.LostWorkSeconds != 50*320 {
+		t.Errorf("lost work = %g, want %d", s.LostWorkSeconds, 50*320)
+	}
+	if s.DownProcSeconds != 10*32 {
+		t.Errorf("down proc-seconds = %g, want %d", s.DownProcSeconds, 10*32)
+	}
+
+	spans := rec.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	// Attempt 1 of job 1: killed exactly at the failure instant.
+	if sp := spans[0]; sp.JobID != 1 || !sp.Killed || sp.Start != 0 || sp.End != 50 {
+		t.Errorf("first span = %+v, want job 1 killed [0,50)", sp)
+	}
+	// The retry runs before job 2 despite job 2's earlier arrival: the
+	// resubmission went to the head of the queue.
+	if sp := spans[1]; sp.JobID != 1 || sp.Killed || sp.Start != 60 || sp.End != 160 {
+		t.Errorf("second span = %+v, want job 1 [60,160)", sp)
+	}
+	if sp := spans[2]; sp.JobID != 2 || sp.Start != 160 {
+		t.Errorf("third span = %+v, want job 2 starting at 160", sp)
+	}
+}
+
+func TestDropPolicyRemovesVictim(t *testing.T) {
+	w := wl(batch(1, 320, 100, 0))
+	r := mustRun(t, w, Config{Scheduler: sched.FCFS{},
+		Faults: &FaultConfig{Trace: ftrace(fail(50, 3), repair(60, 3)),
+			Retry: fault.RetryPolicy{Mode: fault.Drop}}})
+	s := r.Summary
+	if s.KilledJobs != 1 || s.RetriedJobs != 0 || s.DroppedJobs != 1 {
+		t.Errorf("killed/retried/dropped = %d/%d/%d, want 1/0/1", s.KilledJobs, s.RetriedJobs, s.DroppedJobs)
+	}
+	if s.Jobs != 0 {
+		t.Errorf("finished jobs = %d, want 0", s.Jobs)
+	}
+}
+
+func TestRetryBudgetExhaustionDrops(t *testing.T) {
+	// Two failures; one retry allowed. The second kill exhausts the budget.
+	w := wl(batch(1, 320, 100, 0))
+	r := mustRun(t, w, Config{Scheduler: sched.FCFS{},
+		Faults: &FaultConfig{Trace: ftrace(fail(10, 0), repair(20, 0), fail(50, 0), repair(55, 0)),
+			Retry: fault.RetryPolicy{MaxRetries: 1}}})
+	s := r.Summary
+	if s.KilledJobs != 2 || s.RetriedJobs != 1 || s.DroppedJobs != 1 {
+		t.Errorf("killed/retried/dropped = %d/%d/%d, want 2/1/1", s.KilledJobs, s.RetriedJobs, s.DroppedJobs)
+	}
+	if s.Jobs != 0 {
+		t.Errorf("finished jobs = %d, want 0", s.Jobs)
+	}
+}
+
+func TestRemainingRuntimeRestart(t *testing.T) {
+	// A 32-proc job killed at t=40 of its 100s run restarts immediately on
+	// a healthy group carrying only the 60 unfinished seconds.
+	w := wl(batch(1, 32, 100, 0))
+	rec := trace.NewRecorder(320, 32)
+	mustRun(t, w, Config{Scheduler: sched.FCFS{}, Observer: rec,
+		Faults: &FaultConfig{Trace: ftrace(fail(40, 0), repair(500, 0)),
+			Retry: fault.RetryPolicy{Restart: fault.RemainingRuntime}}})
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	if sp := spans[0]; !sp.Killed || sp.End != 40 {
+		t.Errorf("first span = %+v, want killed at 40", sp)
+	}
+	if sp := spans[1]; sp.Killed || sp.Start != 40 || sp.End != 100 {
+		t.Errorf("second span = %+v, want [40,100)", sp)
+	}
+}
+
+func TestRetryBackoffDelaysResubmission(t *testing.T) {
+	w := wl(batch(1, 32, 100, 0))
+	rec := trace.NewRecorder(320, 32)
+	mustRun(t, w, Config{Scheduler: sched.FCFS{}, Observer: rec,
+		Faults: &FaultConfig{Trace: ftrace(fail(40, 0), repair(500, 0)),
+			Retry: fault.RetryPolicy{Backoff: 25}}})
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	if sp := spans[1]; sp.Start != 65 || sp.End != 165 {
+		t.Errorf("retry span = %+v, want [65,165) (kill 40 + backoff 25, full restart)", sp)
+	}
+}
+
+func TestDedicatedVictimAlwaysDropped(t *testing.T) {
+	// The dedicated job's rigid start has passed by the time it is killed;
+	// requeue mode does not apply to it.
+	w := wl(ded(1, 320, 100, 0, 0))
+	r := mustRun(t, w, Config{Scheduler: &sched.EASY{Ded: true},
+		Faults: &FaultConfig{Trace: ftrace(fail(50, 0), repair(60, 0))}})
+	s := r.Summary
+	if s.KilledJobs != 1 || s.RetriedJobs != 0 || s.DroppedJobs != 1 {
+		t.Errorf("killed/retried/dropped = %d/%d/%d, want 1/0/1", s.KilledJobs, s.RetriedJobs, s.DroppedJobs)
+	}
+}
+
+func TestFailureOfIdleGroupsKillsNothing(t *testing.T) {
+	// A 32-proc job holds one group; failing three other groups shrinks
+	// capacity but kills nothing and changes no job outcome.
+	w := wl(batch(1, 32, 100, 0))
+	r := mustRun(t, w, Config{Scheduler: sched.FCFS{},
+		Faults: &FaultConfig{Trace: ftrace(fail(10, 5, 6, 7), repair(30, 5, 6, 7))}})
+	s := r.Summary
+	if s.KilledJobs != 0 || s.Jobs != 1 || s.MeanRun != 100 {
+		t.Errorf("summary = %+v, want no kills and one clean 100s job", s)
+	}
+	if s.DownProcSeconds != 20*96 {
+		t.Errorf("down proc-seconds = %g, want %d", s.DownProcSeconds, 20*96)
+	}
+}
+
+func TestGeneratedFaultsAreDeterministic(t *testing.T) {
+	p := workload.DefaultParams()
+	p.N = 150
+	p.TargetLoad = 0.8
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scheduler: &sched.EASY{},
+		Faults: &FaultConfig{MTBF: 40000, MTTR: 2000, Seed: 7}}
+	r1 := mustRun(t, w, cfg)
+	cfg.Scheduler = &sched.EASY{}
+	cfg.Faults = &FaultConfig{MTBF: 40000, MTTR: 2000, Seed: 7}
+	r2 := mustRun(t, w, cfg)
+	if r1.Summary != r2.Summary || r1.Events != r2.Events {
+		t.Fatal("fault-injected simulation not deterministic")
+	}
+	if r1.Summary.DownProcSeconds == 0 {
+		t.Fatal("MTBF 40000 over this span produced no downtime; pick parameters that fault")
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		fc   *FaultConfig
+		want error // nil means "any error"
+	}{
+		{"zero MTBF", &FaultConfig{}, fault.ErrNonPositiveMTBF},
+		{"negative MTBF", &FaultConfig{MTBF: -3}, fault.ErrNonPositiveMTBF},
+		{"negative MTTR", &FaultConfig{MTBF: 100, MTTR: -1}, fault.ErrNegativeMTTR},
+		{"negative horizon", &FaultConfig{MTBF: 100, Horizon: -1}, fault.ErrNonPositiveSpan},
+		{"negative retries", &FaultConfig{MTBF: 100, Retry: fault.RetryPolicy{MaxRetries: -1}}, fault.ErrNegativeRetries},
+		{"negative backoff", &FaultConfig{MTBF: 100, Retry: fault.RetryPolicy{Backoff: -1}}, fault.ErrNegativeBackoff},
+		{"unknown retry mode", &FaultConfig{MTBF: 100, Retry: fault.RetryPolicy{Mode: 9}}, fault.ErrUnknownRetryMode},
+		{"unknown restart", &FaultConfig{MTBF: 100, Retry: fault.RetryPolicy{Restart: 9}}, fault.ErrUnknownRestart},
+		{"trace plus MTBF", &FaultConfig{Trace: ftrace(fail(1, 0), repair(2, 0)), MTBF: 100}, nil},
+		{"trace group out of range", &FaultConfig{Trace: ftrace(fail(1, 10))}, fault.ErrGroupOutOfRange},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(Config{M: 320, Unit: 32, Scheduler: sched.FCFS{}, Faults: tc.fc})
+			if err == nil {
+				t.Fatal("config accepted, want error")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want errors.Is %v", err, tc.want)
+			}
+		})
+	}
+
+	if _, err := New(Config{M: 320, Unit: 32, Scheduler: sched.FCFS{}, Contiguous: true,
+		Faults: &FaultConfig{MTBF: 100}}); err == nil {
+		t.Fatal("contiguous allocation with faults accepted, want error")
+	}
+	if _, err := New(Config{M: 320, Unit: 32, Scheduler: sched.FCFS{},
+		Faults: &FaultConfig{MTBF: 100, MTTR: 50, Seed: 1}}); err != nil {
+		t.Fatalf("valid fault config rejected: %v", err)
+	}
+}
+
+func TestSnapshotRoundTripMidFault(t *testing.T) {
+	// Snapshot while a group is down and a killed job waits for capacity;
+	// the restored session must finish with a deep-equal result.
+	w := wl(batch(1, 320, 100, 0), batch(2, 160, 50, 5), batch(3, 160, 30, 6))
+	cfg := Config{M: 320, Unit: 32, Scheduler: &sched.EASY{}, Paranoid: true,
+		Faults: &FaultConfig{Trace: ftrace(fail(50, 0, 1), repair(90, 0, 1)),
+			Retry: fault.RetryPolicy{Restart: fault.RemainingRuntime, Backoff: 3}}}
+
+	run := func() (*Session, *Result) {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Load(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, r
+	}
+	_, want := run()
+
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(w); err != nil {
+		t.Fatal(err)
+	}
+	// Advance past the failure instant but not to the repair.
+	if err := s.RunUntil(60); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sn.Machine.Health) == 0 {
+		t.Fatal("mid-fault snapshot carries no machine health table")
+	}
+
+	// Round-trip the encoding too.
+	var buf bytes.Buffer
+	if err := sn.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sn2, err := DecodeSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Scheduler = &sched.EASY{}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Restore(sn2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored run result differs:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRestoreRejectsFaultMismatch(t *testing.T) {
+	w := wl(batch(1, 320, 100, 0))
+	cfg := Config{M: 320, Unit: 32, Scheduler: sched.FCFS{},
+		Faults: &FaultConfig{Trace: ftrace(fail(50, 0), repair(60, 0))}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(w); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault snapshot into a fault-free config.
+	plain, err := New(Config{M: 320, Unit: 32, Scheduler: sched.FCFS{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Restore(sn); err == nil {
+		t.Fatal("fault snapshot restored into fault-free session")
+	}
+
+	// Same fault subsystem, different retry policy.
+	cfg2 := cfg
+	cfg2.Scheduler = sched.FCFS{}
+	cfg2.Faults = &FaultConfig{Trace: cfg.Faults.Trace, Retry: fault.RetryPolicy{Mode: fault.Drop}}
+	other, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(sn); err == nil {
+		t.Fatal("snapshot restored under a different retry policy")
+	}
+}
+
+func TestKilledJobStateAndRetryCount(t *testing.T) {
+	// Direct session access: verify the victim's bookkeeping fields.
+	w := wl(batch(1, 320, 100, 0))
+	cfg := Config{M: 320, Unit: 32, Scheduler: sched.FCFS{}, Paranoid: true,
+		Faults: &FaultConfig{Trace: ftrace(fail(50, 0), repair(60, 0))}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(55); err != nil {
+		t.Fatal(err)
+	}
+	queued := s.batch.Jobs()
+	if len(queued) != 1 {
+		t.Fatalf("batch queue holds %d jobs mid-outage, want the requeued victim", len(queued))
+	}
+	victim := queued[0]
+	if victim.Retries != 1 || !victim.Rigid || victim.State != job.Waiting || victim.Arrival != 50 {
+		t.Fatalf("requeued victim = %+v, want retries=1 rigid waiting arrival=50", victim)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if victim.State != job.Finished {
+		t.Fatalf("victim state = %v after drain, want finished", victim.State)
+	}
+}

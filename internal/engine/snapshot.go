@@ -7,6 +7,7 @@ import (
 
 	"elastisched/internal/cwf"
 	"elastisched/internal/ecc"
+	"elastisched/internal/fault"
 	"elastisched/internal/job"
 	"elastisched/internal/machine"
 	"elastisched/internal/metrics"
@@ -15,7 +16,9 @@ import (
 
 // SnapshotVersion stamps the snapshot encoding. Decoders reject snapshots
 // from a different version rather than guessing at field semantics.
-const SnapshotVersion = 1
+// Version 2 added fault injection: fail/repair event kinds, the machine's
+// group-health table, and the captured retry policy.
+const SnapshotVersion = 2
 
 // Event kinds in a snapshot.
 const (
@@ -23,6 +26,8 @@ const (
 	evComplete = "complete" // a running job's completion
 	evCommand  = "command"  // an Elastic Control Command issue
 	evWake     = "wake"     // a bare scheduler wake (dedicated start time)
+	evFail     = "fail"     // a pending node-group failure
+	evRepair   = "repair"   // a pending node-group repair
 )
 
 // EventSnap is one pending kernel event. Order within Snapshot.Events is
@@ -35,6 +40,8 @@ type EventSnap struct {
 	Job int `json:"job"`
 	// Cmd is the pending command for command events.
 	Cmd *cwf.Command `json:"cmd,omitempty"`
+	// Groups names the node groups of fail/repair events.
+	Groups []int `json:"groups,omitempty"`
 }
 
 // Snapshot is the complete, self-contained state of a Session at an
@@ -54,6 +61,12 @@ type Snapshot struct {
 	Migrate      bool `json:"migrate,omitempty"`
 	ProcessECC   bool `json:"process_ecc,omitempty"`
 	MaxECCPerJob int  `json:"max_ecc_per_job,omitempty"`
+	// Retry is the fault retry policy of a fault-injected session; nil when
+	// fault injection is off. The restoring Config must match: pending
+	// fail/repair events and the machine's health table are meaningless
+	// without the fault subsystem, and future kills must follow the same
+	// policy.
+	Retry *fault.RetryPolicy `json:"retry,omitempty"`
 
 	Now        int64  `json:"now"`
 	Dispatched uint64 `json:"dispatched"`
@@ -129,6 +142,10 @@ func (s *Session) Snapshot() (*Snapshot, error) {
 		Machine:      s.mach.Snapshot(),
 		Metrics:      s.collector.Snapshot(),
 	}
+	if s.cfg.Faults != nil {
+		p := s.cfg.Faults.Retry
+		sn.Retry = &p
+	}
 	index := make(map[*job.Job]int, len(s.jobs))
 	sn.Jobs = make([]job.Job, len(s.jobs))
 	for i, j := range s.jobs {
@@ -169,6 +186,13 @@ func (s *Session) Snapshot() (*Snapshot, error) {
 			ev.Kind = evCommand
 			c := *arg
 			ev.Cmd = &c
+		case *fault.Event:
+			if arg.Kind == fault.Fail {
+				ev.Kind = evFail
+			} else {
+				ev.Kind = evRepair
+			}
+			ev.Groups = append([]int(nil), arg.Groups...)
 		case *job.Job:
 			idx, ok := index[arg]
 			if !ok {
@@ -230,6 +254,11 @@ func (s *Session) Restore(sn *Snapshot) error {
 	case sn.ProcessECC != s.cfg.ProcessECC || sn.MaxECCPerJob != s.cfg.MaxECCPerJob:
 		return fmt.Errorf("engine: snapshot ECC processing (%v/%d) differs from config (%v/%d)",
 			sn.ProcessECC, sn.MaxECCPerJob, s.cfg.ProcessECC, s.cfg.MaxECCPerJob)
+	case (sn.Retry != nil) != (s.cfg.Faults != nil):
+		return fmt.Errorf("engine: snapshot fault injection (%v) differs from config (%v)",
+			sn.Retry != nil, s.cfg.Faults != nil)
+	case sn.Retry != nil && *sn.Retry != s.cfg.Faults.Retry:
+		return fmt.Errorf("engine: snapshot retry policy %+v differs from config %+v", *sn.Retry, s.cfg.Faults.Retry)
 	case sn.Metrics.M != s.cfg.M:
 		return fmt.Errorf("engine: snapshot metrics for machine %d, config %d", sn.Metrics.M, s.cfg.M)
 	}
@@ -341,6 +370,24 @@ func (s *Session) Restore(sn *Snapshot) error {
 			s.eng.AtArg(ev.Time, s.commandH, cp)
 		case evWake:
 			s.eng.At(ev.Time, noopWake)
+		case evFail, evRepair:
+			if sn.Retry == nil {
+				return fmt.Errorf("engine: snapshot %s event at t=%d without fault injection", ev.Kind, ev.Time)
+			}
+			kind := fault.Fail
+			if ev.Kind == evRepair {
+				kind = fault.Repair
+			}
+			fe := &fault.Event{Time: ev.Time, Kind: kind, Groups: append([]int(nil), ev.Groups...)}
+			if len(fe.Groups) == 0 {
+				return fmt.Errorf("engine: snapshot %s event at t=%d names no groups", ev.Kind, ev.Time)
+			}
+			for _, g := range fe.Groups {
+				if g < 0 || g >= s.mach.NumGroups() {
+					return fmt.Errorf("engine: snapshot %s event at t=%d group %d out of range", ev.Kind, ev.Time, g)
+				}
+			}
+			s.eng.AtArg(ev.Time, s.faultH, fe)
 		default:
 			return fmt.Errorf("engine: snapshot event kind %q unknown", ev.Kind)
 		}

@@ -1,0 +1,298 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"elastisched/internal/audit"
+	"elastisched/internal/cwf"
+	"elastisched/internal/engine"
+	"elastisched/internal/fault"
+	"elastisched/internal/trace"
+	"elastisched/internal/workload"
+)
+
+// chaosPolicies are the retry policies the chaos harness cycles through,
+// one per seed: every (mode, restart, budget, backoff) corner gets hit
+// across the seed sweep.
+var chaosPolicies = []fault.RetryPolicy{
+	{}, // requeue, full restart, unlimited retries, no backoff
+	{Restart: fault.RemainingRuntime, Backoff: 30},
+	{MaxRetries: 2, Backoff: 10},
+	{Restart: fault.RemainingRuntime, MaxRetries: 1},
+	{Mode: fault.Drop},
+}
+
+// chaosWorkload generates a small but eventful workload for fault runs:
+// elastic commands always, size elasticity and dedicated jobs on the seeds
+// and policies that exercise them.
+func chaosWorkload(t *testing.T, hetero, sizeECC bool, seed int64) *cwf.Workload {
+	t.Helper()
+	p := workload.DefaultParams()
+	p.N = 80
+	p.Seed = seed
+	p.PE = 0.2
+	p.PR = 0.1
+	p.MaxECCPerJob = 2
+	p.SizeECC = sizeECC
+	if hetero {
+		p.PD = 0.2
+	}
+	w, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// chaosConfig builds the engine config for one (algorithm, seed) chaos run.
+// The fault trace is a pure function of the seed, so every algorithm faces
+// the same outages.
+func chaosConfig(a Algorithm, seed int64) engine.Config {
+	pt := Point{Cs: 5}
+	return engine.Config{
+		M: 320, Unit: 32,
+		Scheduler:  a.New(pt),
+		ProcessECC: a.ECC,
+		Faults: &engine.FaultConfig{
+			MTBF: 40000, MTTR: 2000, Seed: seed,
+			Retry: chaosPolicies[int(seed)%len(chaosPolicies)],
+		},
+	}
+}
+
+// chaosRun executes one algorithm under one seeded fault trace, audits the
+// recorded schedule with the fault-aware oracle, and returns the run's
+// kill count so callers can assert the property is not vacuous.
+func chaosRun(t *testing.T, a Algorithm, seed int64) int {
+	t.Helper()
+	hetero := a.New(Point{Cs: 5}).Heterogeneous()
+	sizeECC := a.ECC && seed%4 == 0
+	w := chaosWorkload(t, hetero, sizeECC, seed)
+
+	cfg := chaosConfig(a, seed)
+	rec := trace.NewRecorder(320, 32)
+	cfg.Observer = rec
+	s, err := engine.New(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if err := s.Load(w); err != nil {
+		t.Fatalf("seed %d: load: %v", seed, err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("seed %d: run: %v", seed, err)
+	}
+	r, err := s.Result()
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+
+	// Every submitted job must be accounted for: finished or dropped.
+	if got := r.Summary.JobsFinished + r.Summary.DroppedJobs; got != len(w.Jobs) {
+		t.Errorf("seed %d: %d finished + %d dropped != %d submitted",
+			seed, r.Summary.JobsFinished, r.Summary.DroppedJobs, len(w.Jobs))
+	}
+	if r.Summary.RetriedJobs > 0 && r.Summary.KilledJobs == 0 {
+		t.Errorf("seed %d: %d retries with no kills", seed, r.Summary.RetriedJobs)
+	}
+
+	elastic := a.ECC && len(w.Commands) > 0
+	rep := audit.Check(w, rec.Spans(), audit.Options{
+		M: 320, Unit: 32,
+		Elastic:     elastic,
+		SizeElastic: a.ECC && w.SizeCommandCount() > 0,
+		Faults:      s.FaultTrace(),
+		Retry:       cfg.Faults.Retry,
+	})
+	if err := rep.Error(); err != nil {
+		t.Errorf("seed %d: %v (all: %v)", seed, err, rep.Violations)
+	}
+	if r.Summary.DownProcSeconds == 0 {
+		t.Errorf("seed %d: no downtime recorded; the fault trace never fired", seed)
+	}
+	return r.Summary.KilledJobs
+}
+
+// TestChaos is the chaos harness property: every registry algorithm, run
+// under many independently seeded fault traces and retry policies, must
+// produce a schedule the fault-aware audit oracle certifies violation-free.
+func TestChaos(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 3
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a := MustByName(name)
+			killed := 0
+			for i := 0; i < seeds; i++ {
+				killed += chaosRun(t, a, int64(1000+i))
+			}
+			if !testing.Short() && killed == 0 {
+				t.Errorf("no job killed across %d seeds; the chaos property is vacuous", seeds)
+			}
+		})
+	}
+}
+
+// TestChaosSmoke is the CI-sized slice of the chaos property: two
+// representative algorithms (one rigid, one elastic replanner) under a few
+// traces. Cheap enough to run under -race on every push.
+func TestChaosSmoke(t *testing.T) {
+	for _, name := range []string{"EASY", "CONS"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a := MustByName(name)
+			for i := 0; i < 3; i++ {
+				chaosRun(t, a, int64(2000+i))
+			}
+		})
+	}
+}
+
+// TestChaosSnapshotRoundTrip snapshots every algorithm mid-outage — after
+// the first failure has been applied but before its repair — pushes the
+// snapshot through its JSON encoding into a fresh session, and requires the
+// restored run to finish with a Result deep-equal to the uninterrupted one.
+func TestChaosSnapshotRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a := MustByName(name)
+			seed := int64(7)
+			hetero := a.New(Point{Cs: 5}).Heterogeneous()
+			w := chaosWorkload(t, hetero, false, seed)
+
+			run := func(until bool) (*engine.Session, *engine.Result) {
+				s, err := engine.New(chaosConfig(a, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Load(w); err != nil {
+					t.Fatal(err)
+				}
+				if until {
+					return s, nil
+				}
+				if err := s.Run(); err != nil {
+					t.Fatal(err)
+				}
+				r, err := s.Result()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s, r
+			}
+			_, want := run(false)
+
+			live, _ := run(true)
+			ft := live.FaultTrace()
+			if ft == nil || len(ft.Events) == 0 {
+				t.Fatal("no fault trace generated; MTBF too large for this workload span")
+			}
+			var mid int64 = -1
+			for _, e := range ft.Events {
+				if e.Kind == fault.Fail {
+					mid = e.Time + 1
+					break
+				}
+			}
+			if mid < 0 {
+				t.Fatal("trace has no failure event")
+			}
+			if err := live.RunUntil(mid); err != nil {
+				t.Fatal(err)
+			}
+			sn, err := live.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sn.Machine.Health) == 0 {
+				t.Fatalf("snapshot at t=%d carries no group health; not mid-outage", sn.Now)
+			}
+			var buf bytes.Buffer
+			if err := sn.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := engine.DecodeSnapshot(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := engine.New(chaosConfig(a, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.Restore(decoded); err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := resumed.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("restored mid-fault run diverged at snapshot t=%d\ngot:  %+v\nwant: %+v",
+					sn.Now, got, want)
+			}
+		})
+	}
+}
+
+// TestSweepFaultKnobs wires the Point-level fault knobs end to end: a
+// two-point sweep (faults off / faults on) must run clean, keep the
+// fault-free point byte-identical to a standalone run, and report downtime
+// and kills only at the faulty point.
+func TestSweepFaultKnobs(t *testing.T) {
+	p := workload.DefaultParams()
+	p.N = 60
+	base := Point{X: 0, Params: p, Cs: 5}
+	faulty := base
+	faulty.X = 1
+	faulty.MTBF = 30000
+	faulty.MTTR = 2000
+	faulty.Retry = fault.RetryPolicy{Restart: fault.RemainingRuntime}
+
+	sw := &Sweep{
+		ID:         "chaos-knobs",
+		Algorithms: []Algorithm{MustByName("EASY")},
+		Points:     []Point{base, faulty},
+		Seeds:      []int64{3, 4},
+	}
+	res, err := sw.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, hurt := res.Cells[0][0].Summary, res.Cells[0][1].Summary
+	if clean.KilledJobs != 0 || clean.DownProcSeconds != 0 {
+		t.Errorf("fault-free point reports faults: %+v", clean)
+	}
+	if hurt.DownProcSeconds == 0 {
+		t.Errorf("faulty point reports no downtime: %+v", hurt)
+	}
+
+	// The fault-free point must be bit-identical to a plain engine run:
+	// enabling the subsystem elsewhere in the sweep cannot perturb it.
+	pp := p
+	pp.Seed = 3
+	w, err := workload.Generate(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := MustByName("EASY")
+	r, err := engine.Run(w, engine.Config{
+		M: pp.M, Unit: pp.Unit, Scheduler: a.New(base), ProcessECC: a.ECC,
+		MaxECCPerJob: pp.MaxECCPerJob,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprintf("%+v", res.Cells[0][0].PerSeed[0]), fmt.Sprintf("%+v", r.Summary); got != want {
+		t.Errorf("fault-free sweep cell diverged from standalone run\ngot:  %s\nwant: %s", got, want)
+	}
+}

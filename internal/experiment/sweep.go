@@ -10,6 +10,7 @@ import (
 	"elastisched/internal/cwf"
 	"elastisched/internal/ecc"
 	"elastisched/internal/engine"
+	"elastisched/internal/fault"
 	"elastisched/internal/metrics"
 	"elastisched/internal/workload"
 )
@@ -30,6 +31,14 @@ type Point struct {
 	// partitioning with optional defragmentation).
 	Contiguous bool
 	Migrate    bool
+	// MTBF/MTTR enable fault injection at this point (per node group, sim
+	// seconds; MTBF <= 0 disables it). Each run samples its fault trace
+	// from the run seed, so the same seed fails the same groups at the
+	// same instants under every algorithm.
+	MTBF float64
+	MTTR float64
+	// Retry is the policy applied to failure victims when faults are on.
+	Retry fault.RetryPolicy
 }
 
 // EffectiveCs resolves the point's C_s.
@@ -192,7 +201,7 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 				continue
 			}
 			a := s.Algorithms[t.ai]
-			r, err := engine.Run(w, engine.Config{
+			cfg := engine.Config{
 				M:            params.M,
 				Unit:         params.Unit,
 				Scheduler:    a.New(pt),
@@ -201,7 +210,14 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 				Contiguous:   pt.Contiguous,
 				Migrate:      pt.Migrate,
 				Prevalidated: true,
-			})
+			}
+			if pt.MTBF > 0 {
+				cfg.Faults = &engine.FaultConfig{
+					MTBF: pt.MTBF, MTTR: pt.MTTR,
+					Seed: seeds[t.si], Retry: pt.Retry,
+				}
+			}
+			r, err := engine.Run(w, cfg)
 			if err != nil {
 				out.err = err
 				failed.Store(true)

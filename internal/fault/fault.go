@@ -1,0 +1,376 @@
+// Package fault is the deterministic failure model of the simulator:
+// node-group failure/repair events, replayable fault traces (sampled from
+// per-group exponential MTBF/MTTR or loaded from a scripted file), and the
+// retry policy applied to jobs killed by a failure.
+//
+// The machine allocates processors in node-group quanta (32 processors on
+// the paper's BlueGene/P rack), and that is also the failure domain: a
+// failure takes whole node groups Down, killing every job holding one of
+// them; a repair returns Down groups to service. Traces are pure data —
+// the engine owns applying them — so the same trace can drive a run, be
+// audited against the resulting schedule, and be replayed byte-identically.
+package fault
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"elastisched/internal/dist"
+)
+
+// Kind distinguishes failure events from repair events.
+type Kind uint8
+
+const (
+	// Fail takes the event's node groups Down at the event time.
+	Fail Kind = iota
+	// Repair returns the event's node groups to service.
+	Repair
+)
+
+// String returns the trace-file keyword for the kind.
+func (k Kind) String() string {
+	if k == Fail {
+		return "fail"
+	}
+	return "repair"
+}
+
+// Event is one failure or repair of a set of node groups at an instant.
+type Event struct {
+	Time   int64
+	Kind   Kind
+	Groups []int
+}
+
+// Trace is a time-sorted, replayable fault scenario.
+type Trace struct {
+	Events []Event
+}
+
+// Validation and configuration errors. Engine config validation wraps
+// these so callers can test with errors.Is.
+var (
+	ErrNonPositiveMTBF   = errors.New("fault: MTBF must be positive")
+	ErrNegativeMTTR      = errors.New("fault: MTTR must not be negative")
+	ErrNegativeRetries   = errors.New("fault: retry limit must not be negative")
+	ErrNegativeBackoff   = errors.New("fault: retry backoff must not be negative")
+	ErrUnknownRetryMode  = errors.New("fault: unknown retry mode")
+	ErrUnknownRestart    = errors.New("fault: unknown restart mode")
+	ErrMalformedTrace    = errors.New("fault: malformed trace")
+	ErrGroupOutOfRange   = errors.New("fault: group index out of range")
+	ErrNonPositiveGroups = errors.New("fault: group count must be positive")
+	ErrNonPositiveSpan   = errors.New("fault: horizon must be positive")
+)
+
+// Mode selects what happens to a batch job killed by a failure.
+type Mode uint8
+
+const (
+	// Requeue resubmits the killed job at the head of the batch queue
+	// (after the backoff delay), subject to the retry limit.
+	Requeue Mode = iota
+	// Drop removes the killed job from the system permanently.
+	Drop
+)
+
+// Restart selects how much runtime a requeued job carries back.
+type Restart uint8
+
+const (
+	// FullRuntime restarts the job from scratch: no work survives the
+	// kill, the resubmitted job runs its original runtime again.
+	FullRuntime Restart = iota
+	// RemainingRuntime models checkpointed jobs: the resubmitted job
+	// needs only the work it had not yet completed when killed.
+	RemainingRuntime
+)
+
+// RetryPolicy configures the dispatch of batch jobs killed by a failure.
+// Dedicated jobs are never retried: their rigid start time has passed by
+// the time they run, so a killed dedicated job is dropped and counted.
+// The zero value requeues immediately with full restart and no retry cap.
+type RetryPolicy struct {
+	// Mode is Requeue or Drop.
+	Mode Mode
+	// Restart is FullRuntime or RemainingRuntime (Requeue mode only).
+	Restart Restart
+	// MaxRetries bounds requeues per job; 0 means unlimited. A job
+	// killed after exhausting its retries is dropped.
+	MaxRetries int
+	// Backoff delays the resubmission of a killed job (sim seconds).
+	Backoff int64
+}
+
+// Validate checks the policy bounds, wrapping the typed errors above.
+func (p RetryPolicy) Validate() error {
+	if p.Mode > Drop {
+		return fmt.Errorf("%w: %d", ErrUnknownRetryMode, p.Mode)
+	}
+	if p.Restart > RemainingRuntime {
+		return fmt.Errorf("%w: %d", ErrUnknownRestart, p.Restart)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("%w: %d", ErrNegativeRetries, p.MaxRetries)
+	}
+	if p.Backoff < 0 {
+		return fmt.Errorf("%w: %d", ErrNegativeBackoff, p.Backoff)
+	}
+	return nil
+}
+
+// GenParams parameterizes sampled fault traces. Each of the machine's
+// node groups fails and recovers independently: an alternating renewal
+// process with exponential time-to-failure (mean MTBF) and exponential
+// time-to-repair (mean MTTR), all driven by one seeded stream so a trace
+// is a pure function of its parameters.
+type GenParams struct {
+	// Groups is the number of node groups (machine size / group size).
+	Groups int
+	// MTBF is the per-group mean time between failures, sim seconds.
+	MTBF float64
+	// MTTR is the per-group mean time to repair, sim seconds.
+	MTTR float64
+	// Horizon bounds failure sampling: failures land in [0, Horizon).
+	// The closing repair of a failure is always emitted, even past the
+	// horizon, so every sampled outage ends and a drained simulation
+	// always gets its full capacity back.
+	Horizon int64
+	// Seed selects the random stream.
+	Seed int64
+}
+
+// Generate samples a fault trace from the renewal model above.
+func Generate(p GenParams) (*Trace, error) {
+	if p.Groups <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrNonPositiveGroups, p.Groups)
+	}
+	if p.MTBF <= 0 {
+		return nil, fmt.Errorf("%w: %g", ErrNonPositiveMTBF, p.MTBF)
+	}
+	if p.MTTR < 0 {
+		return nil, fmt.Errorf("%w: %g", ErrNegativeMTTR, p.MTTR)
+	}
+	if p.Horizon <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrNonPositiveSpan, p.Horizon)
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	ttf := dist.Exponential{Mean: p.MTBF}
+	ttr := dist.Exponential{Mean: p.MTTR}
+	t := &Trace{}
+	for g := 0; g < p.Groups; g++ {
+		now := int64(0)
+		for {
+			now += atLeast(ttf.Sample(r), 1)
+			if now >= p.Horizon {
+				break
+			}
+			up := now + atLeast(ttr.Sample(r), 1)
+			t.Events = append(t.Events,
+				Event{Time: now, Kind: Fail, Groups: []int{g}},
+				Event{Time: up, Kind: Repair, Groups: []int{g}})
+			now = up
+		}
+	}
+	sortEvents(t.Events)
+	return t, nil
+}
+
+func atLeast(v float64, min int64) int64 {
+	if n := int64(v); n > min {
+		return n
+	}
+	return min
+}
+
+// sortEvents orders events by (time, kind, first group): failures before
+// repairs at the same instant, deterministically.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return firstGroup(a) < firstGroup(b)
+	})
+}
+
+func firstGroup(e Event) int {
+	if len(e.Groups) == 0 {
+		return -1
+	}
+	return e.Groups[0]
+}
+
+// Validate checks that the trace is well-formed for a machine with the
+// given number of node groups: times non-negative and non-decreasing,
+// every event carrying at least one in-range group. It does NOT require
+// fail/repair pairing — scripted scenarios may leave groups down forever
+// or repair healthy groups (a no-op at the machine); Lint flags those.
+func (t *Trace) Validate(groups int) error {
+	var last int64
+	for i, e := range t.Events {
+		if e.Time < 0 {
+			return fmt.Errorf("%w: event %d at negative time %d", ErrMalformedTrace, i, e.Time)
+		}
+		if e.Time < last {
+			return fmt.Errorf("%w: event %d at t=%d before t=%d", ErrMalformedTrace, i, e.Time, last)
+		}
+		last = e.Time
+		if e.Kind > Repair {
+			return fmt.Errorf("%w: event %d has unknown kind %d", ErrMalformedTrace, i, e.Kind)
+		}
+		if len(e.Groups) == 0 {
+			return fmt.Errorf("%w: event %d names no groups", ErrMalformedTrace, i)
+		}
+		for _, g := range e.Groups {
+			if g < 0 || g >= groups {
+				return fmt.Errorf("%w: event %d group %d (machine has %d)", ErrGroupOutOfRange, i, g, groups)
+			}
+		}
+	}
+	return nil
+}
+
+// Lint reports scenario-level inconsistencies a valid trace may still
+// contain: a repair of a group that is not down, or a failure of a group
+// that is already down. The audit oracle folds these into its report.
+func (t *Trace) Lint(groups int) []string {
+	down := make([]bool, groups)
+	var issues []string
+	for _, e := range t.Events {
+		for _, g := range e.Groups {
+			if g < 0 || g >= groups {
+				continue // Validate's territory
+			}
+			switch e.Kind {
+			case Fail:
+				if down[g] {
+					issues = append(issues, fmt.Sprintf("group %d fails at t=%d while already down", g, e.Time))
+				}
+				down[g] = true
+			case Repair:
+				if !down[g] {
+					issues = append(issues, fmt.Sprintf("group %d repaired at t=%d with no preceding failure", g, e.Time))
+				}
+				down[g] = false
+			}
+		}
+	}
+	return issues
+}
+
+// DownWindows returns, per group, the half-open [fail, repair) intervals
+// during which the group is down. A failure never repaired yields a
+// window closing at horizon (pass the end of the span under audit).
+func (t *Trace) DownWindows(groups int, horizon int64) [][][2]int64 {
+	win := make([][][2]int64, groups)
+	downAt := make([]int64, groups)
+	down := make([]bool, groups)
+	for _, e := range t.Events {
+		for _, g := range e.Groups {
+			if g < 0 || g >= groups {
+				continue
+			}
+			switch e.Kind {
+			case Fail:
+				if !down[g] {
+					down[g], downAt[g] = true, e.Time
+				}
+			case Repair:
+				if down[g] {
+					down[g] = false
+					if e.Time > downAt[g] {
+						win[g] = append(win[g], [2]int64{downAt[g], e.Time})
+					}
+				}
+			}
+		}
+	}
+	for g := range down {
+		if down[g] && horizon > downAt[g] {
+			win[g] = append(win[g], [2]int64{downAt[g], horizon})
+		}
+	}
+	return win
+}
+
+// Parse reads a scripted fault trace. The format is line-oriented:
+//
+//	# comment
+//	<time> fail   <group>[,<group>...]
+//	<time> repair <group>[,<group>...]
+//
+// Times are non-negative integers (sim seconds) and must be
+// non-decreasing; blank lines and #-comments are ignored.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	t := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		f := strings.Fields(s)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("%w: line %d: want \"<time> fail|repair <groups>\", got %q", ErrMalformedTrace, line, s)
+		}
+		tm, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil || tm < 0 {
+			return nil, fmt.Errorf("%w: line %d: bad time %q", ErrMalformedTrace, line, f[0])
+		}
+		var kind Kind
+		switch f[1] {
+		case "fail":
+			kind = Fail
+		case "repair":
+			kind = Repair
+		default:
+			return nil, fmt.Errorf("%w: line %d: bad kind %q", ErrMalformedTrace, line, f[1])
+		}
+		var groups []int
+		for _, p := range strings.Split(f[2], ",") {
+			g, err := strconv.Atoi(p)
+			if err != nil || g < 0 {
+				return nil, fmt.Errorf("%w: line %d: bad group %q", ErrMalformedTrace, line, p)
+			}
+			groups = append(groups, g)
+		}
+		t.Events = append(t.Events, Event{Time: tm, Kind: kind, Groups: groups})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(t.Events); i++ {
+		if t.Events[i].Time < t.Events[i-1].Time {
+			return nil, fmt.Errorf("%w: event at t=%d after t=%d", ErrMalformedTrace, t.Events[i].Time, t.Events[i-1].Time)
+		}
+	}
+	return t, nil
+}
+
+// Write emits the trace in the format Parse reads.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range t.Events {
+		gs := make([]string, len(e.Groups))
+		for i, g := range e.Groups {
+			gs[i] = strconv.Itoa(g)
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %s\n", e.Time, e.Kind, strings.Join(gs, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,205 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	p := GenParams{Groups: 10, MTBF: 5000, MTTR: 800, Horizon: 100000, Seed: 42}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("expected some events at MTBF=5000 over 100000s")
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("non-deterministic: %d vs %d events", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		av, bv := a.Events[i], b.Events[i]
+		if av.Time != bv.Time || av.Kind != bv.Kind || av.Groups[0] != bv.Groups[0] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, av, bv)
+		}
+	}
+	if err := a.Validate(p.Groups); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if issues := a.Lint(p.Groups); len(issues) != 0 {
+		t.Fatalf("generated trace lints: %v", issues)
+	}
+}
+
+func TestGenerateClosesEveryOutage(t *testing.T) {
+	tr, err := Generate(GenParams{Groups: 8, MTBF: 300, MTTR: 5000, Horizon: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, repairs := 0, 0
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case Fail:
+			fails++
+		case Repair:
+			repairs++
+		}
+	}
+	if fails == 0 || fails != repairs {
+		t.Fatalf("want paired fail/repair, got %d fails %d repairs", fails, repairs)
+	}
+	// With every outage closed, no down window may extend to the horizon
+	// probe when it ends before the last repair.
+	win := tr.DownWindows(8, math.MaxInt64)
+	for g, ws := range win {
+		for _, w := range ws {
+			if w[1] == math.MaxInt64 {
+				t.Fatalf("group %d has an unclosed outage", g)
+			}
+		}
+	}
+}
+
+func TestGenerateParamErrors(t *testing.T) {
+	cases := []struct {
+		p    GenParams
+		want error
+	}{
+		{GenParams{Groups: 0, MTBF: 1, Horizon: 1}, ErrNonPositiveGroups},
+		{GenParams{Groups: 1, MTBF: 0, Horizon: 1}, ErrNonPositiveMTBF},
+		{GenParams{Groups: 1, MTBF: -3, Horizon: 1}, ErrNonPositiveMTBF},
+		{GenParams{Groups: 1, MTBF: 1, MTTR: -1, Horizon: 1}, ErrNegativeMTTR},
+		{GenParams{Groups: 1, MTBF: 1, Horizon: 0}, ErrNonPositiveSpan},
+	}
+	for _, c := range cases {
+		if _, err := Generate(c.p); !errors.Is(err, c.want) {
+			t.Errorf("Generate(%+v) = %v, want %v", c.p, err, c.want)
+		}
+	}
+}
+
+func TestRetryPolicyValidate(t *testing.T) {
+	if err := (RetryPolicy{}).Validate(); err != nil {
+		t.Fatalf("zero policy should validate: %v", err)
+	}
+	cases := []struct {
+		p    RetryPolicy
+		want error
+	}{
+		{RetryPolicy{Mode: 9}, ErrUnknownRetryMode},
+		{RetryPolicy{Restart: 9}, ErrUnknownRestart},
+		{RetryPolicy{MaxRetries: -1}, ErrNegativeRetries},
+		{RetryPolicy{Backoff: -5}, ErrNegativeBackoff},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("Validate(%+v) = %v, want %v", c.p, err, c.want)
+		}
+	}
+}
+
+func TestParseWriteRoundTrip(t *testing.T) {
+	in := `
+# failure of two groups, staggered repair
+100 fail 0,3
+250 repair 3
+400 repair 0
+400 fail 7
+`
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 4 {
+		t.Fatalf("want 4 events, got %d", len(tr.Events))
+	}
+	if g := tr.Events[0].Groups; len(g) != 2 || g[0] != 0 || g[1] != 3 {
+		t.Fatalf("bad groups: %v", g)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back.Events), len(tr.Events))
+	}
+	for i := range back.Events {
+		a, b := tr.Events[i], back.Events[i]
+		if a.Time != b.Time || a.Kind != b.Kind || len(a.Groups) != len(b.Groups) {
+			t.Fatalf("event %d differs after round trip: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"abc fail 0",
+		"10 explode 0",
+		"10 fail x",
+		"10 fail",
+		"10 fail 0 extra junk",
+		"-5 fail 0",
+		"10 fail -1",
+		"100 fail 0\n50 repair 0", // time went backwards
+	}
+	for _, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); !errors.Is(err, ErrMalformedTrace) {
+			t.Errorf("Parse(%q) = %v, want ErrMalformedTrace", s, err)
+		}
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	tr := &Trace{Events: []Event{{Time: 5, Kind: Fail, Groups: []int{10}}}}
+	if err := tr.Validate(10); !errors.Is(err, ErrGroupOutOfRange) {
+		t.Fatalf("want ErrGroupOutOfRange, got %v", err)
+	}
+	tr = &Trace{Events: []Event{{Time: 5, Kind: Fail, Groups: nil}}}
+	if err := tr.Validate(10); !errors.Is(err, ErrMalformedTrace) {
+		t.Fatalf("want ErrMalformedTrace for empty groups, got %v", err)
+	}
+}
+
+func TestLintFindsInversions(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Time: 10, Kind: Repair, Groups: []int{2}},
+		{Time: 20, Kind: Fail, Groups: []int{2}},
+		{Time: 30, Kind: Fail, Groups: []int{2}},
+	}}
+	issues := tr.Lint(4)
+	if len(issues) != 2 {
+		t.Fatalf("want 2 lint issues, got %v", issues)
+	}
+	if !strings.Contains(issues[0], "no preceding failure") {
+		t.Errorf("issue 0 = %q", issues[0])
+	}
+	if !strings.Contains(issues[1], "already down") {
+		t.Errorf("issue 1 = %q", issues[1])
+	}
+}
+
+func TestDownWindows(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Time: 10, Kind: Fail, Groups: []int{0, 1}},
+		{Time: 30, Kind: Repair, Groups: []int{0}},
+		{Time: 50, Kind: Fail, Groups: []int{0}},
+	}}
+	win := tr.DownWindows(2, 100)
+	if len(win[0]) != 2 || win[0][0] != [2]int64{10, 30} || win[0][1] != [2]int64{50, 100} {
+		t.Fatalf("group 0 windows = %v", win[0])
+	}
+	if len(win[1]) != 1 || win[1][0] != [2]int64{10, 100} {
+		t.Fatalf("group 1 windows = %v", win[1])
+	}
+}

@@ -38,6 +38,11 @@ const (
 	Waiting State = iota
 	Running
 	Finished
+	// Dropped marks a job killed by a node-group failure and removed from
+	// the system without completing: a dedicated victim (its rigid start
+	// has passed), a victim under a Drop retry policy, or one whose retry
+	// budget is exhausted.
+	Dropped
 )
 
 // String returns a human-readable state name.
@@ -49,6 +54,8 @@ func (s State) String() string {
 		return "running"
 	case Finished:
 		return "finished"
+	case Dropped:
+		return "dropped"
 	default:
 		return fmt.Sprintf("state(%d)", uint8(s))
 	}
@@ -85,9 +92,13 @@ type Job struct {
 	// instant (its fixed-point loop); a head job is only charged one skip
 	// per distinct instant. Initialized to -1 by the engine at arrival.
 	LastSkip int64
-	// Rigid marks a dedicated job that has been moved to the head of the
-	// batch queue by Move_Dedicated_Head_To_Batch_Head.
+	// Rigid marks a job entitled to the head of the batch queue: a
+	// dedicated job moved by Move_Dedicated_Head_To_Batch_Head, or a
+	// failure victim resubmitted at the head by the retry policy.
 	Rigid bool
+	// Retries counts how many times this job has been killed by a
+	// node-group failure and requeued.
+	Retries int
 
 	State     State
 	StartTime int64 // actual dispatch time; meaningful once Running

@@ -13,6 +13,36 @@ import (
 	"slices"
 )
 
+// GroupState is the health of one node group. Node groups are the failure
+// domain: a fault takes whole groups out of service and a repair returns
+// them, so capacity shrinks and grows in unit-sized quanta.
+type GroupState uint8
+
+const (
+	// Up is a healthy group: free or allocated normally.
+	Up GroupState = iota
+	// Draining is a failed group still held by a running job. It is the
+	// transient state between FailGroups and the victim's Release, which
+	// moves it to Down; at scheduling boundaries no group is Draining.
+	Draining
+	// Down is a failed, unoccupied group: excluded from allocation until
+	// repaired.
+	Down
+)
+
+// String returns the state name.
+func (s GroupState) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Draining:
+		return "draining"
+	case Down:
+		return "down"
+	}
+	return fmt.Sprintf("GroupState(%d)", uint8(s))
+}
+
 // Machine is a fixed pool of processors with quantized allocation.
 type Machine struct {
 	total int
@@ -25,6 +55,15 @@ type Machine struct {
 	contiguous bool
 	// groups[i] is the job ID occupying node group i, or -1 when free.
 	groups []int
+	// health[i] is node group i's GroupState. Down groups are unowned
+	// (groups[i] == -1) but excluded from the free pool; Draining groups
+	// are still owned by their victim job until it is released.
+	health []GroupState
+	// downProcs counts the processors of all Down and Draining groups —
+	// the capacity currently out of service. drainingProcs is the Draining
+	// share of it (owned by victims not yet released).
+	downProcs     int
+	drainingProcs int
 	// owner maps jobID -> owned group indices (nil = no allocation). Job
 	// IDs are small dense integers, so a growable slice replaces the map
 	// the allocation hot path used to hash into.
@@ -72,6 +111,7 @@ func New(total, unit int) *Machine {
 	for i := range m.groups {
 		m.groups[i] = -1
 	}
+	m.health = make([]GroupState, total/unit)
 	m.rebuildFreeStack()
 	return m
 }
@@ -90,7 +130,7 @@ func NewContiguous(total, unit int) *Machine {
 func (m *Machine) rebuildFreeStack() {
 	m.freeStack = m.freeStack[:0]
 	for i := len(m.groups) - 1; i >= 0; i-- {
-		if m.groups[i] == -1 {
+		if m.groups[i] == -1 && m.health[i] == Up {
 			m.freeStack = append(m.freeStack, i)
 		}
 	}
@@ -128,11 +168,32 @@ func (m *Machine) Total() int { return m.total }
 // Unit returns the allocation quantum in processors (32 for BlueGene/P).
 func (m *Machine) Unit() int { return m.unit }
 
-// Free returns the number of unallocated processors (m in the paper).
+// Free returns the number of unallocated, in-service processors (m in the
+// paper).
 func (m *Machine) Free() int { return m.free }
 
-// Used returns the number of allocated processors.
-func (m *Machine) Used() int { return m.total - m.free }
+// Used returns the number of allocated processors, including those of
+// Draining groups (still held by their victim until release).
+func (m *Machine) Used() int { return m.total - m.free - m.downFreeProcs() }
+
+// downFreeProcs returns the processors of Down groups (out of service and
+// unowned); Draining procs are owned, so they count as Used.
+func (m *Machine) downFreeProcs() int { return m.downProcs - m.drainingProcs }
+
+// Available returns the in-service machine size: total minus the
+// processors of Down and Draining groups. Schedulers plan against this
+// capacity; with no faults injected it equals Total.
+func (m *Machine) Available() int { return m.total - m.downProcs }
+
+// DownProcs returns the processors currently out of service (Down or
+// Draining groups).
+func (m *Machine) DownProcs() int { return m.downProcs }
+
+// NumGroups returns the number of node groups (total/unit).
+func (m *Machine) NumGroups() int { return len(m.groups) }
+
+// GroupHealth returns node group g's state.
+func (m *Machine) GroupHealth(g int) GroupState { return m.health[g] }
 
 // Utilization returns the instantaneous fraction of busy processors.
 func (m *Machine) Utilization() float64 { return float64(m.Used()) / float64(m.total) }
@@ -160,11 +221,12 @@ func (m *Machine) FragmentedWaste() int {
 	return m.free - m.longestFreeRun()*m.unit
 }
 
-// longestFreeRun returns the length of the longest run of free groups.
+// longestFreeRun returns the length of the longest run of free, healthy
+// groups.
 func (m *Machine) longestFreeRun() int {
 	best, cur := 0, 0
-	for _, g := range m.groups {
-		if g == -1 {
+	for i, g := range m.groups {
+		if g == -1 && m.health[i] == Up {
 			cur++
 			if cur > best {
 				best = cur
@@ -176,11 +238,12 @@ func (m *Machine) longestFreeRun() int {
 	return best
 }
 
-// findRun returns the first index of a free run of length need, or -1.
+// findRun returns the first index of a free, healthy run of length need,
+// or -1.
 func (m *Machine) findRun(need int) int {
 	cur := 0
 	for i, g := range m.groups {
-		if g == -1 {
+		if g == -1 && m.health[i] == Up {
 			cur++
 			if cur == need {
 				return i - need + 1
@@ -269,6 +332,12 @@ func (m *Machine) takeIdx(need int) []int {
 // It returns the number of jobs whose placement changed. Only meaningful
 // (but harmless) on contiguous machines.
 func (m *Machine) Compact() int {
+	// Compaction is suspended while any group is out of service: packing
+	// jobs toward group 0 across Down holes would either break their
+	// contiguity or reoccupy failed hardware.
+	if m.downProcs > 0 {
+		return 0
+	}
 	// Stable order: jobs sorted by their current first group (unique per
 	// job, so an unstable sort cannot reorder equals).
 	jobs := m.compact[:0]
@@ -313,22 +382,35 @@ func (m *Machine) Compact() int {
 
 // Release frees every processor held by jobID. Releasing a job with no
 // allocation is an error (double release is always a scheduler bug).
+// Draining groups (failed while the job held them) go Down instead of
+// returning to the free pool.
 func (m *Machine) Release(jobID int) error {
 	idx := m.ownerOf(jobID)
 	if idx == nil {
 		return fmt.Errorf("machine: release of job %d which holds no allocation", jobID)
 	}
 	for _, i := range idx {
-		m.groups[i] = -1
+		m.freeGroup(i)
 	}
-	if !m.contiguous {
-		m.freeStack = append(m.freeStack, idx...)
-	}
-	m.free += len(idx) * m.unit
 	m.owner[jobID] = nil
 	m.nOwned--
 	m.idxPool = append(m.idxPool, idx)
 	return nil
+}
+
+// freeGroup hands group g back: to the free pool when healthy, to Down
+// when it failed while owned.
+func (m *Machine) freeGroup(g int) {
+	m.groups[g] = -1
+	if m.health[g] == Draining {
+		m.health[g] = Down
+		m.drainingProcs -= m.unit
+		return
+	}
+	if !m.contiguous {
+		m.freeStack = append(m.freeStack, g)
+	}
+	m.free += m.unit
 }
 
 // Resize grows or shrinks jobID's allocation to newSize processors (a
@@ -349,13 +431,9 @@ func (m *Machine) Resize(jobID, newSize int) error {
 	case newSize < cur:
 		drop := (cur - newSize) / m.unit
 		for _, g := range idx[len(idx)-drop:] {
-			m.groups[g] = -1
-		}
-		if !m.contiguous {
-			m.freeStack = append(m.freeStack, idx[len(idx)-drop:]...)
+			m.freeGroup(g)
 		}
 		m.owner[jobID] = idx[:len(idx)-drop]
-		m.free += cur - newSize
 		return nil
 	default:
 		grow := newSize - cur
@@ -388,6 +466,86 @@ func (m *Machine) Resize(jobID, newSize int) error {
 		m.free -= grow
 		return nil
 	}
+}
+
+// FailGroups takes the named node groups out of service. Free groups go
+// Down immediately (leaving the free pool); groups held by a running job
+// go Draining, and the job — returned in victims, deduplicated — must be
+// killed by the caller, whose Release moves its Draining groups to Down.
+// Groups already Down or Draining are skipped. It returns the number of
+// groups newly taken out of service and the victim job IDs.
+func (m *Machine) FailGroups(gs []int) (failed int, victims []int, err error) {
+	for _, g := range gs {
+		if g < 0 || g >= len(m.groups) {
+			return failed, victims, fmt.Errorf("machine: fail of group %d outside [0,%d)", g, len(m.groups))
+		}
+	}
+	for _, g := range gs {
+		if m.health[g] != Up {
+			continue
+		}
+		failed++
+		m.downProcs += m.unit
+		if id := m.groups[g]; id != -1 {
+			m.health[g] = Draining
+			m.drainingProcs += m.unit
+			if !containsInt(victims, id) {
+				victims = append(victims, id)
+			}
+			continue
+		}
+		m.health[g] = Down
+		m.free -= m.unit
+		if !m.contiguous {
+			m.dropFromFreeStack(g)
+		}
+	}
+	return failed, victims, nil
+}
+
+// RepairGroups returns the named Down groups to service, growing the free
+// pool. Groups that are Up or Draining are skipped (repairing healthy
+// hardware is a no-op; a Draining group cannot be repaired under its
+// victim). It returns the number of groups repaired.
+func (m *Machine) RepairGroups(gs []int) (repaired int, err error) {
+	for _, g := range gs {
+		if g < 0 || g >= len(m.groups) {
+			return repaired, fmt.Errorf("machine: repair of group %d outside [0,%d)", g, len(m.groups))
+		}
+	}
+	for _, g := range gs {
+		if m.health[g] != Down {
+			continue
+		}
+		repaired++
+		m.health[g] = Up
+		m.downProcs -= m.unit
+		m.free += m.unit
+		if !m.contiguous {
+			m.freeStack = append(m.freeStack, g)
+		}
+	}
+	return repaired, nil
+}
+
+// dropFromFreeStack removes group g from the scatter free stack.
+func (m *Machine) dropFromFreeStack(g int) {
+	for i, s := range m.freeStack {
+		if s == g {
+			m.freeStack = append(m.freeStack[:i], m.freeStack[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("machine: free group %d missing from free stack", g))
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Held returns the size of jobID's current allocation (0 if none).
@@ -432,6 +590,10 @@ type Snapshot struct {
 	FreeStack  []int       `json:"free_stack,omitempty"`
 	Owners     []OwnerSnap `json:"owners,omitempty"`
 	Migrations int         `json:"migrations,omitempty"`
+	// Health carries per-group states when any group is out of service
+	// (omitted — all Up — otherwise). Snapshots are taken at instant
+	// boundaries, where no group is Draining, so only Up/Down appear.
+	Health []GroupState `json:"health,omitempty"`
 }
 
 // Snapshot captures the machine state for later FromSnapshot restoration.
@@ -452,6 +614,12 @@ func (m *Machine) Snapshot() Snapshot {
 			s.Owners = append(s.Owners, OwnerSnap{JobID: id, Groups: append([]int(nil), idx...)})
 		}
 	}
+	if m.downProcs > 0 {
+		if m.drainingProcs > 0 {
+			panic("machine: snapshot with draining groups (mid-failure state)")
+		}
+		s.Health = append([]GroupState(nil), m.health...)
+	}
 	return s
 }
 
@@ -467,9 +635,29 @@ func FromSnapshot(s Snapshot) (*Machine, error) {
 	}
 	m := &Machine{total: s.Total, unit: s.Unit, contiguous: s.Contiguous, migratory: s.Migratory, migrations: s.Migrations}
 	m.groups = append([]int(nil), s.Groups...)
+	if s.Health == nil {
+		m.health = make([]GroupState, len(m.groups))
+	} else {
+		if len(s.Health) != len(m.groups) {
+			return nil, fmt.Errorf("machine: snapshot has %d health entries, geometry needs %d", len(s.Health), len(m.groups))
+		}
+		m.health = append([]GroupState(nil), s.Health...)
+		for g, h := range m.health {
+			switch h {
+			case Up:
+			case Down:
+				if m.groups[g] != -1 {
+					return nil, fmt.Errorf("machine: snapshot group %d down but owned by job %d", g, m.groups[g])
+				}
+				m.downProcs += m.unit
+			default:
+				return nil, fmt.Errorf("machine: snapshot group %d in non-restorable state %v", g, h)
+			}
+		}
+	}
 	freeGroups := 0
-	for _, g := range m.groups {
-		if g == -1 {
+	for g, id := range m.groups {
+		if id == -1 && m.health[g] == Up {
 			freeGroups++
 		}
 	}
@@ -493,7 +681,7 @@ func FromSnapshot(s Snapshot) (*Machine, error) {
 	} else {
 		seen := make(map[int]bool, len(s.FreeStack))
 		for _, g := range s.FreeStack {
-			if g < 0 || g >= len(m.groups) || m.groups[g] != -1 || seen[g] {
+			if g < 0 || g >= len(m.groups) || m.groups[g] != -1 || m.health[g] != Up || seen[g] {
 				return nil, fmt.Errorf("machine: snapshot free stack entry %d invalid", g)
 			}
 			seen[g] = true
@@ -510,9 +698,25 @@ func FromSnapshot(s Snapshot) (*Machine, error) {
 // the group map and the owner index is exact. Used by tests and the
 // engine's paranoid mode.
 func (m *Machine) CheckInvariants() error {
-	freeGroups := 0
+	if len(m.health) != len(m.groups) {
+		return fmt.Errorf("machine: health table has %d entries, group map %d", len(m.health), len(m.groups))
+	}
+	freeGroups, downGroups, drainGroups := 0, 0, 0
 	perJob := map[int]int{}
-	for _, g := range m.groups {
+	for i, g := range m.groups {
+		switch m.health[i] {
+		case Down:
+			if g != -1 {
+				return fmt.Errorf("machine: down group %d owned by job %d", i, g)
+			}
+			downGroups++
+			continue
+		case Draining:
+			if g == -1 {
+				return fmt.Errorf("machine: draining group %d has no owner", i)
+			}
+			drainGroups++
+		}
 		if g == -1 {
 			freeGroups++
 		} else {
@@ -521,6 +725,12 @@ func (m *Machine) CheckInvariants() error {
 	}
 	if freeGroups*m.unit != m.free {
 		return fmt.Errorf("machine: free counter %d != free groups %d*%d", m.free, freeGroups, m.unit)
+	}
+	if (downGroups+drainGroups)*m.unit != m.downProcs {
+		return fmt.Errorf("machine: down counter %d != (%d down + %d draining)*%d", m.downProcs, downGroups, drainGroups, m.unit)
+	}
+	if drainGroups*m.unit != m.drainingProcs {
+		return fmt.Errorf("machine: draining counter %d != %d draining groups*%d", m.drainingProcs, drainGroups, m.unit)
 	}
 	if !m.contiguous && len(m.freeStack) != freeGroups {
 		return fmt.Errorf("machine: free stack has %d groups, group map has %d", len(m.freeStack), freeGroups)

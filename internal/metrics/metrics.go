@@ -42,6 +42,16 @@ type Collector struct {
 	queued      int
 	maxQueued   int
 
+	// Fault accounting: jobs killed by node-group failures, how they were
+	// dispatched afterwards, the processor-seconds of work the kills
+	// destroyed, and the integral of out-of-service capacity.
+	killed    int
+	retried   int
+	dropped   int
+	lostWork  float64
+	downProcs int
+	downArea  float64
+
 	// busySteps records the busy-count step function (one entry per change)
 	// so steady-state windows can be evaluated after the fact.
 	busySteps []busyStep
@@ -76,10 +86,14 @@ func NewCollectorSized(m, n int) *Collector {
 	}
 }
 
-// integrate advances the busy-area integral to time t.
+// integrate advances the busy-area and down-capacity integrals to time t.
 func (c *Collector) integrate(t int64) {
 	if t > c.lastT {
-		c.area += float64(c.busy) * float64(t-c.lastT)
+		dt := float64(t - c.lastT)
+		c.area += float64(c.busy) * dt
+		if c.downProcs > 0 {
+			c.downArea += float64(c.downProcs) * dt
+		}
 		c.lastT = t
 	}
 }
@@ -155,6 +169,35 @@ func (c *Collector) JobFinished(j *job.Job, t int64) {
 	}
 }
 
+// JobKilled accounts for a running job killed by a node-group failure at
+// time t: its processors free up, the work it had completed is lost, and
+// it either re-enters the waiting queue later (requeued — a fresh
+// JobArrived will fire at its resubmission) or leaves the system.
+func (c *Collector) JobKilled(j *job.Job, t int64, requeued bool) {
+	c.integrate(t)
+	c.busy -= j.Size
+	if c.busy < 0 {
+		panic(fmt.Sprintf("metrics: negative busy %d after kill at t=%d", c.busy, t))
+	}
+	c.noteBusy(t)
+	c.killed++
+	if elapsed := t - j.StartTime; elapsed > 0 {
+		c.lostWork += float64(elapsed) * float64(j.Size)
+	}
+	if requeued {
+		c.retried++
+	} else {
+		c.dropped++
+	}
+}
+
+// CapacityChanged records the out-of-service processor count after a
+// failure or repair at time t, feeding the down-capacity integral.
+func (c *Collector) CapacityChanged(downProcs int, t int64) {
+	c.integrate(t)
+	c.downProcs = downProcs
+}
+
 // SizeChanged accounts for an EP/RP resize of a running job at time t.
 func (c *Collector) SizeChanged(delta int, t int64) {
 	c.integrate(t)
@@ -202,6 +245,12 @@ type Snapshot struct {
 	JobsDone    int        `json:"jobs_done"`
 	Queued      int        `json:"queued"`
 	MaxQueued   int        `json:"max_queued"`
+	Killed      int        `json:"killed,omitempty"`
+	Retried     int        `json:"retried,omitempty"`
+	Dropped     int        `json:"dropped,omitempty"`
+	LostWork    float64    `json:"lost_work,omitempty"`
+	DownProcs   int        `json:"down_procs,omitempty"`
+	DownArea    float64    `json:"down_area,omitempty"`
 	BusySteps   []BusyStep `json:"busy_steps,omitempty"`
 	PerJob      []JobPoint `json:"per_job,omitempty"`
 }
@@ -216,6 +265,8 @@ func (c *Collector) Snapshot() Snapshot {
 		DedSum: c.dedSum, DedOnTime: c.dedOnTime, DedTotal: c.dedTotal,
 		JobsStarted: c.jobsStarted, JobsDone: c.jobsDone,
 		Queued: c.queued, MaxQueued: c.maxQueued,
+		Killed: c.killed, Retried: c.retried, Dropped: c.dropped,
+		LostWork: c.lostWork, DownProcs: c.downProcs, DownArea: c.downArea,
 	}
 	for _, b := range c.busySteps {
 		s.BusySteps = append(s.BusySteps, BusyStep{T: b.t, Busy: b.busy})
@@ -236,6 +287,8 @@ func NewCollectorFromSnapshot(s Snapshot) *Collector {
 		dedSum: s.DedSum, dedOnTime: s.DedOnTime, dedTotal: s.DedTotal,
 		jobsStarted: s.JobsStarted, jobsDone: s.JobsDone,
 		queued: s.Queued, maxQueued: s.MaxQueued,
+		killed: s.Killed, retried: s.Retried, dropped: s.Dropped,
+		lostWork: s.LostWork, downProcs: s.DownProcs, downArea: s.DownArea,
 	}
 	for _, b := range s.BusySteps {
 		c.busySteps = append(c.busySteps, busyStep{t: b.T, busy: b.Busy})
@@ -287,6 +340,18 @@ type Summary struct {
 	DedicatedJobs   int
 	JobsStarted     int
 	JobsFinished    int
+
+	// Fault-injection accounting (all zero when no fault model is
+	// configured). KilledJobs counts kills (a job killed twice counts
+	// twice); RetriedJobs of those kills were requeued, DroppedJobs left
+	// the system. LostWorkSeconds is the processor-seconds of completed
+	// work the kills destroyed; DownProcSeconds integrates out-of-service
+	// capacity over the measurement window.
+	KilledJobs      int
+	RetriedJobs     int
+	DroppedJobs     int
+	LostWorkSeconds float64
+	DownProcSeconds float64
 }
 
 // Summary finalizes the run. It must be called after the last completion.
@@ -299,8 +364,14 @@ func (c *Collector) Summary() Summary {
 		JobsStarted:   c.jobsStarted,
 		JobsFinished:  c.jobsDone,
 		DedicatedJobs: c.dedTotal,
+
+		KilledJobs:      c.killed,
+		RetriedJobs:     c.retried,
+		DroppedJobs:     c.dropped,
+		LostWorkSeconds: c.lostWork,
 	}
 	c.integrate(c.tEnd)
+	s.DownProcSeconds = c.downArea
 	span := float64(c.tEnd - c.t0)
 	if span > 0 {
 		s.Utilization = c.area / (span * float64(c.m))
@@ -485,5 +556,7 @@ func Average(sums []Summary) Summary {
 	acc(func(s *Summary) *float64 { return &s.DedicatedOnTime })
 	acc(func(s *Summary) *float64 { return &s.SteadyUtilization })
 	acc(func(s *Summary) *float64 { return &s.SteadyMeanWait })
+	acc(func(s *Summary) *float64 { return &s.LostWorkSeconds })
+	acc(func(s *Summary) *float64 { return &s.DownProcSeconds })
 	return out
 }

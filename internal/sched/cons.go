@@ -128,6 +128,27 @@ func (c *consCore) JobResized(j *job.Job, oldSize int, now int64) {
 // QueueChanged implements Stateful.
 func (c *consCore) QueueChanged() { c.invalidate() }
 
+// JobKilled implements Stateful: like a completion, the remainder of the
+// victim's capacity claim is handed back — the failure that killed it
+// additionally fires CapacityChanged, which rebuilds base anyway, but the
+// release keeps base exact for any kill delivered on its own.
+func (c *consCore) JobKilled(j *job.Job, now int64) {
+	if c.baseValid {
+		c.base.Release(now, j.EndTime, j.Size)
+	}
+	c.invalidate()
+}
+
+// CapacityChanged implements Stateful. The paper-mandated fallback: base
+// was built against the old in-service machine size, and a shrink under
+// existing reservations cannot be patched soundly (the profile has no
+// notion of which future windows lose capacity), so both halves are
+// dropped and the next cycle rebuilds from the Context.
+func (c *consCore) CapacityChanged(now int64) {
+	c.baseValid = false
+	c.invalidate()
+}
+
 // pass runs one conservative scheduling cycle. With pinDedicated, pending
 // dedicated jobs reserve first at their requested start times (degrading
 // to earliest-feasible when infeasible, mirroring the unavoidable delay of
@@ -137,12 +158,25 @@ func (c *consCore) pass(ctx *Context, pinDedicated bool) {
 		if len(c.pending) == 0 {
 			return
 		}
-		if c.curValid && ctx.Now < c.nextResAt {
+		if c.curValid && ctx.Now < c.nextResAt && !c.pendingOversized(ctx.M()) {
 			c.passPending(ctx)
 			return
 		}
 	}
 	c.fullPass(ctx, pinDedicated)
+}
+
+// pendingOversized reports whether any pending arrival outsizes the
+// in-service machine — possible only during a node-group outage, when a
+// job validated against the full machine exceeds what is left Up. Such a
+// job cannot take a reservation, so the incremental path is unusable.
+func (c *consCore) pendingOversized(m int) bool {
+	for _, j := range c.pending {
+		if j.Size > m {
+			return true
+		}
+	}
+	return false
 }
 
 // passPending fits only the batch jobs that arrived since the settled
@@ -176,8 +210,15 @@ func (c *consCore) fullPass(ctx *Context, pinDedicated bool) {
 	prof := c.cycleProfile(ctx)
 	c.pending = c.pending[:0]
 	c.nextResAt = math.MaxInt64
+	M := ctx.M()
 	if pinDedicated {
 		for _, d := range ctx.Dedicated.Jobs() {
+			if d.Size > M {
+				// Larger than the in-service machine (a node-group outage):
+				// no reservation is possible until a repair restores
+				// capacity, which invalidates this pass via CapacityChanged.
+				continue
+			}
 			at := d.ReqStart
 			if !prof.CanPlace(at, d.Dur, d.Size) {
 				at = prof.EarliestFit(at, d.Dur, d.Size)
@@ -223,6 +264,14 @@ func (c *consCore) fullPass(ctx *Context, pinDedicated bool) {
 			break
 		}
 		j := jobs[i]
+		if j.Size > M {
+			// The job outsizes the in-service machine (node-group outage).
+			// Conservative backfilling forbids later jobs from delaying it,
+			// and no reservation can be computed without knowing the repair
+			// time, so the pass stalls here until CapacityChanged replans.
+			complete = false
+			break
+		}
 		at := prof.fitReserve(ctx.Now, j.Dur, j.Size)
 		if at == ctx.Now {
 			freeNow -= j.Size

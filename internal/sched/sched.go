@@ -46,8 +46,10 @@ type Context struct {
 // Free returns m, the current number of unallocated processors.
 func (c *Context) Free() int { return c.Machine.Free() }
 
-// M returns the machine size.
-func (c *Context) M() int { return c.Machine.Total() }
+// M returns the machine size the scheduler may plan against: the total
+// minus any capacity lost to failed node groups. With no faults injected
+// it is the paper's M.
+func (c *Context) M() int { return c.Machine.Available() }
 
 // Fits reports whether a job of the given size is placeable right now —
 // capacity on scatter machines, a free contiguous run on contiguous ones.

@@ -29,6 +29,15 @@ import "elastisched/internal/job"
 //     running job's allocation from oldSize to j.Size.
 //   - QueueChanged reports a waiting-set mutation not covered above: an
 //     ECC rewriting a queued job's requirements in place.
+//   - JobKilled fires when a node-group failure kills a running job: the
+//     job leaves the machine mid-run, releasing its capacity claim from
+//     now to its kill-by time (the resubmitted copy, if any, is announced
+//     by a fresh JobArrived).
+//   - CapacityChanged fires when the in-service machine size (Context.M)
+//     shrinks or grows — node groups failing or being repaired. Capacity
+//     plans built against the old size are stale; policies fall back to a
+//     rebuild rather than patching (failures are rare, and a shrink under
+//     existing reservations cannot be patched soundly in general).
 //
 // Deltas other than JobStarted are delivered between Schedule calls, never
 // during one; JobStarted is delivered synchronously inside Context.Start.
@@ -45,6 +54,8 @@ type Stateful interface {
 	JobRetimed(j *job.Job, oldEnd, now int64)
 	JobResized(j *job.Job, oldSize int, now int64)
 	QueueChanged()
+	JobKilled(j *job.Job, now int64)
+	CapacityChanged(now int64)
 }
 
 // deltaTracker is the bookkeeping half of a Stateful policy: it records
@@ -85,6 +96,12 @@ func (d *deltaTracker) JobResized(*job.Job, int, int64) { d.settled = false }
 
 // QueueChanged implements Stateful.
 func (d *deltaTracker) QueueChanged() { d.settled = false }
+
+// JobKilled implements Stateful.
+func (d *deltaTracker) JobKilled(*job.Job, int64) { d.settled = false }
+
+// CapacityChanged implements Stateful.
+func (d *deltaTracker) CapacityChanged(int64) { d.settled = false }
 
 // settle records a clean fixed point. Only meaningful with a live feed:
 // without one there is no signal to unsettle, so the flag stays off and

@@ -29,6 +29,10 @@ type Span struct {
 	End      int64
 	Groups   []int // node groups held at dispatch
 	Resizes  []Resize
+	// Killed marks a span ended by a node-group failure rather than a
+	// completion; a retried job contributes one killed span per attempt
+	// plus (at most) one final non-killed span.
+	Killed bool
 }
 
 // Wait returns the span's waiting time under the paper's definition.
@@ -74,6 +78,20 @@ func (r *Recorder) JobFinished(j *job.Job, now int64) {
 	}
 	delete(r.open, j.ID)
 	sp.End = now
+	r.spans = append(r.spans, *sp)
+}
+
+// JobKilled implements engine.Observer: the open span closes at the kill
+// instant, marked Killed. A requeued job's next dispatch opens a fresh
+// span, so each attempt is audited on its own.
+func (r *Recorder) JobKilled(j *job.Job, now int64) {
+	sp, ok := r.open[j.ID]
+	if !ok {
+		return
+	}
+	delete(r.open, j.ID)
+	sp.End = now
+	sp.Killed = true
 	r.spans = append(r.spans, *sp)
 }
 
