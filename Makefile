@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json bench-gate fuzz chaos repro examples clean
+.PHONY: all build vet test race cover bench bench-json bench-gate fuzz scale-smoke chaos repro examples clean
 
 all: build vet test
 
@@ -39,14 +39,21 @@ bench-json:
 bench-gate:
 	$(GO) run ./cmd/benchgate
 
-# Short fuzz pass over the trace parsers, the DP packing kernels, and the
-# persistent capacity profile.
+# Short fuzz pass over the trace parsers, the DP packing kernels, the
+# persistent capacity profile, and the indexed machine differential.
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzParseLine -fuzztime=10s ./internal/cwf
 	$(GO) test -run=Fuzz -fuzz=FuzzParse -fuzztime=10s ./internal/cwf
 	$(GO) test -run=Fuzz -fuzz=FuzzDPEquivalence -fuzztime=10s ./internal/core
 	$(GO) test -run=Fuzz -fuzz=FuzzProfileOps -fuzztime=10s ./internal/sched
 	$(GO) test -run=Fuzz -fuzz=FuzzFaultTrace -fuzztime=10s ./internal/fault
+	$(GO) test -run=Fuzz -fuzz=FuzzMachineIndexed -fuzztime=10s ./internal/machine
+
+# Scale-out smoke: the sharded-dispatch determinism bar plus the indexed
+# machine at M=32k, both under the race detector (mirrors CI's scale-smoke).
+scale-smoke:
+	$(GO) test -race -run 'TestSharded' -count=1 ./internal/dispatch
+	$(GO) test -race -run=NONE -bench='BenchmarkMachineScale/indexed/M=32k' -benchtime=1x ./internal/machine
 
 # Chaos harness: every registry algorithm under seeded node-group fault
 # traces and retry policies, each schedule certified by the audit oracle,

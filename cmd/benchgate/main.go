@@ -12,9 +12,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchgate                      # newest BENCH_*.json
+//	go run ./cmd/benchgate                      # all BENCH_*.json, newest wins per benchmark
 //	go run ./cmd/benchgate -file BENCH_x.json -tolerance 1.5
 //	go run ./cmd/benchgate -bench 'Simulate500' -pkgs ./internal/engine
+//
+// With no -file, every committed BENCH_*.json is merged into one baseline:
+// files are visited in name (date) order and the newest recording of each
+// benchmark wins, so specialised snapshots (e.g. a scaling-curve file) add
+// their benchmarks to the gate without un-gating the ones recorded earlier.
 package main
 
 import (
@@ -39,35 +44,38 @@ type snapshot struct {
 
 func main() {
 	var (
-		file      = flag.String("file", "", "snapshot to gate against (empty = newest BENCH_*.json)")
+		file      = flag.String("file", "", "snapshot to gate against (empty = merge all BENCH_*.json, newest wins per benchmark)")
 		benchRE   = flag.String("bench", ".", "benchmark name regexp passed to go test")
-		pkgs      = flag.String("pkgs", "./internal/core,./internal/sched,./internal/simkit,./internal/engine", "comma-separated packages to benchmark")
+		pkgs      = flag.String("pkgs", "./internal/core,./internal/sched,./internal/simkit,./internal/engine,./internal/machine,./internal/dispatch", "comma-separated packages to benchmark")
 		tolerance = flag.Float64("tolerance", 1.75, "max allowed ns/op ratio current/recorded")
 		count     = flag.Int("count", 1, "-count passed to go test (best run is compared)")
 	)
 	flag.Parse()
 
-	path := *file
-	if path == "" {
+	paths := []string{*file}
+	if *file == "" {
 		matches, err := filepath.Glob("BENCH_*.json")
 		if err != nil || len(matches) == 0 {
 			fatal(fmt.Errorf("no BENCH_*.json snapshot found (run cmd/benchjson first)"))
 		}
 		sort.Strings(matches)
-		path = matches[len(matches)-1]
-	}
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		fatal(err)
-	}
-	var snap snapshot
-	if err := json.Unmarshal(raw, &snap); err != nil {
-		fatal(fmt.Errorf("%s: %w", path, err))
+		paths = matches
 	}
 	recorded := map[string]benchparse.Bench{}
-	for _, b := range snap.Benchmarks {
-		recorded[b.Pkg+"."+b.Name] = b
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		var snap snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		for _, b := range snap.Benchmarks {
+			recorded[b.Pkg+"."+b.Name] = b
+		}
 	}
+	baseline := strings.Join(paths, "+")
 
 	args := []string{"test", "-run=NONE", "-bench", *benchRE, "-benchmem", "-count", fmt.Sprint(*count)}
 	args = append(args, strings.Split(*pkgs, ",")...)
@@ -114,13 +122,13 @@ func main() {
 		}
 	}
 	if compared == 0 {
-		fatal(fmt.Errorf("no benchmark in the fresh run matches %s — check -bench/-pkgs", path))
+		fatal(fmt.Errorf("no benchmark in the fresh run matches %s — check -bench/-pkgs", baseline))
 	}
 	if failed > 0 {
-		fmt.Printf("benchgate: %d of %d gated benchmarks regressed beyond tolerance (vs %s)\n", failed, compared, path)
+		fmt.Printf("benchgate: %d of %d gated benchmarks regressed beyond tolerance (vs %s)\n", failed, compared, baseline)
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: OK — %d benchmarks within %.2fx of %s\n", compared, *tolerance, path)
+	fmt.Printf("benchgate: OK — %d benchmarks within %.2fx of %s\n", compared, *tolerance, baseline)
 }
 
 func fatal(err error) {

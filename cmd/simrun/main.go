@@ -16,9 +16,19 @@
 //
 //	simrun -algos Delayed-LOS -until 50000 -checkpoint part1.snap trace.cwf
 //	simrun -resume part1.snap
+//
+// Scale-out runs shard the workload across parallel cluster simulations:
+// -clusters N dispatches the jobs round-robin over N clusters of -procs
+// processors each (a global machine of N×procs), reporting the merged
+// metrics. Results are deterministic for a given workload and cluster
+// count. Gantt rendering and session control (-gantt, -jobs, -until,
+// -checkpoint, -resume) need a single cluster:
+//
+//	cwfgen -n 2000 | simrun -algos Delayed-LOS -procs 320 -clusters 4
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,10 +40,50 @@ import (
 	"elastisched/internal/prof"
 )
 
+// Typed flag-combination errors, testable with errors.Is.
+var (
+	// ErrProcsConflict rejects -procs and -m set to different values: they
+	// are aliases (-procs is the scale-out spelling of the machine size).
+	ErrProcsConflict = errors.New("simrun: -procs and -m are aliases; set only one (or the same value)")
+	// ErrShardedRender rejects per-placement rendering of a sharded run:
+	// parallel clusters have no single schedule to draw.
+	ErrShardedRender = errors.New("simrun: -gantt and -jobs require -clusters 1")
+	// ErrShardedSession rejects session control of a sharded run: capping,
+	// checkpointing and resuming operate on one session.
+	ErrShardedSession = errors.New("simrun: -until, -checkpoint and -resume require -clusters 1")
+)
+
+// resolveProcs merges the -m and -procs aliases.
+func resolveProcs(m, procs int) (int, error) {
+	if m != 0 && procs != 0 && m != procs {
+		return 0, fmt.Errorf("%w: -m %d vs -procs %d", ErrProcsConflict, m, procs)
+	}
+	if procs != 0 {
+		return procs, nil
+	}
+	return m, nil
+}
+
+// validateSharded rejects flag combinations that need a single cluster.
+func validateSharded(clusters int, so sweepOpts, resuming bool) error {
+	if clusters <= 1 {
+		return nil
+	}
+	if so.gantt != "" || so.jobsOut != "" {
+		return ErrShardedRender
+	}
+	if so.until >= 0 || so.checkFile != "" || resuming {
+		return ErrShardedSession
+	}
+	return nil
+}
+
 func main() {
 	var (
 		algosFlag = flag.String("algos", "EASY,LOS,Delayed-LOS", "comma-separated algorithm names")
 		m         = flag.Int("m", 0, "machine size in processors (0 = from the trace's MaxNodes header, else 320)")
+		procs     = flag.Int("procs", 0, "per-cluster machine size in processors (alias of -m)")
+		clusters  = flag.Int("clusters", 1, "parallel cluster simulations behind a global dispatcher (global machine = clusters x procs)")
 		unit      = flag.Int("unit", 0, "allocation quantum (0 = gcd of machine size and job sizes)")
 		cs        = flag.Int("cs", 0, "maximum skip count C_s (0 = default)")
 		lookahead = flag.Int("lookahead", 0, "DP window bound (0 = default 50)")
@@ -61,6 +111,15 @@ func main() {
 	if *list {
 		fmt.Println(strings.Join(es.AlgorithmNames(), "\n"))
 		return
+	}
+
+	mv, err := resolveProcs(*m, *procs)
+	if err != nil {
+		fatal(err)
+	}
+	so := sweepOpts{gantt: *gantt, jobsOut: *jobsOut, until: *until, checkFile: *checkFile, clusters: *clusters}
+	if err := validateSharded(*clusters, so, *resumeF != ""); err != nil {
+		fatal(err)
 	}
 
 	if *resumeF != "" {
@@ -93,19 +152,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *m == 0 {
+	if mv == 0 {
 		if declared := w.MaxNodes(); declared > 0 {
-			*m = declared
-			fmt.Fprintf(os.Stderr, "simrun: machine size %d from trace header\n", *m)
+			mv = declared
+			fmt.Fprintf(os.Stderr, "simrun: machine size %d from trace header\n", mv)
 		} else {
-			*m = 320
+			mv = 320
 		}
 	}
 	if *unit == 0 {
-		*unit = autoUnit(w, *m)
+		*unit = autoUnit(w, mv)
 	}
-	fmt.Printf("workload: %d jobs (%d dedicated), %d ECCs, offered load %.3f (machine %d x unit %d)\n",
-		len(w.Jobs), w.NumDedicated(), len(w.Commands), w.Load(*m), *m, *unit)
+	if *clusters > 1 {
+		fmt.Printf("workload: %d jobs (%d dedicated), %d ECCs (machine %d x unit %d, %d clusters, global %d)\n",
+			len(w.Jobs), w.NumDedicated(), len(w.Commands), mv, *unit, *clusters, mv**clusters)
+	} else {
+		fmt.Printf("workload: %d jobs (%d dedicated), %d ECCs, offered load %.3f (machine %d x unit %d)\n",
+			len(w.Jobs), w.NumDedicated(), len(w.Commands), w.Load(mv), mv, *unit)
+	}
 
 	algos := strings.Split(*algosFlag, ",")
 	if *checkFile != "" && len(algos) > 1 {
@@ -116,18 +180,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := es.Options{M: *m, Unit: *unit, Cs: *cs, Lookahead: *lookahead, MaxECCPerJob: *maxECC, Faults: fc}
-	so := sweepOpts{gantt: *gantt, jobsOut: *jobsOut, until: *until, checkFile: *checkFile}
+	opt := es.Options{M: mv, Unit: *unit, Cs: *cs, Lookahead: *lookahead, MaxECCPerJob: *maxECC, Faults: fc}
 	if err := runSweep(w, algos, opt, os.Stdout, so); err != nil {
 		fatal(err)
 	}
 }
 
-// sweepOpts bundles the rendering and session-control knobs of one sweep.
+// sweepOpts bundles the rendering, session-control and sharding knobs of
+// one sweep.
 type sweepOpts struct {
 	gantt, jobsOut string
 	until          int64
 	checkFile      string
+	// clusters > 1 dispatches each run across parallel cluster simulations.
+	clusters int
 }
 
 // runSweep runs every algorithm in order, writing one result row per
@@ -145,6 +211,15 @@ func runSweep(w *es.Workload, algos []string, opt es.Options, out io.Writer, so 
 		if (so.gantt != "" || so.jobsOut != "") && i == 0 {
 			rec = es.NewTrace(opt.M, opt.Unit)
 			aopt.Trace = rec
+		}
+		if so.clusters > 1 {
+			sres, err := es.SimulateSharded(w, name, aopt, es.ShardedOptions{Clusters: so.clusters})
+			if err != nil {
+				sweepErr = fmt.Errorf("%s: %w", name, err)
+				break
+			}
+			fmt.Fprint(tw, summaryRow(name, sres.Merged, sres.ECC.Applied, faulty))
+			continue
 		}
 		var res *es.Result
 		var err error
@@ -233,9 +308,14 @@ func resultHeader(faulty bool) string {
 
 // resultRow renders one algorithm's tabwriter line.
 func resultRow(name string, res *es.Result, faulty bool) string {
-	s := res.Summary
+	return summaryRow(name, res.Summary, res.ECC.Applied, faulty)
+}
+
+// summaryRow renders a tabwriter line from any summary — a single run's or
+// a sharded run's merged view.
+func summaryRow(name string, s es.Summary, eccApplied int, faulty bool) string {
 	row := fmt.Sprintf("%s\t%.4f\t%.1f\t%.1f\t%.3f\t%.2f\t%d",
-		name, s.Utilization, s.MeanWait, s.MeanRun, s.Slowdown, s.DedicatedOnTime, res.ECC.Applied)
+		name, s.Utilization, s.MeanWait, s.MeanRun, s.Slowdown, s.DedicatedOnTime, eccApplied)
 	if faulty {
 		row += fmt.Sprintf("\t%d\t%d\t%d\t%.0f", s.KilledJobs, s.RetriedJobs, s.DroppedJobs, s.DownProcSeconds)
 	}

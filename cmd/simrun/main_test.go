@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -239,5 +240,69 @@ func TestGCD(t *testing.T) {
 		if got := gcd(c[0], c[1]); got != c[2] {
 			t.Errorf("gcd(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
 		}
+	}
+}
+
+// TestResolveProcs covers the -m/-procs aliasing, including the typed
+// conflict rejection.
+func TestResolveProcs(t *testing.T) {
+	for _, c := range []struct {
+		m, procs, want int
+	}{
+		{0, 0, 0}, {320, 0, 320}, {0, 640, 640}, {320, 320, 320},
+	} {
+		got, err := resolveProcs(c.m, c.procs)
+		if err != nil || got != c.want {
+			t.Errorf("resolveProcs(%d,%d) = (%d,%v), want (%d,nil)", c.m, c.procs, got, err, c.want)
+		}
+	}
+	if _, err := resolveProcs(320, 640); !errors.Is(err, ErrProcsConflict) {
+		t.Errorf("conflicting -m/-procs: got %v, want errors.Is(err, ErrProcsConflict)", err)
+	}
+}
+
+// TestValidateSharded pins the typed rejections of single-cluster-only
+// flags under -clusters > 1.
+func TestValidateSharded(t *testing.T) {
+	if err := validateSharded(1, sweepOpts{gantt: "-", until: 100, checkFile: "x"}, true); err != nil {
+		t.Errorf("clusters=1 rejected: %v", err)
+	}
+	if err := validateSharded(4, sweepOpts{until: -1}, false); err != nil {
+		t.Errorf("plain sharded run rejected: %v", err)
+	}
+	for name, tc := range map[string]struct {
+		so       sweepOpts
+		resuming bool
+		want     error
+	}{
+		"gantt":      {sweepOpts{gantt: "-", until: -1}, false, ErrShardedRender},
+		"jobs":       {sweepOpts{jobsOut: "-", until: -1}, false, ErrShardedRender},
+		"until":      {sweepOpts{until: 100}, false, ErrShardedSession},
+		"checkpoint": {sweepOpts{until: -1, checkFile: "x"}, false, ErrShardedSession},
+		"resume":     {sweepOpts{until: -1}, true, ErrShardedSession},
+	} {
+		if err := validateSharded(2, tc.so, tc.resuming); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want errors.Is(err, %v)", name, err, tc.want)
+		}
+	}
+}
+
+// TestShardedSweep runs a multi-cluster sweep through the CLI path: the
+// merged row appears and repeated runs agree byte-for-byte.
+func TestShardedSweep(t *testing.T) {
+	w := sweepWorkload(t)
+	var out1, out2 bytes.Buffer
+	so := sweepOpts{until: -1, clusters: 2}
+	if err := runSweep(w, []string{"EASY", "Delayed-LOS"}, es.Options{M: 320, Unit: 32}, &out1, so); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(w, []string{"EASY", "Delayed-LOS"}, es.Options{M: 320, Unit: 32}, &out2, so); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("sharded sweep not reproducible:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(out1.String(), "Delayed-LOS") {
+		t.Errorf("sharded sweep missing result row:\n%s", out1.String())
 	}
 }

@@ -30,6 +30,7 @@ import (
 
 	"elastisched/internal/core"
 	"elastisched/internal/cwf"
+	"elastisched/internal/dispatch"
 	"elastisched/internal/engine"
 	"elastisched/internal/experiment"
 	"elastisched/internal/fault"
@@ -248,6 +249,59 @@ func Simulate(w *Workload, algorithm string, opt Options) (*Result, error) {
 		cfg.Observer = opt.Trace
 	}
 	return engine.Run(w, cfg)
+}
+
+// ShardedOptions configures SimulateSharded beyond the per-cluster Options.
+type ShardedOptions struct {
+	// Clusters is the number of parallel cluster simulations (the global
+	// machine is Clusters × M processors). Must be at least 1.
+	Clusters int
+	// Workers bounds the goroutines stepping clusters; 0 means GOMAXPROCS.
+	// The result is byte-identical for any worker count.
+	Workers int
+}
+
+// ShardedResult is the merged outcome of a SimulateSharded run; see
+// dispatch.Result for the merge semantics.
+type ShardedResult = dispatch.Result
+
+// SimulateSharded runs the workload across N parallel per-cluster
+// simulations behind a global round-robin dispatcher — the two-level
+// scale-out configuration. opt configures each cluster exactly as Simulate
+// would (M is the per-cluster machine size; Trace is rejected: placement
+// events from parallel clusters have no deterministic interleaving).
+// Results are deterministic for a given workload and cluster count,
+// independent of sh.Workers.
+func SimulateSharded(w *Workload, algorithm string, opt Options, sh ShardedOptions) (*ShardedResult, error) {
+	algo, err := experiment.ByName(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if opt.M == 0 {
+		opt.M = 320
+	}
+	if opt.Unit == 0 {
+		opt.Unit = 32
+	}
+	if opt.Trace != nil {
+		return nil, dispatch.ErrTemplateObserver
+	}
+	pt := experiment.Point{Cs: opt.Cs, Lookahead: opt.Lookahead}
+	return dispatch.Run(w, dispatch.Config{
+		Clusters: sh.Clusters,
+		Workers:  sh.Workers,
+		Engine: engine.Config{
+			M:            opt.M,
+			Unit:         opt.Unit,
+			ProcessECC:   algo.ECC,
+			MaxECCPerJob: opt.MaxECCPerJob,
+			Paranoid:     opt.Paranoid,
+			Contiguous:   opt.Contiguous,
+			Migrate:      opt.Migrate,
+			Faults:       opt.Faults,
+		},
+		NewScheduler: func() Scheduler { return algo.New(pt) },
+	})
 }
 
 // NewSession builds a live simulation under the named algorithm, without

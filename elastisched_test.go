@@ -235,3 +235,29 @@ func TestSimulateWithTrace(t *testing.T) {
 		t.Error("trace rendering empty")
 	}
 }
+
+// TestSimulateSharded exercises the scale-out facade: a 4-cluster run
+// completes every job, defaults geometry per cluster, reports the global
+// machine, and rejects a Trace (no deterministic merged schedule exists).
+func TestSimulateSharded(t *testing.T) {
+	w := smallWorkload(t, nil)
+	res, err := es.SimulateSharded(w, "Delayed-LOS", es.Options{Cs: 7}, es.ShardedOptions{Clusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged.JobsFinished != 100 {
+		t.Fatalf("finished %d/100", res.Merged.JobsFinished)
+	}
+	if res.Merged.MachineSize != 4*320 {
+		t.Errorf("global machine %d, want 1280", res.Merged.MachineSize)
+	}
+	if len(res.Clusters) != 4 {
+		t.Fatalf("got %d cluster results, want 4", len(res.Clusters))
+	}
+	if _, err := es.SimulateSharded(w, "Delayed-LOS", es.Options{Trace: es.NewTrace(320, 32)}, es.ShardedOptions{Clusters: 2}); err == nil {
+		t.Error("sharded run with a trace accepted")
+	}
+	if _, err := es.SimulateSharded(w, "NOPE", es.Options{}, es.ShardedOptions{Clusters: 2}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package dispatch
+
+import (
+	"fmt"
+	"testing"
+
+	"elastisched/internal/core"
+	"elastisched/internal/cwf"
+	"elastisched/internal/engine"
+	"elastisched/internal/sched"
+	"elastisched/internal/workload"
+)
+
+// shardedWorkload builds an N×-traffic workload for N clusters: jobs are
+// generated at the paper's per-cluster geometry (M=320), then the arrival
+// stream is compressed by the cluster count so each cluster sees the
+// paper's offered load.
+func shardedWorkload(b *testing.B, clusters int) *cwf.Workload {
+	b.Helper()
+	p := workload.DefaultParams()
+	p.N = 500 * clusters
+	p.Seed = 42
+	w, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if clusters > 1 {
+		for _, j := range w.Jobs {
+			j.Arrival /= int64(clusters)
+		}
+		for i := range w.Commands {
+			w.Commands[i].Issue /= int64(clusters)
+		}
+	}
+	return w
+}
+
+// BenchmarkShardedE2E is the end-to-end scaling harness: one global
+// workload of clusters×500 jobs dispatched over 1/2/4 parallel cluster
+// sessions. The single-cluster case is BenchmarkSimulate500's shape behind
+// the dispatcher, so the dispatch overhead is directly visible, and the
+// multi-cluster cases show the wall-clock win of sharding N× traffic.
+func BenchmarkShardedE2E(b *testing.B) {
+	for _, clusters := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("clusters=%d", clusters), func(b *testing.B) {
+			w := shardedWorkload(b, clusters)
+			cfg := Config{
+				Clusters:     clusters,
+				Engine:       engine.Config{M: 320, Unit: 32},
+				NewScheduler: func() sched.Scheduler { return core.NewLOS(true) },
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(w, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,302 @@
+// Package dispatch is the two-level scheduling layer: a global dispatcher
+// that routes an arriving workload across N per-cluster engine sessions and
+// runs them on parallel goroutines, merging their outcomes
+// deterministically. It models the scale-out configuration of the ROADMAP —
+// many racks, one entry point — the way the two-level-scheduling and SST
+// scalable-simulation papers structure it: global routing above, unmodified
+// per-cluster scheduling below.
+//
+// Determinism contract: routing is a pure function of the workload order
+// and the cluster count (round-robin over submissions, commands following
+// their job), every cluster simulation is single-goroutine deterministic,
+// and the merge walks clusters in index order. The result is therefore
+// byte-identically reproducible for any worker count; the cross-worker
+// determinism test pins 1/2/4 workers. This is the same
+// parallel-execution/deterministic-reduction split the experiment sweeps
+// use.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"elastisched/internal/cwf"
+	"elastisched/internal/ecc"
+	"elastisched/internal/engine"
+	"elastisched/internal/metrics"
+	"elastisched/internal/sched"
+)
+
+// Typed configuration errors, testable with errors.Is.
+var (
+	// ErrClusterCount rejects a non-positive cluster count.
+	ErrClusterCount = errors.New("dispatch: cluster count must be at least 1")
+	// ErrNoScheduler rejects a config without a scheduler factory.
+	ErrNoScheduler = errors.New("dispatch: no scheduler factory configured")
+	// ErrTemplateScheduler rejects a template carrying a scheduler instance:
+	// policies hold scratch state, so each cluster needs its own, built by
+	// NewScheduler.
+	ErrTemplateScheduler = errors.New("dispatch: engine template must not carry a scheduler instance; set NewScheduler")
+	// ErrTemplateObserver rejects a template carrying an observer: placement
+	// events from parallel clusters would interleave nondeterministically.
+	ErrTemplateObserver = errors.New("dispatch: engine template must not carry an observer")
+)
+
+// Config describes one sharded run.
+type Config struct {
+	// Clusters is the number of per-cluster sessions (the global machine is
+	// Clusters × Engine.M processors).
+	Clusters int
+	// Workers bounds the goroutines stepping cluster sessions; 0 means
+	// GOMAXPROCS. The outcome is identical for any value (see the package
+	// determinism contract).
+	Workers int
+	// Engine is the per-cluster configuration template: machine geometry,
+	// ECC processing, allocation policy, fault model. Scheduler and Observer
+	// must be nil; Prevalidated is managed by the dispatcher.
+	Engine engine.Config
+	// NewScheduler builds one policy instance per cluster.
+	NewScheduler func() sched.Scheduler
+}
+
+func (cfg *Config) validate() error {
+	if cfg.Clusters < 1 {
+		return fmt.Errorf("%w (got %d)", ErrClusterCount, cfg.Clusters)
+	}
+	if cfg.NewScheduler == nil {
+		return ErrNoScheduler
+	}
+	if cfg.Engine.Scheduler != nil {
+		return ErrTemplateScheduler
+	}
+	if cfg.Engine.Observer != nil {
+		return ErrTemplateObserver
+	}
+	return nil
+}
+
+// ClusterResult is one cluster's outcome.
+type ClusterResult struct {
+	// Cluster is the cluster index; Jobs the number of submissions routed
+	// to it.
+	Cluster int
+	Jobs    int
+	Result  *engine.Result
+}
+
+// Result is the merged outcome of a sharded run.
+type Result struct {
+	// Merged aggregates the exactly-mergeable summary fields across
+	// clusters: job counts, the busy-area utilization over the global
+	// window and machine, job-weighted means (wait, runtime, bounded
+	// slowdown, per-class waits), MaxWait, and the fault/ECC accounting
+	// sums. Order statistics (median, p95), steady-state measures, and
+	// queue depth are per-cluster properties with no exact global
+	// counterpart — they stay zero here and live in Clusters[i].
+	Merged metrics.Summary
+	// ECC sums the command-processor accounting; DroppedECC the commands
+	// dropped by non-ECC configurations.
+	ECC        ecc.Stats
+	DroppedECC int
+	// Events and Cycles total the kernel events and scheduler invocations
+	// across clusters.
+	Events uint64
+	Cycles uint64
+	// Clusters holds the per-cluster results, in cluster order.
+	Clusters []ClusterResult
+}
+
+// route splits the workload into per-cluster workloads: submissions
+// round-robin in workload order, each command following its job. The split
+// depends only on the workload and the cluster count, never on timing or
+// worker count.
+func route(w *cwf.Workload, clusters int) []*cwf.Workload {
+	parts := make([]*cwf.Workload, clusters)
+	for c := range parts {
+		parts[c] = &cwf.Workload{Header: w.Header}
+	}
+	home := make(map[int]int, len(w.Jobs))
+	for i, j := range w.Jobs {
+		c := i % clusters
+		home[j.ID] = c
+		parts[c].Jobs = append(parts[c].Jobs, j)
+	}
+	for _, cmd := range w.Commands {
+		if c, ok := home[cmd.JobID]; ok {
+			parts[c].Commands = append(parts[c].Commands, cmd)
+		}
+		// A command referencing a job no cluster owns cannot exist in a
+		// validated workload; Run validates before routing.
+	}
+	return parts
+}
+
+// Run executes the workload across cfg.Clusters parallel cluster sessions
+// and merges the outcomes. The workload is validated once against the
+// per-cluster machine and not mutated (each session clones its jobs), so
+// the same workload can be replayed under other configurations.
+func Run(w *cwf.Workload, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Every job must fit one cluster's machine; validating the whole
+	// workload against the per-cluster M establishes that for any routing.
+	if !cfg.Engine.Prevalidated {
+		if err := w.Validate(cfg.Engine.M); err != nil {
+			return nil, err
+		}
+	}
+
+	parts := route(w, cfg.Clusters)
+	outs := make([]*engine.Result, cfg.Clusters)
+	errs := make([]error, cfg.Clusters)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Clusters {
+		workers = cfg.Clusters
+	}
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for c := range tasks {
+				ecfg := cfg.Engine
+				ecfg.Scheduler = cfg.NewScheduler()
+				ecfg.Prevalidated = true
+				if cfg.Engine.Faults != nil {
+					// Each cluster draws an independent fault stream from a
+					// seed offset by its index, so the same global seed fails
+					// the same groups of the same clusters on every run.
+					fc := *cfg.Engine.Faults
+					fc.Seed += int64(c)
+					ecfg.Faults = &fc
+				}
+				outs[c], errs[c] = engine.Run(parts[c], ecfg)
+			}
+		}()
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		tasks <- c
+	}
+	close(tasks)
+	wg.Wait()
+
+	// Surface the first error in cluster order, regardless of which worker
+	// hit it first on the wall clock.
+	for c, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: cluster %d: %w", c, err)
+		}
+	}
+
+	res := &Result{Clusters: make([]ClusterResult, cfg.Clusters)}
+	for c, r := range outs {
+		res.Clusters[c] = ClusterResult{Cluster: c, Jobs: len(parts[c].Jobs), Result: r}
+		res.ECC = addECC(res.ECC, r.ECC)
+		res.DroppedECC += r.DroppedECC
+		res.Events += r.Events
+		res.Cycles += r.Cycles
+	}
+	res.Merged = mergeSummaries(outs, cfg.Engine.M)
+	return res, nil
+}
+
+// mergeSummaries combines per-cluster summaries into the global view,
+// walking clusters in index order so every float accumulates
+// deterministically. Only exactly-mergeable fields are filled (see
+// Result.Merged).
+func mergeSummaries(outs []*engine.Result, clusterM int) metrics.Summary {
+	var g metrics.Summary
+	g.MachineSize = clusterM * len(outs)
+	first := true
+	// Busy processor-seconds reconstruct exactly from each cluster's
+	// utilization: area_i = util_i × span_i × M_i.
+	var area, waitSum, runSum, boundedSum, batchSum, dedSum, onTimeSum float64
+	var batchJobs int
+	for _, r := range outs {
+		s := r.Summary
+		if s.Jobs == 0 && s.JobsStarted == 0 {
+			continue
+		}
+		if first || s.WindowStart < g.WindowStart {
+			g.WindowStart = s.WindowStart
+		}
+		if first || s.WindowEnd > g.WindowEnd {
+			g.WindowEnd = s.WindowEnd
+		}
+		first = false
+		n := float64(s.Jobs)
+		g.Jobs += s.Jobs
+		g.JobsStarted += s.JobsStarted
+		g.JobsFinished += s.JobsFinished
+		g.DedicatedJobs += s.DedicatedJobs
+		batchJobs += s.Jobs - s.DedicatedJobs
+		area += s.Utilization * float64(s.WindowEnd-s.WindowStart) * float64(s.MachineSize)
+		waitSum += s.MeanWait * n
+		runSum += s.MeanRun * n
+		boundedSum += s.MeanBoundedSlow * n
+		batchSum += s.MeanBatchWait * float64(s.Jobs-s.DedicatedJobs)
+		dedSum += s.MeanDedWait * float64(s.DedicatedJobs)
+		onTimeSum += s.DedicatedOnTime * float64(s.DedicatedJobs)
+		if s.MaxWait > g.MaxWait {
+			g.MaxWait = s.MaxWait
+		}
+		g.KilledJobs += s.KilledJobs
+		g.RetriedJobs += s.RetriedJobs
+		g.DroppedJobs += s.DroppedJobs
+		g.LostWorkSeconds += s.LostWorkSeconds
+		g.DownProcSeconds += s.DownProcSeconds
+	}
+	if span := float64(g.WindowEnd - g.WindowStart); span > 0 {
+		g.Utilization = area / (span * float64(g.MachineSize))
+	}
+	if g.Jobs > 0 {
+		n := float64(g.Jobs)
+		g.MeanWait = waitSum / n
+		g.MeanRun = runSum / n
+		g.MeanBoundedSlow = boundedSum / n
+	}
+	if g.MeanRun > 0 {
+		g.Slowdown = (g.MeanWait + g.MeanRun) / g.MeanRun
+	}
+	if batchJobs > 0 {
+		g.MeanBatchWait = batchSum / float64(batchJobs)
+	}
+	if g.DedicatedJobs > 0 {
+		g.MeanDedWait = dedSum / float64(g.DedicatedJobs)
+		g.DedicatedOnTime = onTimeSum / float64(g.DedicatedJobs)
+	}
+	return g
+}
+
+func addECC(a, b ecc.Stats) ecc.Stats {
+	a.Total += b.Total
+	a.Applied += b.Applied
+	a.Clamped += b.Clamped
+	a.IgnoredFinished += b.IgnoredFinished
+	a.IgnoredUnknown += b.IgnoredUnknown
+	a.IgnoredLimit += b.IgnoredLimit
+	a.IgnoredCapacity += b.IgnoredCapacity
+	a.ExtendedSeconds += b.ExtendedSeconds
+	a.ReducedSeconds += b.ReducedSeconds
+	a.GrownProcs += b.GrownProcs
+	a.ShrunkProcs += b.ShrunkProcs
+	return a
+}
+
+// JobsPerCluster reports how a workload of n submissions spreads over
+// clusters — the per-cluster load factor tooling prints before a run.
+func JobsPerCluster(n, clusters int) []int {
+	counts := make([]int, clusters)
+	for i := 0; i < n; i++ {
+		counts[i%clusters]++
+	}
+	return counts
+}

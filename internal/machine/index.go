@@ -1,0 +1,137 @@
+package machine
+
+import "math/bits"
+
+// runIndex is a segment tree over the node groups of a contiguous machine,
+// maintaining free-run aggregates so the placement hot paths — Fits,
+// findRun, longestFreeRun, FragmentedWaste — cost O(log G) or O(1) instead
+// of a dense O(G) scan. A leaf is "free" when its group is unallocated and
+// Up; each internal node aggregates its span's longest free prefix (pre),
+// suffix (suf), and best run (best), combined by the classic law
+//
+//	pre  = left.pre  (extended by right.pre  when the left span is all free)
+//	suf  = right.suf (extended by left.suf   when the right span is all free)
+//	best = max(left.best, right.best, left.suf + right.pre)
+//
+// The tree is a perfect binary tree over size = 2^ceil(log2 G) leaves;
+// padding leaves beyond G are permanently occupied, so they never extend a
+// run. All storage is fixed at construction: point updates and descents are
+// alloc-free, which keeps the machine's steady-state alloc/release cycle
+// heap-quiet at any scale.
+//
+// Scatter machines do not carry a runIndex: their placement is run-free by
+// construction and the free stack already hands out groups in O(1).
+type runIndex struct {
+	n    int // real leaves (node groups)
+	size int // power-of-two leaf span, >= n
+	pre  []int32
+	suf  []int32
+	best []int32
+}
+
+// newRunIndex builds the index for n groups, all initially occupied; the
+// caller seeds it leaf by leaf (or via rebuild).
+func newRunIndex(n int) *runIndex {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &runIndex{
+		n:    n,
+		size: size,
+		pre:  make([]int32, 2*size),
+		suf:  make([]int32, 2*size),
+		best: make([]int32, 2*size),
+	}
+}
+
+// childWidth returns the leaf span of node i's children.
+func (ix *runIndex) childWidth(i int) int32 {
+	return int32(ix.size >> bits.Len(uint(i)))
+}
+
+// pull recomputes internal node i from its children.
+func (ix *runIndex) pull(i int) {
+	l, r := 2*i, 2*i+1
+	w := ix.childWidth(i)
+	p := ix.pre[l]
+	if p == w {
+		p += ix.pre[r]
+	}
+	s := ix.suf[r]
+	if s == w {
+		s += ix.suf[l]
+	}
+	b := ix.best[l]
+	if ix.best[r] > b {
+		b = ix.best[r]
+	}
+	if c := ix.suf[l] + ix.pre[r]; c > b {
+		b = c
+	}
+	ix.pre[i], ix.suf[i], ix.best[i] = p, s, b
+}
+
+// set updates leaf g's freeness and repairs its root path.
+func (ix *runIndex) set(g int, free bool) {
+	i := ix.size + g
+	var v int32
+	if free {
+		v = 1
+	}
+	if ix.pre[i] == v {
+		return // no state change; skip the O(log G) walk
+	}
+	ix.pre[i], ix.suf[i], ix.best[i] = v, v, v
+	for i >>= 1; i >= 1; i >>= 1 {
+		ix.pull(i)
+	}
+}
+
+// rebuild recomputes every node from the machine's group and health maps —
+// used after bulk rewrites (Compact, snapshot restore) where G point
+// updates would cost O(G log G) instead of O(G).
+func (ix *runIndex) rebuild(groups []int, health []GroupState) {
+	for g := 0; g < ix.size; g++ {
+		var v int32
+		if g < ix.n && groups[g] == -1 && health[g] == Up {
+			v = 1
+		}
+		i := ix.size + g
+		ix.pre[i], ix.suf[i], ix.best[i] = v, v, v
+	}
+	for i := ix.size - 1; i >= 1; i-- {
+		ix.pull(i)
+	}
+}
+
+// longestRun returns the machine-wide longest free run, in groups.
+func (ix *runIndex) longestRun() int { return int(ix.best[1]) }
+
+// findRun returns the first index of a free run of length need, or -1. It
+// descends the tree once: at each internal node the leftmost qualifying run
+// is either inside the left child, spans the children's boundary (starting
+// at the left child's free suffix), or is inside the right child — checked
+// in that order, so the returned start is the same leftmost index the dense
+// scan finds.
+func (ix *runIndex) findRun(need int) int {
+	n32 := int32(need)
+	if need <= 0 || ix.best[1] < n32 {
+		return -1
+	}
+	node, offset, w := 1, 0, ix.size
+	for w > 1 {
+		w >>= 1
+		l := 2 * node
+		if ix.best[l] >= n32 {
+			node = l
+			continue
+		}
+		if ix.suf[l]+ix.pre[l+1] >= n32 {
+			return offset + w - int(ix.suf[l])
+		}
+		node = l + 1
+		offset += w
+	}
+	return offset
+}

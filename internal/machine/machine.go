@@ -67,13 +67,29 @@ type Machine struct {
 	// owner maps jobID -> owned group indices (nil = no allocation). Job
 	// IDs are small dense integers, so a growable slice replaces the map
 	// the allocation hot path used to hash into.
-	owner  [][]int
-	nOwned int
+	owner [][]int
+	// ownedIDs lists the job IDs currently holding an allocation, in no
+	// particular order (swap-removed on release); ownerPos[id] is the
+	// job's position in it, +1 (0 = not allocated). Compact iterates this
+	// list instead of the whole owner table, so its cost tracks the number
+	// of running jobs, not the largest job ID ever allocated.
+	ownedIDs []int
+	ownerPos []int
 	// freeStack holds the free group indices of a scatter machine (top is
 	// allocated next), making Alloc O(groups requested) instead of a scan
-	// of the whole machine. Unused under contiguous allocation, where
-	// placement needs runs, not single groups.
+	// of the whole machine. Entries are removed lazily: FailGroups of a
+	// free group overwrites its slot with the -1 hole marker in O(1)
+	// (stackPos locates the slot) instead of splicing the slice, and pops
+	// skip holes. staleFree counts the holes; the stack is compacted in
+	// place — order preserved — once holes dominate. Unused under
+	// contiguous allocation, where placement needs runs, not single groups.
 	freeStack []int
+	stackPos  []int
+	staleFree int
+	// idx is the contiguous machine's free-run segment tree (nil on
+	// scatter machines, and nil when the dense reference paths are forced
+	// for differential tests and benchmarks).
+	idx *runIndex
 	// migratory marks that the owner is willing to Compact on demand: a
 	// capacity-feasible request is then always placeable, so Fits ignores
 	// fragmentation.
@@ -107,11 +123,20 @@ func New(total, unit int) *Machine {
 		panic(fmt.Sprintf("machine: unit %d does not divide total %d", unit, total))
 	}
 	m := &Machine{total: total, unit: unit, free: total}
+	// At most one job per group can run at once, so total/unit bounds the
+	// owned-ID list; cap the presize so huge machines don't pay up front.
+	c := total / unit
+	if c > 1024 {
+		c = 1024
+	}
+	m.ownedIDs = make([]int, 0, c)
 	m.groups = make([]int, total/unit)
 	for i := range m.groups {
 		m.groups[i] = -1
 	}
 	m.health = make([]GroupState, total/unit)
+	m.stackPos = make([]int, total/unit)
+	m.freeStack = make([]int, 0, total/unit)
 	m.rebuildFreeStack()
 	return m
 }
@@ -121,7 +146,34 @@ func New(total, unit int) *Machine {
 func NewContiguous(total, unit int) *Machine {
 	m := New(total, unit)
 	m.contiguous = true
+	// Contiguous placement is run-driven: the free stack is unused and the
+	// run index replaces the dense scans.
+	m.freeStack = nil
+	m.stackPos = nil
+	m.buildIndex()
 	return m
+}
+
+// buildIndex (re)builds the free-run segment tree from the group and
+// health maps.
+func (m *Machine) buildIndex() {
+	if m.idx == nil {
+		m.idx = newRunIndex(len(m.groups))
+	}
+	m.idx.rebuild(m.groups, m.health)
+}
+
+// forceDense drops the run index, restoring the dense O(G) scan paths —
+// the retained reference implementation the differential tests and the
+// scaling benchmarks compare against. Test/bench only.
+func (m *Machine) forceDense() { m.idx = nil }
+
+// noteGroup refreshes group g's leaf in the run index after its occupancy
+// or health changed. No-op on scatter machines.
+func (m *Machine) noteGroup(g int) {
+	if m.idx != nil {
+		m.idx.set(g, m.groups[g] == -1 && m.health[g] == Up)
+	}
 }
 
 // rebuildFreeStack refills the scatter free stack from the group map, in
@@ -129,12 +181,57 @@ func NewContiguous(total, unit int) *Machine {
 // fresh machine.
 func (m *Machine) rebuildFreeStack() {
 	m.freeStack = m.freeStack[:0]
+	m.staleFree = 0
+	for i := range m.stackPos {
+		m.stackPos[i] = 0
+	}
 	for i := len(m.groups) - 1; i >= 0; i-- {
 		if m.groups[i] == -1 && m.health[i] == Up {
-			m.freeStack = append(m.freeStack, i)
+			m.pushFree(i)
 		}
 	}
 }
+
+// pushFree puts group g on top of the scatter free stack.
+func (m *Machine) pushFree(g int) {
+	m.freeStack = append(m.freeStack, g)
+	m.stackPos[g] = len(m.freeStack)
+}
+
+// holeFreeStack removes group g from the scatter free stack in O(1) by
+// overwriting its slot with a hole; pops skip holes. Once holes dominate
+// the stack it is compacted in place, preserving entry order, so the
+// amortized cost stays constant and the allocation order is exactly the
+// dense stack's.
+func (m *Machine) holeFreeStack(g int) {
+	pos := m.stackPos[g] - 1
+	if pos < 0 || m.freeStack[pos] != g {
+		panic(fmt.Sprintf("machine: free group %d missing from free stack", g))
+	}
+	m.freeStack[pos] = -1
+	m.stackPos[g] = 0
+	m.staleFree++
+	if m.staleFree > 64 && m.staleFree > len(m.freeStack)/2 {
+		m.compactFreeStack()
+	}
+}
+
+// compactFreeStack squeezes the holes out of the free stack, keeping the
+// live entries in order.
+func (m *Machine) compactFreeStack() {
+	live := m.freeStack[:0]
+	for _, g := range m.freeStack {
+		if g >= 0 {
+			live = append(live, g)
+			m.stackPos[g] = len(live)
+		}
+	}
+	m.freeStack = live
+	m.staleFree = 0
+}
+
+// liveFree returns the number of live (non-hole) free-stack entries.
+func (m *Machine) liveFree() int { return len(m.freeStack) - m.staleFree }
 
 // ownerOf returns jobID's group indices, or nil.
 func (m *Machine) ownerOf(jobID int) []int {
@@ -144,12 +241,41 @@ func (m *Machine) ownerOf(jobID int) []int {
 	return m.owner[jobID]
 }
 
-// setOwner records jobID's group indices, growing the table on demand.
+// setOwner records jobID's group indices, growing the table on demand, and
+// registers the job in the owned-ID list. Growth is chunked (doubling, 64
+// minimum) so the owner and position tables cost O(log maxJobID)
+// allocations over a run instead of one pair per new job ID.
 func (m *Machine) setOwner(jobID int, idx []int) {
-	for jobID >= len(m.owner) {
-		m.owner = append(m.owner, nil)
+	if jobID >= len(m.owner) {
+		n := 2 * len(m.owner)
+		if n < jobID+1 {
+			n = jobID + 1
+		}
+		if n < 64 {
+			n = 64
+		}
+		owner := make([][]int, n)
+		copy(owner, m.owner)
+		m.owner = owner
+		pos := make([]int, n)
+		copy(pos, m.ownerPos)
+		m.ownerPos = pos
 	}
 	m.owner[jobID] = idx
+	m.ownedIDs = append(m.ownedIDs, jobID)
+	m.ownerPos[jobID] = len(m.ownedIDs)
+}
+
+// dropOwner clears jobID's allocation record, swap-removing it from the
+// owned-ID list in O(1).
+func (m *Machine) dropOwner(jobID int) {
+	m.owner[jobID] = nil
+	pos := m.ownerPos[jobID] - 1
+	last := m.ownedIDs[len(m.ownedIDs)-1]
+	m.ownedIDs[pos] = last
+	m.ownerPos[last] = pos + 1
+	m.ownedIDs = m.ownedIDs[:len(m.ownedIDs)-1]
+	m.ownerPos[jobID] = 0
 }
 
 // Contiguous reports whether allocations must be contiguous.
@@ -222,8 +348,17 @@ func (m *Machine) FragmentedWaste() int {
 }
 
 // longestFreeRun returns the length of the longest run of free, healthy
-// groups.
+// groups: O(1) off the run index, with the dense scan as the retained
+// reference path.
 func (m *Machine) longestFreeRun() int {
+	if m.idx != nil {
+		return m.idx.longestRun()
+	}
+	return m.longestFreeRunDense()
+}
+
+// longestFreeRunDense is the dense O(G) reference scan.
+func (m *Machine) longestFreeRunDense() int {
 	best, cur := 0, 0
 	for i, g := range m.groups {
 		if g == -1 && m.health[i] == Up {
@@ -239,8 +374,17 @@ func (m *Machine) longestFreeRun() int {
 }
 
 // findRun returns the first index of a free, healthy run of length need,
-// or -1.
+// or -1: O(log G) off the run index, with the dense scan as the retained
+// reference path. Both return the same leftmost index.
 func (m *Machine) findRun(need int) int {
+	if m.idx != nil {
+		return m.idx.findRun(need)
+	}
+	return m.findRunDense(need)
+}
+
+// findRunDense is the dense O(G) reference scan.
+func (m *Machine) findRunDense(need int) int {
 	cur := 0
 	for i, g := range m.groups {
 		if g == -1 && m.health[i] == Up {
@@ -294,24 +438,46 @@ func (m *Machine) Alloc(jobID, size int) error {
 		}
 		for i := at; i < at+need; i++ {
 			m.groups[i] = jobID
+			m.noteGroup(i)
 			idx = append(idx, i)
 		}
 	} else {
-		if len(m.freeStack) < need {
-			// free counter said yes but the free stack disagrees: corruption.
-			panic(fmt.Sprintf("machine: free=%d but only %d/%d groups available", m.free, len(m.freeStack), need))
-		}
-		top := len(m.freeStack) - need
-		for _, g := range m.freeStack[top:] {
-			m.groups[g] = jobID
-			idx = append(idx, g)
-		}
-		m.freeStack = m.freeStack[:top]
+		idx = m.takeFree(jobID, need, idx)
 	}
 	m.setOwner(jobID, idx)
-	m.nOwned++
 	m.free -= size
 	return nil
+}
+
+// takeFree pops the top need live groups off the scatter free stack,
+// assigning them to jobID in stack order (deepest of the popped segment
+// first — the order the hole-free stack handed them out), and appends
+// their indices to idx. Holes crossed on the way are discarded, so the pop
+// cost is amortized O(need).
+func (m *Machine) takeFree(jobID, need int, idx []int) []int {
+	if m.liveFree() < need {
+		// free counter said yes but the free stack disagrees: corruption.
+		panic(fmt.Sprintf("machine: free=%d but only %d/%d groups available", m.free, m.liveFree(), need))
+	}
+	top, live := len(m.freeStack), 0
+	for live < need {
+		top--
+		if m.freeStack[top] >= 0 {
+			live++
+		} else {
+			m.staleFree--
+		}
+	}
+	for _, g := range m.freeStack[top:] {
+		if g < 0 {
+			continue
+		}
+		m.groups[g] = jobID
+		m.stackPos[g] = 0
+		idx = append(idx, g)
+	}
+	m.freeStack = m.freeStack[:top]
+	return idx
 }
 
 // takeIdx returns an empty index slice with capacity >= need, reusing a
@@ -339,12 +505,12 @@ func (m *Machine) Compact() int {
 		return 0
 	}
 	// Stable order: jobs sorted by their current first group (unique per
-	// job, so an unstable sort cannot reorder equals).
+	// job, so an unstable sort cannot reorder equals). The owned-ID list
+	// bounds the scan by the number of running jobs — the owner table is
+	// indexed by job ID and may be arbitrarily long and sparse.
 	jobs := m.compact[:0]
-	for id, idx := range m.owner {
-		if idx == nil {
-			continue
-		}
+	for _, id := range m.ownedIDs {
+		idx := m.owner[id]
 		first := idx[0]
 		for _, g := range idx {
 			if g < first {
@@ -373,7 +539,11 @@ func (m *Machine) Compact() int {
 		}
 		next += p.n
 	}
-	if !m.contiguous {
+	if m.contiguous {
+		if m.idx != nil {
+			m.idx.rebuild(m.groups, m.health)
+		}
+	} else {
 		m.rebuildFreeStack()
 	}
 	m.migrations += moved
@@ -392,8 +562,7 @@ func (m *Machine) Release(jobID int) error {
 	for _, i := range idx {
 		m.freeGroup(i)
 	}
-	m.owner[jobID] = nil
-	m.nOwned--
+	m.dropOwner(jobID)
 	m.idxPool = append(m.idxPool, idx)
 	return nil
 }
@@ -408,7 +577,9 @@ func (m *Machine) freeGroup(g int) {
 		return
 	}
 	if !m.contiguous {
-		m.freeStack = append(m.freeStack, g)
+		m.pushFree(g)
+	} else {
+		m.noteGroup(g)
 	}
 	m.free += m.unit
 }
@@ -446,21 +617,17 @@ func (m *Machine) Resize(jobID, newSize int) error {
 			// after its run (space continuity, paper Section VI).
 			last := idx[len(idx)-1]
 			for k := 1; k <= need; k++ {
-				if last+k >= len(m.groups) || m.groups[last+k] != -1 {
+				if last+k >= len(m.groups) || m.groups[last+k] != -1 || m.health[last+k] != Up {
 					return fmt.Errorf("machine: job %d cannot grow contiguously by %d groups", jobID, need)
 				}
 			}
 			for k := 1; k <= need; k++ {
 				m.groups[last+k] = jobID
+				m.noteGroup(last + k)
 				idx = append(idx, last+k)
 			}
 		} else {
-			top := len(m.freeStack) - need
-			for _, g := range m.freeStack[top:] {
-				m.groups[g] = jobID
-				idx = append(idx, g)
-			}
-			m.freeStack = m.freeStack[:top]
+			idx = m.takeFree(jobID, need, idx)
 		}
 		m.owner[jobID] = idx
 		m.free -= grow
@@ -497,7 +664,9 @@ func (m *Machine) FailGroups(gs []int) (failed int, victims []int, err error) {
 		m.health[g] = Down
 		m.free -= m.unit
 		if !m.contiguous {
-			m.dropFromFreeStack(g)
+			m.holeFreeStack(g)
+		} else {
+			m.noteGroup(g)
 		}
 	}
 	return failed, victims, nil
@@ -522,21 +691,12 @@ func (m *Machine) RepairGroups(gs []int) (repaired int, err error) {
 		m.downProcs -= m.unit
 		m.free += m.unit
 		if !m.contiguous {
-			m.freeStack = append(m.freeStack, g)
+			m.pushFree(g)
+		} else {
+			m.noteGroup(g)
 		}
 	}
 	return repaired, nil
-}
-
-// dropFromFreeStack removes group g from the scatter free stack.
-func (m *Machine) dropFromFreeStack(g int) {
-	for i, s := range m.freeStack {
-		if s == g {
-			m.freeStack = append(m.freeStack[:i], m.freeStack[i+1:]...)
-			return
-		}
-	}
-	panic(fmt.Sprintf("machine: free group %d missing from free stack", g))
 }
 
 func containsInt(s []int, v int) bool {
@@ -607,7 +767,14 @@ func (m *Machine) Snapshot() Snapshot {
 		Migrations: m.migrations,
 	}
 	if !m.contiguous {
-		s.FreeStack = append([]int(nil), m.freeStack...)
+		// Holes (lazily deleted entries) are squeezed out, preserving entry
+		// order: the snapshot records exactly the live stack, so a restored
+		// machine hands out the same groups in the same order.
+		for _, g := range m.freeStack {
+			if g >= 0 {
+				s.FreeStack = append(s.FreeStack, g)
+			}
+		}
 	}
 	for id, idx := range m.owner {
 		if idx != nil {
@@ -672,21 +839,22 @@ func FromSnapshot(s Snapshot) (*Machine, error) {
 			}
 		}
 		m.setOwner(o.JobID, append([]int(nil), o.Groups...))
-		m.nOwned++
 	}
 	if s.Contiguous {
 		if len(s.FreeStack) != 0 {
 			return nil, fmt.Errorf("machine: contiguous snapshot carries a free stack")
 		}
+		m.buildIndex()
 	} else {
 		seen := make(map[int]bool, len(s.FreeStack))
+		m.stackPos = make([]int, len(m.groups))
 		for _, g := range s.FreeStack {
 			if g < 0 || g >= len(m.groups) || m.groups[g] != -1 || m.health[g] != Up || seen[g] {
 				return nil, fmt.Errorf("machine: snapshot free stack entry %d invalid", g)
 			}
 			seen[g] = true
+			m.pushFree(g)
 		}
-		m.freeStack = append([]int(nil), s.FreeStack...)
 	}
 	if err := m.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("machine: inconsistent snapshot: %v", err)
@@ -732,15 +900,55 @@ func (m *Machine) CheckInvariants() error {
 	if drainGroups*m.unit != m.drainingProcs {
 		return fmt.Errorf("machine: draining counter %d != %d draining groups*%d", m.drainingProcs, drainGroups, m.unit)
 	}
-	if !m.contiguous && len(m.freeStack) != freeGroups {
-		return fmt.Errorf("machine: free stack has %d groups, group map has %d", len(m.freeStack), freeGroups)
+	if !m.contiguous {
+		if m.liveFree() != freeGroups {
+			return fmt.Errorf("machine: free stack has %d live groups, group map has %d", m.liveFree(), freeGroups)
+		}
+		holes := 0
+		for i, g := range m.freeStack {
+			if g < 0 {
+				holes++
+				continue
+			}
+			if m.stackPos[g] != i+1 {
+				return fmt.Errorf("machine: free stack entry %d at %d but stackPos says %d", g, i, m.stackPos[g]-1)
+			}
+			if m.groups[g] != -1 || m.health[g] != Up {
+				return fmt.Errorf("machine: free stack entry %d is not a free up group", g)
+			}
+		}
+		if holes != m.staleFree {
+			return fmt.Errorf("machine: stale counter %d != %d stack holes", m.staleFree, holes)
+		}
 	}
-	if len(perJob) != m.nOwned {
-		return fmt.Errorf("machine: owner table has %d jobs, group map has %d", m.nOwned, len(perJob))
+	if m.idx != nil {
+		if got, want := m.idx.longestRun(), m.longestFreeRunDense(); got != want {
+			return fmt.Errorf("machine: run index longest run %d, dense scan %d", got, want)
+		}
+		for g := range m.groups {
+			free := m.groups[g] == -1 && m.health[g] == Up
+			if (m.idx.pre[m.idx.size+g] == 1) != free {
+				return fmt.Errorf("machine: run index leaf %d disagrees with group map", g)
+			}
+		}
+	}
+	if len(perJob) != len(m.ownedIDs) {
+		return fmt.Errorf("machine: owner table has %d jobs, group map has %d", len(m.ownedIDs), len(perJob))
+	}
+	for pos, id := range m.ownedIDs {
+		if id < 0 || id >= len(m.owner) || m.owner[id] == nil {
+			return fmt.Errorf("machine: owned-ID entry %d has no allocation", id)
+		}
+		if m.ownerPos[id] != pos+1 {
+			return fmt.Errorf("machine: job %d at owned-ID position %d but ownerPos says %d", id, pos, m.ownerPos[id]-1)
+		}
 	}
 	for id, idx := range m.owner {
 		if idx == nil {
 			continue
+		}
+		if m.ownerPos[id] == 0 {
+			return fmt.Errorf("machine: job %d holds groups but is missing from the owned-ID list", id)
 		}
 		if perJob[id] != len(idx) {
 			return fmt.Errorf("machine: job %d owner index %d groups, map says %d", id, len(idx), perJob[id])
