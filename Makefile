@@ -49,10 +49,13 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzFaultTrace -fuzztime=10s ./internal/fault
 	$(GO) test -run=Fuzz -fuzz=FuzzMachineIndexed -fuzztime=10s ./internal/machine
 
-# Scale-out smoke: the sharded-dispatch determinism bar plus the indexed
-# machine at M=32k, both under the race detector (mirrors CI's scale-smoke).
+# Scale-out smoke: the sharded-dispatch determinism bar (every routing
+# policy x 1/2/4/8 workers), the routing/exact-merge suite, one iteration
+# of the skewed routing benchmark, and the indexed machine at M=32k, under
+# the race detector (mirrors CI's scale-smoke).
 scale-smoke:
-	$(GO) test -race -run 'TestSharded' -count=1 ./internal/dispatch
+	$(GO) test -race -run 'TestSharded|TestRout|TestRoute|TestLeastWork|TestBestFit|TestMerged|TestSingleCluster' -count=1 ./internal/dispatch
+	$(GO) test -run=NONE -bench='BenchmarkShardedSkewE2E/route=.*/clusters=8' -benchtime=1x ./internal/dispatch
 	$(GO) test -race -run=NONE -bench='BenchmarkMachineScale/indexed/M=32k' -benchtime=1x ./internal/machine
 
 # Chaos harness: every registry algorithm under seeded node-group fault

@@ -20,6 +20,14 @@
 // files are visited in name (date) order and the newest recording of each
 // benchmark wins, so specialised snapshots (e.g. a scaling-curve file) add
 // their benchmarks to the gate without un-gating the ones recorded earlier.
+//
+// Besides the absolute per-benchmark gates, a built-in ratio-gate table
+// pins relative wall-clock claims between pairs of benchmarks of the SAME
+// fresh run — machine speed cancels out of the ratio, so these gates hold
+// on any hardware. The committed pair is the routing-policy claim: on the
+// skewed sharded workload, round-robin must stay slower than least-work at
+// 8 clusters (see BenchmarkShardedSkewE2E). A ratio gate is skipped when
+// -bench/-pkgs filter out either side.
 package main
 
 import (
@@ -40,6 +48,24 @@ import (
 type snapshot struct {
 	Generated  string             `json:"generated"`
 	Benchmarks []benchparse.Bench `json:"benchmarks"`
+}
+
+// ratioGates pin relative wall-clock claims between two benchmarks of the
+// same fresh run: slower/faster must stay at or above min. Both sides come
+// from the current run (never the recording), so machine speed cancels.
+// The min is set below the recorded ratio to absorb run-to-run noise while
+// still failing if the claimed advantage disappears.
+var ratioGates = []struct {
+	slower, faster string
+	min            float64
+	claim          string
+}{
+	{
+		slower: "elastisched/internal/dispatch.BenchmarkShardedSkewE2E/route=roundrobin/clusters=8",
+		faster: "elastisched/internal/dispatch.BenchmarkShardedSkewE2E/route=least-work/clusters=8",
+		min:    1.3,
+		claim:  "least-work beats round-robin on the skewed workload at 8 clusters",
+	},
 }
 
 func main() {
@@ -119,6 +145,21 @@ func main() {
 				fmt.Printf("benchgate: FAIL %s: %d allocs/op vs recorded %d (+%.0f%%)\n",
 					key, cur.AllocsPerOp, rec.AllocsPerOp, 100*(ratio-1))
 			}
+		}
+	}
+	for _, g := range ratioGates {
+		slow, okS := best[g.slower]
+		fast, okF := best[g.faster]
+		if !okS || !okF || fast.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		if ratio := slow.NsPerOp / fast.NsPerOp; ratio < g.min {
+			failed++
+			fmt.Printf("benchgate: FAIL ratio %s: %.2fx < %.2fx (%s)\n",
+				g.slower, ratio, g.min, g.claim)
+		} else {
+			fmt.Printf("benchgate: ratio %.2fx >= %.2fx — %s\n", ratio, g.min, g.claim)
 		}
 	}
 	if compared == 0 {

@@ -18,13 +18,15 @@
 //	simrun -resume part1.snap
 //
 // Scale-out runs shard the workload across parallel cluster simulations:
-// -clusters N dispatches the jobs round-robin over N clusters of -procs
-// processors each (a global machine of N×procs), reporting the merged
-// metrics. Results are deterministic for a given workload and cluster
-// count. Gantt rendering and session control (-gantt, -jobs, -until,
+// -clusters N dispatches the jobs over N clusters of -procs processors
+// each (a global machine of N×procs), reporting the merged metrics.
+// -route picks the dispatch policy — roundrobin (default), least-work
+// (balance queued processor-seconds), or best-fit (size-aware bin
+// packing). Results are deterministic for a given workload, cluster count
+// and policy. Gantt rendering and session control (-gantt, -jobs, -until,
 // -checkpoint, -resume) need a single cluster:
 //
-//	cwfgen -n 2000 | simrun -algos Delayed-LOS -procs 320 -clusters 4
+//	cwfgen -n 2000 | simrun -algos Delayed-LOS -procs 320 -clusters 4 -route least-work
 package main
 
 import (
@@ -51,6 +53,9 @@ var (
 	// ErrShardedSession rejects session control of a sharded run: capping,
 	// checkpointing and resuming operate on one session.
 	ErrShardedSession = errors.New("simrun: -until, -checkpoint and -resume require -clusters 1")
+	// ErrRouteNeedsClusters rejects a non-default -route without a sharded
+	// run to apply it to.
+	ErrRouteNeedsClusters = errors.New("simrun: -route needs -clusters > 1")
 )
 
 // resolveProcs merges the -m and -procs aliases.
@@ -64,9 +69,13 @@ func resolveProcs(m, procs int) (int, error) {
 	return m, nil
 }
 
-// validateSharded rejects flag combinations that need a single cluster.
+// validateSharded rejects flag combinations that need a single cluster,
+// and sharding knobs applied to a single-cluster run.
 func validateSharded(clusters int, so sweepOpts, resuming bool) error {
 	if clusters <= 1 {
+		if so.route != "" && so.route != "roundrobin" {
+			return fmt.Errorf("%w (got -route %s)", ErrRouteNeedsClusters, so.route)
+		}
 		return nil
 	}
 	if so.gantt != "" || so.jobsOut != "" {
@@ -84,6 +93,7 @@ func main() {
 		m         = flag.Int("m", 0, "machine size in processors (0 = from the trace's MaxNodes header, else 320)")
 		procs     = flag.Int("procs", 0, "per-cluster machine size in processors (alias of -m)")
 		clusters  = flag.Int("clusters", 1, "parallel cluster simulations behind a global dispatcher (global machine = clusters x procs)")
+		routeF    = flag.String("route", "roundrobin", "sharded dispatch policy: roundrobin, least-work or best-fit (with -clusters > 1)")
 		unit      = flag.Int("unit", 0, "allocation quantum (0 = gcd of machine size and job sizes)")
 		cs        = flag.Int("cs", 0, "maximum skip count C_s (0 = default)")
 		lookahead = flag.Int("lookahead", 0, "DP window bound (0 = default 50)")
@@ -117,7 +127,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	so := sweepOpts{gantt: *gantt, jobsOut: *jobsOut, until: *until, checkFile: *checkFile, clusters: *clusters}
+	so := sweepOpts{gantt: *gantt, jobsOut: *jobsOut, until: *until, checkFile: *checkFile, clusters: *clusters, route: *routeF}
 	if err := validateSharded(*clusters, so, *resumeF != ""); err != nil {
 		fatal(err)
 	}
@@ -164,8 +174,8 @@ func main() {
 		*unit = autoUnit(w, mv)
 	}
 	if *clusters > 1 {
-		fmt.Printf("workload: %d jobs (%d dedicated), %d ECCs (machine %d x unit %d, %d clusters, global %d)\n",
-			len(w.Jobs), w.NumDedicated(), len(w.Commands), mv, *unit, *clusters, mv**clusters)
+		fmt.Printf("workload: %d jobs (%d dedicated), %d ECCs (machine %d x unit %d, %d clusters via %s, global %d)\n",
+			len(w.Jobs), w.NumDedicated(), len(w.Commands), mv, *unit, *clusters, *routeF, mv**clusters)
 	} else {
 		fmt.Printf("workload: %d jobs (%d dedicated), %d ECCs, offered load %.3f (machine %d x unit %d)\n",
 			len(w.Jobs), w.NumDedicated(), len(w.Commands), w.Load(mv), mv, *unit)
@@ -192,8 +202,10 @@ type sweepOpts struct {
 	gantt, jobsOut string
 	until          int64
 	checkFile      string
-	// clusters > 1 dispatches each run across parallel cluster simulations.
+	// clusters > 1 dispatches each run across parallel cluster simulations;
+	// route names the dispatch policy ("" = roundrobin).
 	clusters int
+	route    string
 }
 
 // runSweep runs every algorithm in order, writing one result row per
@@ -213,7 +225,7 @@ func runSweep(w *es.Workload, algos []string, opt es.Options, out io.Writer, so 
 			aopt.Trace = rec
 		}
 		if so.clusters > 1 {
-			sres, err := es.SimulateSharded(w, name, aopt, es.ShardedOptions{Clusters: so.clusters})
+			sres, err := es.SimulateSharded(w, name, aopt, es.ShardedOptions{Clusters: so.clusters, Route: so.route})
 			if err != nil {
 				sweepErr = fmt.Errorf("%s: %w", name, err)
 				break

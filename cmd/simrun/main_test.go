@@ -270,6 +270,15 @@ func TestValidateSharded(t *testing.T) {
 	if err := validateSharded(4, sweepOpts{until: -1}, false); err != nil {
 		t.Errorf("plain sharded run rejected: %v", err)
 	}
+	if err := validateSharded(1, sweepOpts{until: -1, route: "roundrobin"}, false); err != nil {
+		t.Errorf("default route on clusters=1 rejected: %v", err)
+	}
+	if err := validateSharded(1, sweepOpts{until: -1, route: "least-work"}, false); !errors.Is(err, ErrRouteNeedsClusters) {
+		t.Errorf("-route without clusters: got %v, want errors.Is(err, ErrRouteNeedsClusters)", err)
+	}
+	if err := validateSharded(4, sweepOpts{until: -1, route: "least-work"}, false); err != nil {
+		t.Errorf("routed sharded run rejected: %v", err)
+	}
 	for name, tc := range map[string]struct {
 		so       sweepOpts
 		resuming bool
@@ -304,5 +313,26 @@ func TestShardedSweep(t *testing.T) {
 	}
 	if !strings.Contains(out1.String(), "Delayed-LOS") {
 		t.Errorf("sharded sweep missing result row:\n%s", out1.String())
+	}
+}
+
+// TestShardedSweepRoutes drives every routing policy through the CLI path:
+// each produces a result row, and an unknown policy aborts the sweep.
+func TestShardedSweepRoutes(t *testing.T) {
+	w := sweepWorkload(t)
+	for _, route := range []string{"roundrobin", "least-work", "best-fit"} {
+		var out bytes.Buffer
+		so := sweepOpts{until: -1, clusters: 2, route: route}
+		if err := runSweep(w, []string{"EASY"}, es.Options{M: 320, Unit: 32}, &out, so); err != nil {
+			t.Fatalf("%s: %v", route, err)
+		}
+		if !strings.Contains(out.String(), "EASY") {
+			t.Errorf("%s: missing result row:\n%s", route, out.String())
+		}
+	}
+	var out bytes.Buffer
+	so := sweepOpts{until: -1, clusters: 2, route: "no-such-policy"}
+	if err := runSweep(w, []string{"EASY"}, es.Options{M: 320, Unit: 32}, &out, so); err == nil {
+		t.Error("unknown -route accepted")
 	}
 }

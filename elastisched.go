@@ -259,19 +259,28 @@ type ShardedOptions struct {
 	// Workers bounds the goroutines stepping clusters; 0 means GOMAXPROCS.
 	// The result is byte-identical for any worker count.
 	Workers int
+	// Route names the routing policy splitting submissions over clusters:
+	// "roundrobin" (the default for ""), "least-work", or "best-fit". See
+	// RoutePolicies.
+	Route string
 }
+
+// RoutePolicies lists the routing-policy names SimulateSharded accepts for
+// ShardedOptions.Route, sorted.
+func RoutePolicies() []string { return dispatch.Policies() }
 
 // ShardedResult is the merged outcome of a SimulateSharded run; see
 // dispatch.Result for the merge semantics.
 type ShardedResult = dispatch.Result
 
 // SimulateSharded runs the workload across N parallel per-cluster
-// simulations behind a global round-robin dispatcher — the two-level
-// scale-out configuration. opt configures each cluster exactly as Simulate
-// would (M is the per-cluster machine size; Trace is rejected: placement
-// events from parallel clusters have no deterministic interleaving).
-// Results are deterministic for a given workload and cluster count,
-// independent of sh.Workers.
+// simulations behind a global dispatcher — the two-level scale-out
+// configuration. sh.Route picks the dispatch policy (round-robin by
+// default; least-work and best-fit are load- and size-aware). opt
+// configures each cluster exactly as Simulate would (M is the per-cluster
+// machine size; Trace is rejected: placement events from parallel clusters
+// have no deterministic interleaving). Results are deterministic for a
+// given workload, cluster count and policy, independent of sh.Workers.
 func SimulateSharded(w *Workload, algorithm string, opt Options, sh ShardedOptions) (*ShardedResult, error) {
 	algo, err := experiment.ByName(algorithm)
 	if err != nil {
@@ -290,6 +299,7 @@ func SimulateSharded(w *Workload, algorithm string, opt Options, sh ShardedOptio
 	return dispatch.Run(w, dispatch.Config{
 		Clusters: sh.Clusters,
 		Workers:  sh.Workers,
+		Route:    sh.Route,
 		Engine: engine.Config{
 			M:            opt.M,
 			Unit:         opt.Unit,

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"elastisched/internal/core"
@@ -33,6 +34,78 @@ func shardedWorkload(b *testing.B, clusters int) *cwf.Workload {
 		}
 	}
 	return w
+}
+
+// skewedWorkload builds the runtime-skewed (zipfian) variant of the
+// sharded traffic: job durations are stretched by heavy-tailed
+// multipliers, so a handful of giant jobs carry most of the
+// processor-seconds, then the arrival stream is rescaled to a fixed
+// offered load per cluster. Under round-robin the giants collide on
+// whichever shards their submission indices hit, pushing those shards
+// past saturation — their queues, and with them the per-cycle scheduling
+// cost, grow without bound — while least-work spreads the same
+// processor-seconds evenly. The workload is identical for every policy;
+// only the split differs.
+func skewedWorkload(b *testing.B, clusters int) *cwf.Workload {
+	b.Helper()
+	p := workload.DefaultParams()
+	p.N = 500 * clusters
+	p.Seed = 42
+	w, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	z := rand.NewZipf(rng, 2.5, 1, 100000)
+	for _, j := range w.Jobs {
+		k := z.Uint64()
+		j.Dur *= int64(1 + k)
+		if k >= 50 {
+			// The zipf tail: machine-wide capability runs. Wide AND long,
+			// these are the jobs whose placement decides shard congestion.
+			j.Size = 320
+			j.Dur *= 8
+		}
+	}
+	// Rescale arrivals (monotonically, preserving submission order) so the
+	// global offered load is 0.10 regardless of how much work the skew
+	// added: the balanced split must stay comfortably under-loaded, so the
+	// cost difference is pure giant-collision backlog, not ambient load.
+	scale := w.Load(320*clusters) / 0.10
+	for _, j := range w.Jobs {
+		j.Arrival = int64(float64(j.Arrival) * scale)
+	}
+	for i := range w.Commands {
+		w.Commands[i].Issue = int64(float64(w.Commands[i].Issue) * scale)
+	}
+	return w
+}
+
+// BenchmarkShardedSkewE2E is the routing-policy wall-clock comparison on
+// the skewed traffic: the same global workload dispatched by round-robin
+// versus least-work over 4/8/16 clusters. The benchmark gate
+// (cmd/benchgate) pins least-work's advantage at 8 clusters.
+func BenchmarkShardedSkewE2E(b *testing.B) {
+	for _, route := range []string{RouteRoundRobin, RouteLeastWork} {
+		for _, clusters := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("route=%s/clusters=%d", route, clusters), func(b *testing.B) {
+				w := skewedWorkload(b, clusters)
+				cfg := Config{
+					Clusters:     clusters,
+					Route:        route,
+					Engine:       engine.Config{M: 320, Unit: 32},
+					NewScheduler: func() sched.Scheduler { return core.NewLOS(true) },
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Run(w, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkShardedE2E is the end-to-end scaling harness: one global

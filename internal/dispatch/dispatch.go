@@ -6,12 +6,13 @@
 // scalable-simulation papers structure it: global routing above, unmodified
 // per-cluster scheduling below.
 //
-// Determinism contract: routing is a pure function of the workload order
-// and the cluster count (round-robin over submissions, commands following
-// their job), every cluster simulation is single-goroutine deterministic,
-// and the merge walks clusters in index order. The result is therefore
-// byte-identically reproducible for any worker count; the cross-worker
-// determinism test pins 1/2/4 workers. This is the same
+// Determinism contract: routing is a pure function of the workload order,
+// the cluster count, and the routing policy (see Router — round-robin,
+// least-work, best-fit; commands always follow their job), every cluster
+// simulation is single-goroutine deterministic, and the merge walks
+// clusters in index order. The result is therefore byte-identically
+// reproducible for any worker count under every policy; the cross-worker
+// determinism test pins 1/2/4/8 workers for each policy. This is the same
 // parallel-execution/deterministic-reduction split the experiment sweeps
 // use.
 package dispatch
@@ -59,6 +60,12 @@ type Config struct {
 	Engine engine.Config
 	// NewScheduler builds one policy instance per cluster.
 	NewScheduler func() sched.Scheduler
+	// Route names the routing policy splitting submissions over clusters:
+	// RouteRoundRobin (the default for ""), RouteLeastWork, or
+	// RouteBestFit. Routing is a pure function of (workload order,
+	// cluster count, policy), so every policy keeps the cross-worker
+	// determinism contract.
+	Route string
 }
 
 func (cfg *Config) validate() error {
@@ -88,13 +95,21 @@ type ClusterResult struct {
 
 // Result is the merged outcome of a sharded run.
 type Result struct {
-	// Merged aggregates the exactly-mergeable summary fields across
-	// clusters: job counts, the busy-area utilization over the global
-	// window and machine, job-weighted means (wait, runtime, bounded
-	// slowdown, per-class waits), MaxWait, and the fault/ECC accounting
-	// sums. Order statistics (median, p95), steady-state measures, and
-	// queue depth are per-cluster properties with no exact global
-	// counterpart — they stay zero here and live in Clusters[i].
+	// Merged aggregates the per-cluster summaries into the exact global
+	// view: job counts, the busy-area utilization over the global window
+	// and machine, job-weighted means (wait, runtime, bounded slowdown,
+	// per-cluster slowdown, per-class waits), MaxWait, and the fault/ECC
+	// accounting sums. Multi-cluster runs additionally export per-cluster
+	// sample vectors (engine ExportSamples, costing O(jobs) memory per
+	// cluster) and fill the exact global order statistics: MedianWait and
+	// P95Wait by quickselect over the waits concatenated in cluster-index
+	// order, and the steady-state window/utilization/mean-wait from the
+	// k-way-merged completion instants and per-cluster busy-step
+	// integrals — identical to the values a single global collector would
+	// report for the same per-cluster schedules. Only MaxQueueDepth
+	// remains a per-cluster property (a global maximum needs the sum of
+	// per-cluster depth step functions, which are not exported); read it
+	// from Clusters[i].
 	Merged metrics.Summary
 	// ECC sums the command-processor accounting; DroppedECC the commands
 	// dropped by non-ECC configurations.
@@ -108,18 +123,30 @@ type Result struct {
 	Clusters []ClusterResult
 }
 
-// route splits the workload into per-cluster workloads: submissions
-// round-robin in workload order, each command following its job. The split
-// depends only on the workload and the cluster count, never on timing or
-// worker count.
-func route(w *cwf.Workload, clusters int) []*cwf.Workload {
+// route splits the workload into per-cluster workloads: the router
+// assigns each submission in workload order, and each command follows its
+// job. The split depends only on the workload, the cluster count, and the
+// policy — never on timing or worker count.
+func route(w *cwf.Workload, clusters, m int, r Router) []*cwf.Workload {
+	if clusters == 1 {
+		// Fast path: one cluster receives the whole workload unchanged.
+		// Skip the router, the per-job home map, and the per-part rebuild
+		// entirely — the engine clones jobs at Load and never mutates the
+		// workload, so handing the validated workload over as-is is safe.
+		return []*cwf.Workload{w}
+	}
+	r.Reset(clusters, m)
 	parts := make([]*cwf.Workload, clusters)
 	for c := range parts {
 		parts[c] = &cwf.Workload{Header: w.Header}
 	}
 	home := make(map[int]int, len(w.Jobs))
 	for i, j := range w.Jobs {
-		c := i % clusters
+		c := r.Route(j)
+		if c < 0 || c >= clusters {
+			panic(fmt.Sprintf("dispatch: router %s sent job %d (index %d) to cluster %d of %d",
+				r.Name(), j.ID, i, c, clusters))
+		}
 		home[j.ID] = c
 		parts[c].Jobs = append(parts[c].Jobs, j)
 	}
@@ -141,6 +168,10 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	router, err := NewRouter(cfg.Route)
+	if err != nil {
+		return nil, err
+	}
 	// Every job must fit one cluster's machine; validating the whole
 	// workload against the per-cluster M establishes that for any routing.
 	if !cfg.Engine.Prevalidated {
@@ -149,7 +180,7 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 		}
 	}
 
-	parts := route(w, cfg.Clusters)
+	parts := route(w, cfg.Clusters, cfg.Engine.M, router)
 	outs := make([]*engine.Result, cfg.Clusters)
 	errs := make([]error, cfg.Clusters)
 
@@ -170,6 +201,13 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 				ecfg := cfg.Engine
 				ecfg.Scheduler = cfg.NewScheduler()
 				ecfg.Prevalidated = true
+				if cfg.Clusters > 1 {
+					// Multi-cluster merges need the per-job sample vectors
+					// for exact global order statistics; a single cluster's
+					// summary is already the exact global view, so it skips
+					// the export cost.
+					ecfg.ExportSamples = true
+				}
 				if cfg.Engine.Faults != nil {
 					// Each cluster draws an independent fault stream from a
 					// seed offset by its index, so the same global seed fails
@@ -210,15 +248,19 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 
 // mergeSummaries combines per-cluster summaries into the global view,
 // walking clusters in index order so every float accumulates
-// deterministically. Only exactly-mergeable fields are filled (see
-// Result.Merged).
+// deterministically. See Result.Merged for the field-by-field semantics.
 func mergeSummaries(outs []*engine.Result, clusterM int) metrics.Summary {
+	if len(outs) == 1 {
+		// One cluster: its summary already is the exact global view,
+		// order statistics and queue depth included.
+		return outs[0].Summary
+	}
 	var g metrics.Summary
 	g.MachineSize = clusterM * len(outs)
 	first := true
 	// Busy processor-seconds reconstruct exactly from each cluster's
 	// utilization: area_i = util_i × span_i × M_i.
-	var area, waitSum, runSum, boundedSum, batchSum, dedSum, onTimeSum float64
+	var area, waitSum, runSum, slowSum, boundedSum, batchSum, dedSum, onTimeSum float64
 	var batchJobs int
 	for _, r := range outs {
 		s := r.Summary
@@ -241,6 +283,13 @@ func mergeSummaries(outs []*engine.Result, clusterM int) metrics.Summary {
 		area += s.Utilization * float64(s.WindowEnd-s.WindowStart) * float64(s.MachineSize)
 		waitSum += s.MeanWait * n
 		runSum += s.MeanRun * n
+		// Slowdown merges as the job-weighted mean of the per-cluster
+		// aggregate slowdowns. Recomputing (MeanWait+MeanRun)/MeanRun from
+		// the global means disagrees with that job-weighted view whenever
+		// cluster MeanRun differs (the ratio of averages is not the
+		// average of ratios); the weighted sum keeps the single-cluster
+		// case exact and treats Slowdown like every other mean.
+		slowSum += s.Slowdown * n
 		boundedSum += s.MeanBoundedSlow * n
 		batchSum += s.MeanBatchWait * float64(s.Jobs-s.DedicatedJobs)
 		dedSum += s.MeanDedWait * float64(s.DedicatedJobs)
@@ -261,10 +310,8 @@ func mergeSummaries(outs []*engine.Result, clusterM int) metrics.Summary {
 		n := float64(g.Jobs)
 		g.MeanWait = waitSum / n
 		g.MeanRun = runSum / n
+		g.Slowdown = slowSum / n
 		g.MeanBoundedSlow = boundedSum / n
-	}
-	if g.MeanRun > 0 {
-		g.Slowdown = (g.MeanWait + g.MeanRun) / g.MeanRun
 	}
 	if batchJobs > 0 {
 		g.MeanBatchWait = batchSum / float64(batchJobs)
@@ -273,7 +320,103 @@ func mergeSummaries(outs []*engine.Result, clusterM int) metrics.Summary {
 		g.MeanDedWait = dedSum / float64(g.DedicatedJobs)
 		g.DedicatedOnTime = onTimeSum / float64(g.DedicatedJobs)
 	}
+	mergeOrderStats(&g, outs)
 	return g
+}
+
+// mergeOrderStats fills the exact global order statistics from the
+// per-cluster sample exports: MedianWait/P95Wait by quickselect over the
+// waits concatenated in cluster-index order (exactly the value a sort of
+// the concatenation would index, per the quickselect contract), and the
+// steady-state window/utilization/mean-wait from the k-way-merged
+// completion instants and busy-step window integrals — the same formulas
+// a single global collector applies, evaluated in O(total) time with
+// cluster-index-order accumulation. Clusters that ran without
+// ExportSamples leave the order-stat fields zero (the pre-export
+// behaviour).
+func mergeOrderStats(g *metrics.Summary, outs []*engine.Result) {
+	total := 0
+	for _, r := range outs {
+		if r.Samples == nil {
+			if r.Summary.Jobs > 0 {
+				return
+			}
+			continue
+		}
+		total += len(r.Samples.Waits)
+	}
+	if total == 0 {
+		return
+	}
+	waits := make([]float64, 0, total)
+	for _, r := range outs {
+		if r.Samples != nil {
+			waits = append(waits, r.Samples.Waits...)
+		}
+	}
+	n := len(waits)
+	g.MedianWait = metrics.KthSmallest(waits, int(0.5*float64(n-1)))
+	g.P95Wait = metrics.KthSmallest(waits, int(0.95*float64(n-1)))
+
+	// Steady state mirrors the collector: fewer than 10 completions keep
+	// the full window with zeroed measures; the window is the central
+	// [10th, 90th]-percentile span of the global completion instants.
+	if n < 10 {
+		g.SteadyWindow = [2]int64{g.WindowStart, g.WindowEnd}
+		return
+	}
+	finishes := mergeFinishes(outs, total)
+	t0 := finishes[n/10]
+	t1 := finishes[n-1-n/10]
+	g.SteadyWindow = [2]int64{t0, t1}
+	if t1 <= t0 {
+		return
+	}
+	var steadyArea, steadyWait float64
+	var steadyJobs int
+	for _, r := range outs {
+		if r.Samples == nil {
+			continue
+		}
+		steadyArea += metrics.WindowArea(r.Samples.BusySteps, t0, t1)
+		for _, p := range r.Samples.PerJob {
+			if p.Arrival >= t0 && p.Arrival <= t1 {
+				steadyWait += p.Wait
+				steadyJobs++
+			}
+		}
+	}
+	g.SteadyUtilization = steadyArea / (float64(t1-t0) * float64(g.MachineSize))
+	if steadyJobs > 0 {
+		g.SteadyMeanWait = steadyWait / float64(steadyJobs)
+	}
+}
+
+// mergeFinishes streams the per-cluster completion instants into one
+// globally sorted vector. Each cluster's PerJob series is already in
+// completion order (finish times non-decreasing), so a k-way merge over
+// the cluster heads — lowest cluster index winning ties — produces the
+// sorted global sequence in O(total × clusters) with no sort.
+func mergeFinishes(outs []*engine.Result, total int) []int64 {
+	heads := make([]int, len(outs))
+	merged := make([]int64, 0, total)
+	for {
+		best := -1
+		var bt int64
+		for c, r := range outs {
+			if r.Samples == nil || heads[c] >= len(r.Samples.PerJob) {
+				continue
+			}
+			if t := r.Samples.PerJob[heads[c]].Finish; best < 0 || t < bt {
+				best, bt = c, t
+			}
+		}
+		if best < 0 {
+			return merged
+		}
+		merged = append(merged, bt)
+		heads[best]++
+	}
 }
 
 func addECC(a, b ecc.Stats) ecc.Stats {

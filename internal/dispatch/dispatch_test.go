@@ -35,33 +35,38 @@ func testWorkload(t testing.TB, n int, seed int64) *cwf.Workload {
 
 func losFactory() sched.Scheduler { return core.NewLOS(true) }
 
-// TestShardedDeterminismAcrossWorkers is the tentpole determinism bar: the
-// complete sharded result must be byte-identically reproducible for 1, 2,
-// and 4 workers.
+// TestShardedDeterminismAcrossWorkers is the tentpole determinism bar: for
+// every routing policy, the complete sharded result must be
+// byte-identically reproducible for 1, 2, 4, and 8 workers.
 func TestShardedDeterminismAcrossWorkers(t *testing.T) {
 	w := testWorkload(t, 240, 7)
-	var golden []byte
-	for _, workers := range []int{1, 2, 4} {
-		res, err := Run(w, Config{
-			Clusters:     4,
-			Workers:      workers,
-			Engine:       engine.Config{M: 320, Unit: 32, ProcessECC: true},
-			NewScheduler: losFactory,
+	for _, route := range Policies() {
+		t.Run(route, func(t *testing.T) {
+			var golden []byte
+			for _, workers := range []int{1, 2, 4, 8} {
+				res, err := Run(w, Config{
+					Clusters:     4,
+					Workers:      workers,
+					Engine:       engine.Config{M: 320, Unit: 32, ProcessECC: true},
+					NewScheduler: losFactory,
+					Route:        route,
+				})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				buf, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if golden == nil {
+					golden = buf
+					continue
+				}
+				if !bytes.Equal(golden, buf) {
+					t.Fatalf("workers=%d: result differs from workers=1:\n%s\nvs\n%s", workers, golden, buf)
+				}
+			}
 		})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		buf, err := json.Marshal(res)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if golden == nil {
-			golden = buf
-			continue
-		}
-		if !bytes.Equal(golden, buf) {
-			t.Fatalf("workers=%d: result differs from workers=1:\n%s\nvs\n%s", workers, golden, buf)
-		}
 	}
 }
 
@@ -145,7 +150,11 @@ func TestSingleClusterMatchesEngine(t *testing.T) {
 // lands on its job's cluster.
 func TestRouting(t *testing.T) {
 	w := testWorkload(t, 103, 5)
-	parts := route(w, 4)
+	rr, err := NewRouter(RouteRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := route(w, 4, 320, rr)
 	want := JobsPerCluster(len(w.Jobs), 4)
 	total := 0
 	for c, p := range parts {

@@ -75,6 +75,13 @@ type Config struct {
 	// Incompatible with Contiguous allocation (compaction and contiguity
 	// reasoning are not fault-aware yet; see ROADMAP).
 	Faults *FaultConfig
+	// ExportSamples attaches the run's per-job sample vectors (waits,
+	// bounded slowdowns, per-job arrival/finish points, busy steps) to
+	// Result.Samples. Off by default: the vectors cost O(jobs) extra
+	// memory per run and single-run paths never read them. The sharded
+	// dispatcher enables it per cluster to compute exact global order
+	// statistics in the merge.
+	ExportSamples bool
 }
 
 // validate rejects unusable machine geometry up front, with the Unit
@@ -142,6 +149,10 @@ type Result struct {
 	// any instant (free processors beyond the longest contiguous run;
 	// always 0 on scatter machines).
 	PeakFragmentedWaste int
+	// Samples holds the per-job sample vectors when Config.ExportSamples
+	// is set, nil otherwise. See metrics.Samples for the vectors and their
+	// aliasing contract.
+	Samples *metrics.Samples
 }
 
 // Session is a live, incrementally driven simulation. The zero value is
@@ -357,6 +368,9 @@ func (s *Session) Load(w *cwf.Workload) error {
 	}
 
 	s.collector = metrics.NewCollectorSized(s.cfg.M, len(w.Jobs))
+	if s.cfg.ExportSamples {
+		s.collector.RetainSamples()
+	}
 	maxID := 0
 	for _, j := range w.Jobs {
 		if j.ID > maxID {
@@ -582,6 +596,9 @@ func (s *Session) Result() (*Result, error) {
 	}
 	if s.proc != nil {
 		res.ECC = s.proc.Stats
+	}
+	if s.cfg.ExportSamples {
+		res.Samples = s.collector.ExportSamples()
 	}
 	return res, nil
 }

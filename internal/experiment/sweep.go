@@ -8,10 +8,12 @@ import (
 
 	"elastisched/internal/core"
 	"elastisched/internal/cwf"
+	"elastisched/internal/dispatch"
 	"elastisched/internal/ecc"
 	"elastisched/internal/engine"
 	"elastisched/internal/fault"
 	"elastisched/internal/metrics"
+	"elastisched/internal/sched"
 	"elastisched/internal/workload"
 )
 
@@ -39,6 +41,13 @@ type Point struct {
 	MTTR float64
 	// Retry is the policy applied to failure victims when faults are on.
 	Retry fault.RetryPolicy
+	// Clusters, when above 1, evaluates this point on the sharded
+	// dispatcher (dispatch.Run): the workload is split over Clusters
+	// per-cluster machines of Params.M processors and the merged global
+	// summary fills the cell. Route names the routing policy ("" =
+	// round-robin); it is rejected when Clusters <= 1.
+	Clusters int
+	Route    string
 }
 
 // EffectiveCs resolves the point's C_s.
@@ -152,6 +161,19 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 	if len(s.Algorithms) == 0 || len(s.Points) == 0 {
 		return nil, fmt.Errorf("experiment %s: empty sweep", s.ID)
 	}
+	for _, pt := range s.Points {
+		if pt.Route != "" && pt.Clusters <= 1 {
+			return nil, fmt.Errorf("experiment %s: point %g sets Route=%q without Clusters > 1",
+				s.ID, pt.X, pt.Route)
+		}
+		if pt.Clusters > 1 {
+			// Resolve the policy name up front so a typo fails the sweep
+			// before any workload is generated.
+			if _, err := dispatch.NewRouter(pt.Route); err != nil {
+				return nil, fmt.Errorf("experiment %s: point %g: %w", s.ID, pt.X, err)
+			}
+		}
+	}
 	seeds := s.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{1}
@@ -204,7 +226,6 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 			cfg := engine.Config{
 				M:            params.M,
 				Unit:         params.Unit,
-				Scheduler:    a.New(pt),
 				ProcessECC:   a.ECC,
 				MaxECCPerJob: params.MaxECCPerJob,
 				Contiguous:   pt.Contiguous,
@@ -217,6 +238,30 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 					Seed: seeds[t.si], Retry: pt.Retry,
 				}
 			}
+			if pt.Clusters > 1 {
+				// Sharded point: the cell records the merged global view.
+				// Workers=1 keeps the sweep's own worker pool the only
+				// parallelism; the dispatch result is identical for any
+				// value, so this is purely a scheduling choice.
+				r, err := dispatch.Run(w, dispatch.Config{
+					Clusters:     pt.Clusters,
+					Workers:      1,
+					Engine:       cfg,
+					NewScheduler: func() sched.Scheduler { return a.New(pt) },
+					Route:        pt.Route,
+				})
+				if err != nil {
+					out.err = err
+					failed.Store(true)
+					continue
+				}
+				out.sum = r.Merged
+				out.ecc = r.ECC
+				out.events = r.Events
+				out.cycles = r.Cycles
+				continue
+			}
+			cfg.Scheduler = a.New(pt)
 			r, err := engine.Run(w, cfg)
 			if err != nil {
 				out.err = err

@@ -29,7 +29,14 @@ type Collector struct {
 	// measures only ever feed arithmetic means, so they accumulate as
 	// streaming sums — same accumulation order as the old per-job slices,
 	// so the float results are bit-identical.
-	waits       []float64
+	waits []float64
+	// retainSlow makes JobFinished keep the per-job bounded-slowdown
+	// samples next to the streaming sum, so ExportSamples can hand out
+	// complete per-job vectors (the sharded merge needs them for exact
+	// global order statistics). Off by default: it costs one float64 per
+	// job that single-run paths never read.
+	retainSlow  bool
+	slows       []float64
 	runSum      float64
 	slowSum     float64
 	batchSum    float64
@@ -85,6 +92,12 @@ func NewCollectorSized(m, n int) *Collector {
 		busySteps: make([]busyStep, 0, 2*n),
 	}
 }
+
+// RetainSamples makes the collector keep the per-job bounded-slowdown
+// series so ExportSamples can return complete per-job vectors. It must be
+// enabled before the first completion; engine sessions arm it at Load and
+// Restore when the configuration asks for sample export.
+func (c *Collector) RetainSamples() { c.retainSlow = true }
 
 // integrate advances the busy-area and down-capacity integrals to time t.
 func (c *Collector) integrate(t int64) {
@@ -157,6 +170,9 @@ func (c *Collector) JobFinished(j *job.Job, t int64) {
 	// Per-job bounded slowdown with the conventional 10s floor.
 	den := math.Max(r, 10)
 	c.slowSum += (w + math.Max(r, 10)) / den
+	if c.retainSlow {
+		c.slows = append(c.slows, (w+math.Max(r, 10))/den)
+	}
 	if j.Class == job.Dedicated {
 		c.dedTotal++
 		c.dedSum += w
@@ -221,6 +237,82 @@ type JobPoint struct {
 	Wait    float64 `json:"wait"`
 }
 
+// Samples are the per-job sample vectors of one run, exported for exact
+// cross-run aggregation: the sharded merge concatenates per-cluster waits
+// (quickselect gives the exact global median/p95), k-way-merges the
+// completion instants in PerJob (global steady-state window), and
+// integrates BusySteps over that window (global steady utilization). All
+// vectors are in completion order — the collector's accumulation order —
+// so PerJob finish times are non-decreasing. Memory cost: O(jobs) floats
+// per vector plus O(events) busy steps, which is why the export sits
+// behind a flag (engine Config.ExportSamples).
+type Samples struct {
+	// Waits holds one waiting-time sample per completed job.
+	Waits []float64 `json:"waits,omitempty"`
+	// BoundedSlow holds the per-job bounded slowdowns ((wait+run)/run with
+	// the conventional 10s floor); empty unless RetainSamples was armed.
+	BoundedSlow []float64 `json:"bounded_slow,omitempty"`
+	// PerJob holds (arrival, finish, wait) per completed job.
+	PerJob []JobPoint `json:"per_job,omitempty"`
+	// BusySteps is the busy-processor step function (one entry per change).
+	BusySteps []BusyStep `json:"busy_steps,omitempty"`
+}
+
+// ExportSamples returns the collector's per-job sample vectors. Waits and
+// BoundedSlow alias live collector state (treat them as read-only); PerJob
+// and BusySteps are copies (the internal representations are unexported).
+// Summary never reorders the aliased slices, so the export stays valid
+// across further accounting and a final Summary call.
+func (c *Collector) ExportSamples() *Samples {
+	s := &Samples{
+		Waits:       c.waits,
+		BoundedSlow: c.slows,
+		PerJob:      make([]JobPoint, len(c.perJob)),
+		BusySteps:   make([]BusyStep, len(c.busySteps)),
+	}
+	for i, p := range c.perJob {
+		s.PerJob[i] = JobPoint{Arrival: p.arrival, Finish: p.finish, Wait: p.wait}
+	}
+	for i, b := range c.busySteps {
+		s.BusySteps[i] = BusyStep{T: b.t, Busy: b.busy}
+	}
+	return s
+}
+
+// WindowArea integrates an exported busy step function over [t0, t1]: the
+// busy processor-seconds inside the window. It is the exported-samples
+// counterpart of WindowUtilization (same clipping rules), used by the
+// sharded merge to evaluate global steady-state utilization from
+// per-cluster sample exports.
+func WindowArea(steps []BusyStep, t0, t1 int64) float64 {
+	if t1 <= t0 || len(steps) == 0 {
+		return 0
+	}
+	var area float64
+	for i, st := range steps {
+		segStart := st.T
+		segEnd := t1
+		if i+1 < len(steps) && steps[i+1].T < segEnd {
+			segEnd = steps[i+1].T
+		}
+		if segStart < t0 {
+			segStart = t0
+		}
+		if segEnd > segStart {
+			area += float64(st.Busy) * float64(segEnd-segStart)
+		}
+		if i+1 < len(steps) && steps[i+1].T >= t1 {
+			break
+		}
+	}
+	return area
+}
+
+// KthSmallest returns the k-th smallest element (0-based) of xs,
+// reordering xs in place — the exported quickselect the sharded merge
+// applies to concatenated per-cluster samples. See kth for the contract.
+func KthSmallest(xs []float64, k int) float64 { return kth(xs, k) }
+
 // Snapshot is the collector's complete accumulator state, sufficient to
 // resume metering mid-run. The per-job series keep their accumulation
 // order, so a restored collector's Summary is bit-identical to the
@@ -234,6 +326,7 @@ type Snapshot struct {
 	T0          int64      `json:"t0"`
 	TEnd        int64      `json:"t_end"`
 	Waits       []float64  `json:"waits,omitempty"`
+	Slows       []float64  `json:"slows,omitempty"`
 	RunSum      float64    `json:"run_sum"`
 	SlowSum     float64    `json:"slow_sum"`
 	BatchSum    float64    `json:"batch_sum"`
@@ -261,6 +354,7 @@ func (c *Collector) Snapshot() Snapshot {
 		M: c.m, Busy: c.busy, LastT: c.lastT, Area: c.area,
 		HaveT0: c.haveT0, T0: c.t0, TEnd: c.tEnd,
 		Waits:  append([]float64(nil), c.waits...),
+		Slows:  append([]float64(nil), c.slows...),
 		RunSum: c.runSum, SlowSum: c.slowSum, BatchSum: c.batchSum, BatchCount: c.batchCount,
 		DedSum: c.dedSum, DedOnTime: c.dedOnTime, DedTotal: c.dedTotal,
 		JobsStarted: c.jobsStarted, JobsDone: c.jobsDone,
@@ -283,6 +377,7 @@ func NewCollectorFromSnapshot(s Snapshot) *Collector {
 		m: s.M, busy: s.Busy, lastT: s.LastT, area: s.Area,
 		haveT0: s.HaveT0, t0: s.T0, tEnd: s.TEnd,
 		waits:  append([]float64(nil), s.Waits...),
+		slows:  append([]float64(nil), s.Slows...),
 		runSum: s.RunSum, slowSum: s.SlowSum, batchSum: s.BatchSum, batchCount: s.BatchCount,
 		dedSum: s.DedSum, dedOnTime: s.DedOnTime, dedTotal: s.DedTotal,
 		jobsStarted: s.JobsStarted, jobsDone: s.JobsDone,
