@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json bench-gate fuzz scale-smoke chaos repro examples clean
+.PHONY: all build vet test race cover bench bench-json bench-gate fuzz scale-smoke chaos malleable-smoke repro examples clean
 
 all: build vet test
 
@@ -48,6 +48,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzProfileOps -fuzztime=10s ./internal/sched
 	$(GO) test -run=Fuzz -fuzz=FuzzFaultTrace -fuzztime=10s ./internal/fault
 	$(GO) test -run=Fuzz -fuzz=FuzzMachineIndexed -fuzztime=10s ./internal/machine
+	$(GO) test -run=Fuzz -fuzz=FuzzMalleableOps -fuzztime=10s ./internal/engine
 
 # Scale-out smoke: the sharded-dispatch determinism bar (every routing
 # policy x 1/2/4/8 workers), the routing/exact-merge suite, one iteration
@@ -63,6 +64,15 @@ scale-smoke:
 # plus mid-outage snapshot/restore round trips (see DESIGN.md section 10).
 chaos:
 	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/experiment
+
+# Malleability smoke: the -M decorated policies under Contiguous x Faults
+# chaos with the resize-lawfulness audit rules, the work-conservation
+# property under adversarial random resize streams, and a short
+# interleaved-ops fuzz pass (mirrors CI's chaos-smoke malleable cell).
+malleable-smoke:
+	$(GO) test -race -run 'TestChaosMalleable' -count=1 -v ./internal/experiment
+	$(GO) test -race -run 'TestPropertyResizeWorkConservation' -count=1 ./internal/engine
+	$(GO) test -run=NONE -fuzz=FuzzMalleableOps -fuzztime=10s ./internal/engine
 
 # Full evaluation suite with TSV outputs under results/.
 repro:

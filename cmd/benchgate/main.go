@@ -68,6 +68,24 @@ var ratioGates = []struct {
 	},
 }
 
+// requiredGates lists benchmarks the gate must actually have compared
+// against a recording on a default run — a silently skipped benchmark
+// (renamed, or dropped from the fresh run) would otherwise let a
+// regression through without a FAIL line. The Simulate500 family runs
+// with malleability off, so this is the rigid hot-path guard: the resize
+// pipeline's delta fan-out must cost runs without bounds nothing
+// measurable beyond tolerance, and the gate must notice if it does.
+// Only enforced when -bench and -pkgs keep their defaults; a filtered
+// invocation legitimately compares a subset.
+var requiredGates = []string{
+	"elastisched/internal/engine.BenchmarkSimulate500/FCFS",
+	"elastisched/internal/engine.BenchmarkSimulate500/EASY",
+	"elastisched/internal/engine.BenchmarkSimulate500/CONS",
+	"elastisched/internal/engine.BenchmarkSimulate500/LOS",
+	"elastisched/internal/engine.BenchmarkSimulate500/Delayed-LOS",
+	"elastisched/internal/engine.BenchmarkSimulate500/Hybrid-LOS",
+}
+
 func main() {
 	var (
 		file      = flag.String("file", "", "snapshot to gate against (empty = merge all BENCH_*.json, newest wins per benchmark)")
@@ -128,12 +146,14 @@ func main() {
 	}
 
 	failed, compared := 0, 0
+	comparedKeys := map[string]bool{}
 	for key, cur := range best {
 		rec, ok := recorded[key]
 		if !ok || rec.NsPerOp <= 0 {
 			continue
 		}
 		compared++
+		comparedKeys[key] = true
 		if ratio := cur.NsPerOp / rec.NsPerOp; ratio > *tolerance {
 			failed++
 			fmt.Printf("benchgate: FAIL %s: %.0f ns/op vs recorded %.0f (%.2fx > %.2fx)\n",
@@ -160,6 +180,20 @@ func main() {
 				g.slower, ratio, g.min, g.claim)
 		} else {
 			fmt.Printf("benchgate: ratio %.2fx >= %.2fx — %s\n", ratio, g.min, g.claim)
+		}
+	}
+	if *benchRE == "." && strings.Contains(*pkgs, "./internal/engine") {
+		for _, key := range requiredGates {
+			if comparedKeys[key] {
+				continue
+			}
+			failed++
+			switch {
+			case recorded[key].NsPerOp <= 0:
+				fmt.Printf("benchgate: FAIL required %s: not in any committed BENCH_*.json — re-run cmd/benchjson\n", key)
+			default:
+				fmt.Printf("benchgate: FAIL required %s: recorded but missing from the fresh run\n", key)
+			}
 		}
 	}
 	if compared == 0 {

@@ -31,6 +31,7 @@ func main() {
 	flag.Float64Var(&p.PD, "pd", p.PD, "probability a job is dedicated (P_D)")
 	flag.Float64Var(&p.PE, "pe", p.PE, "probability of an ET command (P_E)")
 	flag.Float64Var(&p.PR, "pr", p.PR, "probability of an RT command (P_R)")
+	flag.Float64Var(&p.PM, "pm", p.PM, "probability a batch job is malleable (P_M, emits processor bounds)")
 	flag.Float64Var(&p.TargetLoad, "load", 0.9, "target offered load (0 = raw beta_arr)")
 	flag.Float64Var(&p.BetaArr, "beta-arr", p.BetaArr, "arrival Gamma scale (paper varies in [0.4101,0.6101])")
 	flag.Float64Var(&p.DedLeadMean, "ded-lead", p.DedLeadMean, "mean dedicated start lead time (s)")
@@ -56,7 +57,7 @@ func main() {
 
 	if sdsc {
 		s := workload.SDSCLike()
-		s.Seed, s.N, s.PD, s.PE, s.PR, s.TargetLoad = p.Seed, p.N, p.PD, p.PE, p.PR, p.TargetLoad
+		s.Seed, s.N, s.PD, s.PE, s.PR, s.PM, s.TargetLoad = p.Seed, p.N, p.PD, p.PE, p.PR, p.PM, p.TargetLoad
 		s.EstFactor, s.EstUniformMax, s.Mode = p.EstFactor, p.EstUniformMax, p.Mode
 		p = s
 	}

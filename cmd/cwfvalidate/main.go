@@ -3,6 +3,10 @@
 // load, and estimate accuracy — the checks one runs before feeding a trace
 // to the simulator.
 //
+// Exit status: 0 for a valid trace, 2 for an invalid one (including EP/RP
+// commands that would push a bounded job outside its [MinProcs, MaxProcs]
+// window), 1 for I/O or usage errors.
+//
 // Usage:
 //
 //	cwfvalidate -m 320 trace.cwf
@@ -23,31 +27,43 @@ import (
 )
 
 func main() {
-	m := flag.Int("m", 320, "machine size in processors for validation and load")
-	hist := flag.Bool("hist", false, "print size/runtime/inter-arrival histograms")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	var in io.Reader = os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+// run is main with its dependencies injected, so the fixture tests can
+// drive the whole parse-validate-report path and assert on exit codes.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cwfvalidate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	m := fs.Int("m", 320, "machine size in processors for validation and load")
+	hist := fs.Bool("hist", false, "print size/runtime/inter-arrival histograms")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "cwfvalidate:", err)
+			return 1
 		}
 		defer f.Close()
 		in = f
 	}
 	w, err := es.ParseCWF(in)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "cwfvalidate:", err)
+		return 1
 	}
 	if err := w.Validate(*m); err != nil {
-		fmt.Fprintf(os.Stderr, "cwfvalidate: INVALID: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "cwfvalidate: INVALID: %v\n", err)
+		return 2
 	}
 
-	fmt.Printf("jobs:        %d (%d batch, %d dedicated)\n", len(w.Jobs), w.NumBatch(), w.NumDedicated())
-	fmt.Printf("commands:    %d (%s)\n", len(w.Commands), commandMix(w.Commands))
-	fmt.Printf("offered load on %d procs: %.3f\n", *m, w.Load(*m))
+	fmt.Fprintf(stdout, "jobs:        %d (%d batch, %d dedicated)\n", len(w.Jobs), w.NumBatch(), w.NumDedicated())
+	fmt.Fprintf(stdout, "commands:    %d (%s)\n", len(w.Commands), commandMix(w.Commands))
+	fmt.Fprintf(stdout, "offered load on %d procs: %.3f\n", *m, w.Load(*m))
 
 	if len(w.Jobs) > 0 {
 		sizes := make([]float64, 0, len(w.Jobs))
@@ -60,13 +76,13 @@ func main() {
 				overEst++
 			}
 		}
-		fmt.Printf("job size:    %s procs\n", fiveNum(sizes))
-		fmt.Printf("job runtime: %s s\n", fiveNum(runs))
-		fmt.Printf("span:        %d .. %d s\n", w.Jobs[0].Arrival, lastEnd(w.Jobs))
+		fmt.Fprintf(stdout, "job size:    %s procs\n", fiveNum(sizes))
+		fmt.Fprintf(stdout, "job runtime: %s s\n", fiveNum(runs))
+		fmt.Fprintf(stdout, "span:        %d .. %d s\n", w.Jobs[0].Arrival, lastEnd(w.Jobs))
 		if overEst > 0 {
-			fmt.Printf("estimates:   %d/%d jobs over-estimated\n", overEst, len(w.Jobs))
+			fmt.Fprintf(stdout, "estimates:   %d/%d jobs over-estimated\n", overEst, len(w.Jobs))
 		} else {
-			fmt.Printf("estimates:   exact (estimate = runtime)\n")
+			fmt.Fprintf(stdout, "estimates:   exact (estimate = runtime)\n")
 		}
 	}
 	if *hist && len(w.Jobs) > 0 {
@@ -80,12 +96,13 @@ func main() {
 				gaps = append(gaps, float64(j.Arrival-w.Jobs[i-1].Arrival))
 			}
 		}
-		fmt.Println()
-		fmt.Println(plot.Histogram("job size (processors)", sizes, 10, false))
-		fmt.Println(plot.Histogram("job runtime (s, log bins)", runs, 12, true))
-		fmt.Println(plot.Histogram("inter-arrival gap (s, log bins)", gaps, 12, true))
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, plot.Histogram("job size (processors)", sizes, 10, false))
+		fmt.Fprintln(stdout, plot.Histogram("job runtime (s, log bins)", runs, 12, true))
+		fmt.Fprintln(stdout, plot.Histogram("inter-arrival gap (s, log bins)", gaps, 12, true))
 	}
-	fmt.Println("OK")
+	fmt.Fprintln(stdout, "OK")
+	return 0
 }
 
 func commandMix(cmds []cwf.Command) string {
@@ -118,9 +135,4 @@ func fiveNum(xs []float64) string {
 	q := func(p float64) float64 { return ys[int(p*float64(len(ys)-1))] }
 	return fmt.Sprintf("min=%.0f p25=%.0f med=%.0f p75=%.0f max=%.0f",
 		ys[0], q(0.25), q(0.5), q(0.75), ys[len(ys)-1])
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cwfvalidate:", err)
-	os.Exit(1)
 }

@@ -1,12 +1,46 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"elastisched/internal/cwf"
 	"elastisched/internal/job"
 )
+
+// The fixture pair differs only in the EP amount of job 1 (bounds 32..128,
+// size 64): 32 stays inside the window, 96 would grow the job to 160.
+func TestValidatesBoundedFixture(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-m", "320", "testdata/bounded_ok.cwf"}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("valid fixture rejected: exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Errorf("valid fixture report missing OK:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "EP=1") {
+		t.Errorf("valid fixture report missing the EP command:\n%s", out.String())
+	}
+}
+
+func TestRejectsBoundsViolationFixture(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-m", "320", "testdata/bounds_violation.cwf"}, nil, &out, &errOut); code != 2 {
+		t.Fatalf("bounds-violating fixture accepted: exit %d", code)
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, "INVALID") || !strings.Contains(msg, "beyond its max procs") {
+		t.Errorf("rejection does not name the bounds violation: %q", msg)
+	}
+}
+
+func TestRunRejectsMissingFile(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"testdata/does_not_exist.cwf"}, nil, &out, &errOut); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
 
 func TestFiveNum(t *testing.T) {
 	out := fiveNum([]float64{1, 2, 3, 4, 100})

@@ -115,6 +115,9 @@ func main() {
 		restart    = flag.String("restart", "full", "runtime a requeued job restarts with: full or remaining")
 		maxRetries = flag.Int("max-retries", 0, "requeues per job before it is dropped (0 = unlimited)")
 		backoff    = flag.Int64("retry-backoff", 0, "delay in s before a killed job is resubmitted")
+
+		malleable  = flag.Bool("malleable", false, "enable work-conserving runtime resizing (use -M algorithm variants for scheduler-initiated shrink/expand)")
+		resizeOvhd = flag.Int64("resize-overhead", 0, "reconfiguration penalty in s charged per resize (with -malleable)")
 	)
 	flag.Parse()
 
@@ -190,7 +193,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := es.Options{M: mv, Unit: *unit, Cs: *cs, Lookahead: *lookahead, MaxECCPerJob: *maxECC, Faults: fc}
+	opt := es.Options{
+		M: mv, Unit: *unit, Cs: *cs, Lookahead: *lookahead, MaxECCPerJob: *maxECC,
+		Faults: fc, Malleable: *malleable, ResizeOverhead: *resizeOvhd,
+	}
 	if err := runSweep(w, algos, opt, os.Stdout, so); err != nil {
 		fatal(err)
 	}
@@ -214,7 +220,7 @@ type sweepOpts struct {
 func runSweep(w *es.Workload, algos []string, opt es.Options, out io.Writer, so sweepOpts) error {
 	faulty := opt.Faults != nil
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, resultHeader(faulty))
+	fmt.Fprintln(tw, resultHeader(faulty, opt.Malleable))
 	var sweepErr error
 	for i, name := range algos {
 		name = strings.TrimSpace(name)
@@ -230,7 +236,7 @@ func runSweep(w *es.Workload, algos []string, opt es.Options, out io.Writer, so 
 				sweepErr = fmt.Errorf("%s: %w", name, err)
 				break
 			}
-			fmt.Fprint(tw, summaryRow(name, sres.Merged, sres.ECC.Applied, faulty))
+			fmt.Fprint(tw, summaryRow(name, sres.Merged, sres.ECC.Applied, faulty, opt.Malleable))
 			continue
 		}
 		var res *es.Result
@@ -244,7 +250,7 @@ func runSweep(w *es.Workload, algos []string, opt es.Options, out io.Writer, so 
 			sweepErr = fmt.Errorf("%s: %w", name, err)
 			break
 		}
-		fmt.Fprint(tw, resultRow(name, res, faulty))
+		fmt.Fprint(tw, resultRow(name, res, faulty, opt.Malleable))
 		if rec != nil && so.gantt != "" {
 			if so.gantt == "-" {
 				fmt.Fprintln(out, rec.ASCII(100))
@@ -309,27 +315,33 @@ func faultConfig(mtbf, mttr float64, seed int64, traceFile, retry, restart strin
 }
 
 // resultHeader renders the tabwriter header; fault-injected sweeps carry
-// the failure-accounting columns.
-func resultHeader(faulty bool) string {
+// the failure-accounting columns and malleable sweeps the resize columns.
+func resultHeader(faulty, malleable bool) string {
 	h := "algorithm\tutil\tmean wait (s)\tmean run (s)\tslowdown\tded on-time\tECCs applied"
 	if faulty {
 		h += "\tkilled\tretried\tdropped\tdown proc-s"
+	}
+	if malleable {
+		h += "\tresizes\tshrunk proc-s\treconfig s"
 	}
 	return h
 }
 
 // resultRow renders one algorithm's tabwriter line.
-func resultRow(name string, res *es.Result, faulty bool) string {
-	return summaryRow(name, res.Summary, res.ECC.Applied, faulty)
+func resultRow(name string, res *es.Result, faulty, malleable bool) string {
+	return summaryRow(name, res.Summary, res.ECC.Applied, faulty, malleable)
 }
 
 // summaryRow renders a tabwriter line from any summary — a single run's or
 // a sharded run's merged view.
-func summaryRow(name string, s es.Summary, eccApplied int, faulty bool) string {
+func summaryRow(name string, s es.Summary, eccApplied int, faulty, malleable bool) string {
 	row := fmt.Sprintf("%s\t%.4f\t%.1f\t%.1f\t%.3f\t%.2f\t%d",
 		name, s.Utilization, s.MeanWait, s.MeanRun, s.Slowdown, s.DedicatedOnTime, eccApplied)
 	if faulty {
 		row += fmt.Sprintf("\t%d\t%d\t%d\t%.0f", s.KilledJobs, s.RetriedJobs, s.DroppedJobs, s.DownProcSeconds)
+	}
+	if malleable {
+		row += fmt.Sprintf("\t%d\t%.0f\t%.0f", s.SchedulerResizes, s.ShrunkProcSeconds, s.ReconfigOverheadSeconds)
 	}
 	return row + "\n"
 }
@@ -411,8 +423,8 @@ func resumeRun(path string, until int64, checkFile string, cs, lookahead int) er
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	faulty := sn.Retry != nil
-	fmt.Fprintln(tw, resultHeader(faulty))
-	fmt.Fprint(tw, resultRow(sn.Scheduler, res, faulty))
+	fmt.Fprintln(tw, resultHeader(faulty, sn.Malleable))
+	fmt.Fprint(tw, resultRow(sn.Scheduler, res, faulty, sn.Malleable))
 	return tw.Flush()
 }
 

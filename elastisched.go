@@ -149,6 +149,12 @@ type JobSpec struct {
 	// RequestedStart, when >= Arrival, makes this a dedicated/interactive
 	// job with a rigid start time; use -1 (or any negative) for batch jobs.
 	RequestedStart int64
+	// MinProcs and MaxProcs, when MaxProcs > 0, declare the job malleable:
+	// with Options.Malleable the scheduler may resize it at runtime anywhere
+	// inside [MinProcs, MaxProcs] (work-conserving), and a node-group
+	// failure shrinks it onto its survivors instead of killing it. Leave
+	// both zero for a rigid job.
+	MinProcs, MaxProcs int
 }
 
 // CommandSpec describes one Elastic Control Command for BuildWorkload.
@@ -174,6 +180,9 @@ func BuildWorkload(jobs []JobSpec, cmds []CommandSpec) (*Workload, error) {
 		if s.RequestedStart >= 0 {
 			j.Class = job.Dedicated
 			j.ReqStart = s.RequestedStart
+		}
+		if s.MaxProcs > 0 {
+			j.MinProcs, j.MaxProcs = s.MinProcs, s.MaxProcs
 		}
 		w.Jobs = append(w.Jobs, j)
 	}
@@ -209,9 +218,16 @@ type Options struct {
 	// Migrate enables on-the-fly defragmentation (compaction) when a
 	// contiguous placement fails.
 	Migrate bool
-	// Faults enables node-group fault injection (incompatible with
-	// Contiguous). See FaultConfig.
+	// Faults enables node-group fault injection. See FaultConfig.
 	Faults *FaultConfig
+	// Malleable enables true runtime elasticity: resizes rescale the job's
+	// remaining work, -M algorithm variants propose shrink/expand each
+	// cycle, and failure victims with malleable bounds shrink onto their
+	// surviving node groups instead of dying.
+	Malleable bool
+	// ResizeOverhead charges each resize a reconfiguration penalty in
+	// seconds (with Malleable).
+	ResizeOverhead int64
 }
 
 // AlgorithmNames lists every algorithm accepted by Simulate: the paper's
@@ -235,15 +251,17 @@ func Simulate(w *Workload, algorithm string, opt Options) (*Result, error) {
 	}
 	pt := experiment.Point{Cs: opt.Cs, Lookahead: opt.Lookahead}
 	cfg := engine.Config{
-		M:            opt.M,
-		Unit:         opt.Unit,
-		Scheduler:    algo.New(pt),
-		ProcessECC:   algo.ECC,
-		MaxECCPerJob: opt.MaxECCPerJob,
-		Paranoid:     opt.Paranoid,
-		Contiguous:   opt.Contiguous,
-		Migrate:      opt.Migrate,
-		Faults:       opt.Faults,
+		M:              opt.M,
+		Unit:           opt.Unit,
+		Scheduler:      algo.New(pt),
+		ProcessECC:     algo.ECC,
+		MaxECCPerJob:   opt.MaxECCPerJob,
+		Paranoid:       opt.Paranoid,
+		Contiguous:     opt.Contiguous,
+		Migrate:        opt.Migrate,
+		Faults:         opt.Faults,
+		Malleable:      opt.Malleable,
+		ResizeOverhead: opt.ResizeOverhead,
 	}
 	if opt.Trace != nil {
 		cfg.Observer = opt.Trace
@@ -301,14 +319,16 @@ func SimulateSharded(w *Workload, algorithm string, opt Options, sh ShardedOptio
 		Workers:  sh.Workers,
 		Route:    sh.Route,
 		Engine: engine.Config{
-			M:            opt.M,
-			Unit:         opt.Unit,
-			ProcessECC:   algo.ECC,
-			MaxECCPerJob: opt.MaxECCPerJob,
-			Paranoid:     opt.Paranoid,
-			Contiguous:   opt.Contiguous,
-			Migrate:      opt.Migrate,
-			Faults:       opt.Faults,
+			M:              opt.M,
+			Unit:           opt.Unit,
+			ProcessECC:     algo.ECC,
+			MaxECCPerJob:   opt.MaxECCPerJob,
+			Paranoid:       opt.Paranoid,
+			Contiguous:     opt.Contiguous,
+			Migrate:        opt.Migrate,
+			Faults:         opt.Faults,
+			Malleable:      opt.Malleable,
+			ResizeOverhead: opt.ResizeOverhead,
 		},
 		NewScheduler: func() Scheduler { return algo.New(pt) },
 	})
@@ -332,15 +352,17 @@ func NewSession(algorithm string, opt Options) (*Session, error) {
 	}
 	pt := experiment.Point{Cs: opt.Cs, Lookahead: opt.Lookahead}
 	cfg := engine.Config{
-		M:            opt.M,
-		Unit:         opt.Unit,
-		Scheduler:    algo.New(pt),
-		ProcessECC:   algo.ECC,
-		MaxECCPerJob: opt.MaxECCPerJob,
-		Paranoid:     opt.Paranoid,
-		Contiguous:   opt.Contiguous,
-		Migrate:      opt.Migrate,
-		Faults:       opt.Faults,
+		M:              opt.M,
+		Unit:           opt.Unit,
+		Scheduler:      algo.New(pt),
+		ProcessECC:     algo.ECC,
+		MaxECCPerJob:   opt.MaxECCPerJob,
+		Paranoid:       opt.Paranoid,
+		Contiguous:     opt.Contiguous,
+		Migrate:        opt.Migrate,
+		Faults:         opt.Faults,
+		Malleable:      opt.Malleable,
+		ResizeOverhead: opt.ResizeOverhead,
 	}
 	if opt.Trace != nil {
 		cfg.Observer = opt.Trace
@@ -377,14 +399,16 @@ func ResumeSnapshot(sn *SessionSnapshot, opt Options) (*Session, error) {
 	}
 	pt := experiment.Point{Cs: opt.Cs, Lookahead: opt.Lookahead}
 	cfg := engine.Config{
-		M:            sn.M,
-		Unit:         sn.Unit,
-		Scheduler:    algo.New(pt),
-		ProcessECC:   sn.ProcessECC,
-		MaxECCPerJob: sn.MaxECCPerJob,
-		Paranoid:     opt.Paranoid,
-		Contiguous:   sn.Contiguous,
-		Migrate:      sn.Migrate,
+		M:              sn.M,
+		Unit:           sn.Unit,
+		Scheduler:      algo.New(pt),
+		ProcessECC:     sn.ProcessECC,
+		MaxECCPerJob:   sn.MaxECCPerJob,
+		Paranoid:       opt.Paranoid,
+		Contiguous:     sn.Contiguous,
+		Migrate:        sn.Migrate,
+		Malleable:      sn.Malleable,
+		ResizeOverhead: sn.ResizeOverhead,
 	}
 	if sn.Retry != nil {
 		// A fault-injected session: the pending failure/repair events live in
@@ -418,15 +442,17 @@ func SimulateWith(w *Workload, s Scheduler, processECC bool, opt Options) (*Resu
 		opt.Unit = 32
 	}
 	cfg := engine.Config{
-		M:            opt.M,
-		Unit:         opt.Unit,
-		Scheduler:    s,
-		ProcessECC:   processECC,
-		MaxECCPerJob: opt.MaxECCPerJob,
-		Paranoid:     opt.Paranoid,
-		Contiguous:   opt.Contiguous,
-		Migrate:      opt.Migrate,
-		Faults:       opt.Faults,
+		M:              opt.M,
+		Unit:           opt.Unit,
+		Scheduler:      s,
+		ProcessECC:     processECC,
+		MaxECCPerJob:   opt.MaxECCPerJob,
+		Paranoid:       opt.Paranoid,
+		Contiguous:     opt.Contiguous,
+		Migrate:        opt.Migrate,
+		Faults:         opt.Faults,
+		Malleable:      opt.Malleable,
+		ResizeOverhead: opt.ResizeOverhead,
 	}
 	if opt.Trace != nil {
 		cfg.Observer = opt.Trace

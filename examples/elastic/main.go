@@ -86,4 +86,47 @@ func main() {
 	}
 	fmt.Println("\nAll three process the same command stream; the LOS-family packing")
 	fmt.Println("reacts to the changed residual times at the next scheduling event.")
+
+	// --- Part 3: true malleability — scheduler-initiated shrink/expand --
+	// ET/RT/EP/RP above are CLIENT-initiated. With Options.Malleable the
+	// SCHEDULER becomes an initiator too: jobs submitted with processor
+	// bounds may be shrunk at runtime to admit a blocked queue head and
+	// grown back when capacity idles, with the remaining work held
+	// invariant (a shrink stretches the remaining runtime, a grow
+	// compresses it, plus a per-resize reconfiguration charge).
+	//
+	// Two bounded 160-proc jobs fill the machine; a rigid 320-proc job
+	// arrives an hour in. Rigidly it waits ~5 hours for both to drain.
+	// Malleably, EASY-M shrinks each runner to 32 procs, admits the wide
+	// job immediately, and re-expands the survivors when it leaves.
+	jobs3 := []es.JobSpec{
+		{ID: 1, Size: 160, Duration: 6 * hour, Arrival: 0, RequestedStart: -1, MinProcs: 32, MaxProcs: 320},
+		{ID: 2, Size: 160, Duration: 5 * hour, Arrival: 0, RequestedStart: -1, MinProcs: 32, MaxProcs: 160},
+		{ID: 3, Size: 256, Duration: 1 * hour, Arrival: 1 * hour, RequestedStart: -1},
+	}
+	w3, err := es.BuildWorkload(jobs3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nscheduler-initiated malleability (same workload, same -M policy):")
+	fmt.Printf("%-18s %14s %10s %16s %12s\n", "mode", "mean wait (s)", "resizes", "ceded proc-s", "reconfig s")
+	for _, mode := range []struct {
+		name string
+		opt  es.Options
+	}{
+		// With Malleable off the bounds are inert annotations and the -M
+		// decorator proposes nothing: byte-identical to rigid EASY.
+		{"rigid (off)", es.Options{}},
+		{"malleable", es.Options{Malleable: true, ResizeOverhead: 120}},
+	} {
+		res, err := es.Simulate(w3, "EASY-M", mode.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summary
+		fmt.Printf("%-18s %14.1f %10d %16.0f %12.0f\n",
+			mode.name, s.MeanWait, s.SchedulerResizes, s.ShrunkProcSeconds, s.ReconfigOverheadSeconds)
+	}
+	fmt.Println("\nThe shrink-to-admit rule trades the runners' width for the head's")
+	fmt.Println("wait; expand-when-idle returns the width once the head departs.")
 }

@@ -20,6 +20,13 @@
 // inconsistencies (repairs with no preceding failure, double failures) are
 // folded into the report.
 //
+// Under malleability (Options.Malleable) resized spans are additionally
+// held to the resize laws: size changes chain from the dispatch size on the
+// allocation grid, system-initiated resizes respect the job's processor
+// bounds and never touch dedicated jobs, and a forward replay of each
+// span's resizes must reproduce its recorded end exactly — remaining work
+// is conserved through every reshape.
+//
 // Integration tests run every scheduling policy through this auditor, so a
 // bookkeeping bug in the engine and a matching bug in the metrics cannot
 // mask each other.
@@ -67,6 +74,20 @@ type Options struct {
 	// checks: EP/RP commands change allocations mid-run, so the dispatch
 	// snapshot in a span no longer describes the whole lifetime.
 	SizeElastic bool
+	// Malleable enables the resize lawfulness rules for runs with
+	// scheduler-initiated (Auto) resizes: every resize must chain from the
+	// dispatch size, stay on the allocation grid, respect the job's
+	// processor bounds, never touch a dedicated job, and — because the
+	// engine rescales work-conservingly — a forward replay of the span's
+	// resizes from its dispatch-time runtime must land exactly on its
+	// recorded end. Spans that were resized are exempted from the
+	// dispatch-snapshot checks, like SizeElastic, but untouched spans keep
+	// the full rigid rules.
+	Malleable bool
+	// ResizeOverhead is the per-resize reconfiguration penalty the run was
+	// configured with; the work-conservation replay charges it after every
+	// rescale. Meaningful only with Malleable.
+	ResizeOverhead int64
 	// Faults is the fault trace the run executed under. When non-nil the
 	// fault-aware rules apply: jobs may occupy the machine once per
 	// attempt (killed spans followed by resubmissions), and every span is
@@ -90,6 +111,19 @@ func Check(w *cwf.Workload, spans []trace.Span, opt Options) Report {
 	byID := make(map[int]*job.Job, len(w.Jobs))
 	for _, j := range w.Jobs {
 		byID[j.ID] = j
+	}
+
+	// A resize in any attempt rescales the job object's requirement and
+	// size, so the rigid per-span checks must yield for every span of that
+	// job — including retry attempts dispatched at the shrunk size, whose
+	// own Resizes list is empty.
+	resizedJob := make(map[int]bool)
+	if opt.Malleable {
+		for _, sp := range spans {
+			if len(sp.Resizes) > 0 {
+				resizedJob[sp.JobID] = true
+			}
+		}
 	}
 
 	// Per-span lawfulness. Under fault injection a job may legitimately
@@ -116,7 +150,11 @@ func Check(w *cwf.Workload, spans []trace.Span, opt Options) Report {
 		if sp.End <= sp.Start {
 			add("job %d has empty span [%d, %d)", sp.JobID, sp.Start, sp.End)
 		}
-		if !opt.Elastic {
+		// A resized job's dispatch snapshots no longer match the post-run
+		// job object, so the rigid runtime/size checks yield to the resize
+		// replay below.
+		resized := resizedJob[sp.JobID]
+		if !opt.Elastic && !resized {
 			if opt.Faults == nil {
 				if got, want := sp.End-sp.Start, j.EffectiveRuntime(); got != want {
 					add("job %d ran %d s, expected %d", sp.JobID, got, want)
@@ -126,6 +164,7 @@ func Check(w *cwf.Workload, spans []trace.Span, opt Options) Report {
 				add("job %d placed on %d procs, submitted %d (unit %d)", sp.JobID, sp.Size, j.Size, opt.Unit)
 			}
 		}
+		checkResizes(sp, opt, add)
 		if !opt.SizeElastic && len(sp.Groups)*opt.Unit != sp.Size {
 			add("job %d holds %d groups for size %d (unit %d)", sp.JobID, len(sp.Groups), sp.Size, opt.Unit)
 		}
@@ -145,7 +184,14 @@ func Check(w *cwf.Workload, spans []trace.Span, opt Options) Report {
 		checkFaults(byID, spans, opt, add)
 	}
 
-	if opt.SizeElastic {
+	anyResized := false
+	for _, sp := range spans {
+		if len(sp.Resizes) > 0 {
+			anyResized = true
+			break
+		}
+	}
+	if opt.SizeElastic || (opt.Malleable && anyResized) {
 		return rep
 	}
 
@@ -199,6 +245,77 @@ func Check(w *cwf.Workload, spans []trace.Span, opt Options) Report {
 	return rep
 }
 
+// checkResizes holds a span's recorded size changes to the resize laws:
+// sizes chain from the dispatch size, every new size is a positive on-grid
+// allocation within the machine, system-initiated (Auto) resizes only touch
+// batch jobs with malleable bounds and stay inside them, and client resizes
+// only appear in size-elastic runs. For malleable runs it then replays the
+// resizes forward from the span's dispatch-time runtime with the engine's
+// own work-conserving arithmetic (RescaleRemaining plus the per-resize
+// overhead) and requires the replay to land exactly on the recorded end:
+// remaining work may never be lost or invented by a resize.
+func checkResizes(sp trace.Span, opt Options, add func(string, ...any)) {
+	if len(sp.Resizes) == 0 {
+		return
+	}
+	cur := sp.Size
+	for _, rz := range sp.Resizes {
+		if rz.Time < sp.Start || rz.Time > sp.End {
+			add("job %d resized at t=%d outside its span [%d, %d)", sp.JobID, rz.Time, sp.Start, sp.End)
+		}
+		if rz.From != cur {
+			add("job %d resize at t=%d claims %d procs held, chain says %d", sp.JobID, rz.Time, rz.From, cur)
+		}
+		if rz.NewSize <= 0 || rz.NewSize%opt.Unit != 0 || rz.NewSize > opt.M {
+			add("job %d resized to unlawful size %d at t=%d (unit %d, M %d)",
+				sp.JobID, rz.NewSize, rz.Time, opt.Unit, opt.M)
+		} else if rz.NewSize == rz.From {
+			add("job %d no-op resize recorded at t=%d (size %d)", sp.JobID, rz.Time, rz.NewSize)
+		}
+		if rz.Auto {
+			switch {
+			case !opt.Malleable:
+				add("job %d system-resized at t=%d in a non-malleable run", sp.JobID, rz.Time)
+			case sp.Class == job.Dedicated:
+				add("dedicated job %d system-resized at t=%d", sp.JobID, rz.Time)
+			case sp.MaxProcs <= 0:
+				add("job %d system-resized at t=%d without malleable bounds", sp.JobID, rz.Time)
+			case rz.NewSize < sp.MinProcs || rz.NewSize > sp.MaxProcs:
+				add("job %d system-resized to %d at t=%d outside its bounds [%d, %d]",
+					sp.JobID, rz.NewSize, rz.Time, sp.MinProcs, sp.MaxProcs)
+			}
+		} else if !opt.SizeElastic {
+			add("job %d client-resized at t=%d in a run without size commands", sp.JobID, rz.Time)
+		}
+		cur = rz.NewSize
+	}
+
+	// Work-conservation replay. Killed spans end at the failure instant, not
+	// at a rescaled completion; ET/RT commands (Elastic) mutate the runtime
+	// outside the resize pipeline; both make the dispatch-time requirement
+	// an unusable anchor. Spans recorded without a dispatch runtime (hand-
+	// built fixtures) are skipped rather than guessed at.
+	if !opt.Malleable || opt.Elastic || sp.Killed || sp.Planned <= 0 {
+		return
+	}
+	rem, t, size := sp.Planned, sp.Start, sp.Size
+	for _, rz := range sp.Resizes {
+		seg := rz.Time - t
+		if seg < 0 || seg > rem {
+			add("job %d resized at t=%d, after its remaining work ran out at t=%d", sp.JobID, rz.Time, t+rem)
+			return
+		}
+		if rem -= seg; rem > 0 {
+			rem = job.RescaleRemaining(rem, size, rz.NewSize) + opt.ResizeOverhead
+		}
+		t, size = rz.Time, rz.NewSize
+	}
+	if want := t + rem; sp.End != want {
+		add("job %d ended at t=%d, work-conserving replay of its %d resizes predicts t=%d",
+			sp.JobID, sp.End, len(sp.Resizes), want)
+	}
+}
+
 // checkFaults verifies the failure semantics of a fault-injected run:
 // trace sanity, down-window exclusion, and the retry policy's structural
 // rules over each job's sequence of attempts.
@@ -225,13 +342,14 @@ func checkFaults(byID map[int]*job.Job, spans []trace.Span, opt Options, add fun
 
 	// No span may overlap a down window of a group it holds. Killed spans
 	// end exactly at the failure instant, so the half-open intervals do
-	// not intersect for a lawful kill. Spans resized by EP/RP commands are
-	// exempt: their dispatch-time group set no longer describes the whole
-	// lifetime.
+	// not intersect for a lawful kill. Resized spans are exempt — whether
+	// by EP/RP commands or a malleable fault-shrink that dropped the very
+	// groups that failed — because their dispatch-time group set no longer
+	// describes the whole lifetime.
 	attempts := make(map[int][]trace.Span, len(byID))
 	for _, sp := range spans {
 		attempts[sp.JobID] = append(attempts[sp.JobID], sp)
-		if opt.SizeElastic && len(sp.Resizes) > 0 {
+		if (opt.SizeElastic || opt.Malleable) && len(sp.Resizes) > 0 {
 			continue
 		}
 		for _, g := range sp.Groups {
@@ -278,6 +396,21 @@ func checkFaults(byID map[int]*job.Job, spans []trace.Span, opt Options, add fun
 		}
 		if opt.Elastic {
 			continue
+		}
+		if opt.Malleable {
+			// A resize rescales per-processor runtime, so wall-clock totals
+			// no longer add up against the submitted requirement; the
+			// work-conservation replay audits those spans instead.
+			rescaled := false
+			for _, sp := range atts {
+				if len(sp.Resizes) > 0 {
+					rescaled = true
+					break
+				}
+			}
+			if rescaled {
+				continue
+			}
 		}
 		// Runtime accounting. eff is what the job needed end to end; kills
 		// may each add up to one clamp second under RemainingRuntime.

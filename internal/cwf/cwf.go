@@ -79,12 +79,18 @@ func ParseReqType(s string) (ReqType, error) {
 // submission).
 func (t ReqType) IsECC() bool { return t != Submit }
 
-// Record is one CWF line: an SWF record plus fields 19-21.
+// Record is one CWF line: an SWF record plus fields 19-21, and the optional
+// malleability bounds of fields 22-23.
 type Record struct {
 	swf.Record
 	ReqStartTime int64   // 19: -1 for batch jobs
 	Type         ReqType // 20
 	Amount       int64   // 21: -1 for submissions
+	// MinProcs and MaxProcs are the optional fields 22-23: the submission's
+	// malleable processor bounds. Both zero (the fields absent) means the
+	// job is rigid, so 18- and 21-field archives load unchanged.
+	MinProcs int
+	MaxProcs int
 }
 
 // Command is a parsed Elastic Control Command.
@@ -138,20 +144,25 @@ func (w *Workload) SizeCommandCount() int {
 }
 
 // Validate checks all jobs against machine size m and that every command
-// references a submitted job and has a positive amount.
+// references a submitted job and has a positive amount. For jobs carrying
+// explicit malleability bounds, EP/RP commands whose amount would push the
+// submitted size outside [MinProcs, MaxProcs] are rejected up front — for
+// unbounded jobs out-of-range elasticity stays a simulate-time concern (the
+// engine clamps against the machine), preserving prior behaviour.
 func (w *Workload) Validate(m int) error {
-	ids := make(map[int]bool, len(w.Jobs))
+	ids := make(map[int]*job.Job, len(w.Jobs))
 	for _, j := range w.Jobs {
 		if err := j.Validate(m); err != nil {
 			return err
 		}
-		if ids[j.ID] {
+		if ids[j.ID] != nil {
 			return fmt.Errorf("cwf: duplicate submission for job %d", j.ID)
 		}
-		ids[j.ID] = true
+		ids[j.ID] = j
 	}
 	for _, c := range w.Commands {
-		if !ids[c.JobID] {
+		j := ids[c.JobID]
+		if j == nil {
 			return fmt.Errorf("cwf: %v references unknown job", c)
 		}
 		if c.Amount <= 0 {
@@ -160,12 +171,27 @@ func (w *Workload) Validate(m int) error {
 		if !c.Type.IsECC() {
 			return fmt.Errorf("cwf: %v is not an ECC", c)
 		}
+		if j.MaxProcs > 0 {
+			switch c.Type {
+			case ExtendProc:
+				if int64(j.Size)+c.Amount > int64(j.MaxProcs) {
+					return fmt.Errorf("cwf: %v grows job %d beyond its max procs %d (size %d)",
+						c, j.ID, j.MaxProcs, j.Size)
+				}
+			case ReduceProc:
+				if int64(j.Size)-c.Amount < int64(j.MinProcs) {
+					return fmt.Errorf("cwf: %v shrinks job %d below its min procs %d (size %d)",
+						c, j.ID, j.MinProcs, j.Size)
+				}
+			}
+		}
 	}
 	return nil
 }
 
 // ParseLine parses a 21-field CWF line. 18-field lines are accepted as plain
-// SWF submissions (batch, no ECC), so archive logs load unchanged.
+// SWF submissions (batch, no ECC), so archive logs load unchanged; 23-field
+// lines additionally carry the malleability bounds (fields 22-23).
 func ParseLine(line string) (Record, error) {
 	tok := strings.Fields(line)
 	base, err := swf.ParseFields(tok)
@@ -176,8 +202,8 @@ func ParseLine(line string) (Record, error) {
 	if len(tok) == 18 {
 		return rec, nil
 	}
-	if len(tok) != 21 {
-		return Record{}, fmt.Errorf("cwf: %d fields, want 18 (SWF) or 21 (CWF)", len(tok))
+	if len(tok) != 21 && len(tok) != 23 {
+		return Record{}, fmt.Errorf("cwf: %d fields, want 18 (SWF), 21 (CWF) or 23 (CWF+bounds)", len(tok))
 	}
 	rst, err := strconv.ParseInt(tok[18], 10, 64)
 	if err != nil {
@@ -193,13 +219,26 @@ func ParseLine(line string) (Record, error) {
 		return Record{}, fmt.Errorf("cwf: field 21 %q: %v", tok[20], err)
 	}
 	rec.Amount = amt
+	if len(tok) == 23 {
+		mn, err := strconv.Atoi(tok[21])
+		if err != nil {
+			return Record{}, fmt.Errorf("cwf: field 22 %q: %v", tok[21], err)
+		}
+		mx, err := strconv.Atoi(tok[22])
+		if err != nil {
+			return Record{}, fmt.Errorf("cwf: field 23 %q: %v", tok[22], err)
+		}
+		rec.MinProcs, rec.MaxProcs = mn, mx
+	}
 	return rec, nil
 }
 
-// FormatLine renders a record as a 21-field CWF line.
+// FormatLine renders a record as a CWF line: 21 fields, or 23 when the
+// record carries malleability bounds (so bound-free workloads round-trip
+// byte-identically with the pre-bounds format).
 func FormatLine(r Record) string {
 	fields := r.Fields()
-	parts := make([]string, 0, 21)
+	parts := make([]string, 0, 23)
 	for _, f := range fields {
 		parts = append(parts, strconv.FormatInt(f, 10))
 	}
@@ -207,6 +246,9 @@ func FormatLine(r Record) string {
 		strconv.FormatInt(r.ReqStartTime, 10),
 		r.Type.String(),
 		strconv.FormatInt(r.Amount, 10))
+	if r.MaxProcs > 0 {
+		parts = append(parts, strconv.Itoa(r.MinProcs), strconv.Itoa(r.MaxProcs))
+	}
 	return strings.Join(parts, " ")
 }
 
@@ -267,6 +309,10 @@ func RecordToJob(rec Record) *job.Job {
 		j.Class = job.Dedicated
 		j.ReqStart = rec.ReqStartTime
 	}
+	if rec.MaxProcs > 0 {
+		j.MinProcs = rec.MinProcs
+		j.MaxProcs = rec.MaxProcs
+	}
 	return j
 }
 
@@ -285,6 +331,10 @@ func JobToRecord(j *job.Job) Record {
 	rec := Record{Record: base, ReqStartTime: -1, Type: Submit, Amount: -1}
 	if j.Class == job.Dedicated {
 		rec.ReqStartTime = j.ReqStart
+	}
+	if j.MaxProcs > 0 {
+		rec.MinProcs = j.MinProcs
+		rec.MaxProcs = j.MaxProcs
 	}
 	return rec
 }

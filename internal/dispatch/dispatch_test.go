@@ -186,10 +186,10 @@ func TestRouting(t *testing.T) {
 
 type nopObserver struct{}
 
-func (nopObserver) JobStarted(*job.Job, int64, []int) {}
-func (nopObserver) JobFinished(*job.Job, int64)       {}
-func (nopObserver) JobResized(*job.Job, int64, int)   {}
-func (nopObserver) JobKilled(*job.Job, int64)         {}
+func (nopObserver) JobStarted(*job.Job, int64, []int)          {}
+func (nopObserver) JobFinished(*job.Job, int64)                {}
+func (nopObserver) JobResized(*job.Job, int64, int, int, bool) {}
+func (nopObserver) JobKilled(*job.Job, int64)                  {}
 
 // TestConfigErrors pins the errors.Is-testable rejection of invalid
 // configurations.

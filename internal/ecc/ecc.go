@@ -213,6 +213,31 @@ func (p *Processor) applyWaiting(c cwf.Command, j *job.Job, t Target) Outcome {
 	}
 }
 
+// boundFloor and boundCeil are a malleable job's processor bounds on the
+// allocation grid (MinProcs rounded up, MaxProcs rounded down, reconciled
+// so floor <= ceil). They return (0, 0) for rigid jobs — no bounds apply.
+func boundFloor(j *job.Job, unit int) int {
+	if j.MaxProcs <= 0 {
+		return 0
+	}
+	lo := ((j.MinProcs + unit - 1) / unit) * unit
+	if lo < unit {
+		lo = unit
+	}
+	return lo
+}
+
+func boundCeil(j *job.Job, unit int) int {
+	if j.MaxProcs <= 0 {
+		return 0
+	}
+	hi := (j.MaxProcs / unit) * unit
+	if lo := boundFloor(j, unit); hi < lo {
+		hi = lo
+	}
+	return hi
+}
+
 func (p *Processor) resizeWaiting(j *job.Job, want int, t Target) Outcome {
 	unit := t.MachineUnit()
 	out := Applied
@@ -224,6 +249,18 @@ func (p *Processor) resizeWaiting(j *job.Job, want int, t Target) Outcome {
 	if size > t.MachineTotal() {
 		size = t.MachineTotal()
 		out = Clamped
+	}
+	if j.MaxProcs > 0 {
+		// A bounded job's size never leaves its malleable window, queued or
+		// running: the scheduler's resize planning relies on the bounds.
+		if lo := boundFloor(j, unit); size < lo {
+			size = lo
+			out = Clamped
+		}
+		if hi := boundCeil(j, unit); size > hi {
+			size = hi
+			out = Clamped
+		}
 	}
 	if size > j.Size {
 		p.Stats.GrownProcs += size - j.Size
@@ -268,6 +305,9 @@ func (p *Processor) applyRunning(c cwf.Command, j *job.Job, t Target) Outcome {
 		if want > t.MachineTotal() {
 			want = t.MachineTotal()
 		}
+		if hi := boundCeil(j, unit); hi > 0 && want > hi {
+			want = hi
+		}
 		if want == j.Size {
 			return Clamped
 		}
@@ -283,6 +323,10 @@ func (p *Processor) applyRunning(c cwf.Command, j *job.Job, t Target) Outcome {
 		out := Applied
 		if want < unit {
 			want = unit
+			out = Clamped
+		}
+		if lo := boundFloor(j, unit); want < lo {
+			want = lo
 			out = Clamped
 		}
 		if want >= j.Size {

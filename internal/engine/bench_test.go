@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"elastisched/internal/sched"
 	"elastisched/internal/workload"
 )
 
@@ -45,6 +46,42 @@ func BenchmarkSimulate500(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSimulate500Malleable measures the same paper-sized run with the
+// malleability pipeline engaged: every batch job carries bounds, the
+// AutoResize decorator proposes shrinks/expands each cycle, and resizes are
+// work-conserving with a reconfiguration overhead. Compare against
+// BenchmarkSimulate500/EASY to read the cost of true malleability; the
+// rigid series itself runs with Malleable off and is gated by benchgate.
+func BenchmarkSimulate500Malleable(b *testing.B) {
+	p := workload.DefaultParams()
+	p.N = 500
+	p.PS = 0.5
+	p.PE = 0.2
+	p.PR = 0.1
+	p.TargetLoad = 0.9
+	p.PM = 1.0
+	w, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("EASY-M", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := Run(w, Config{
+				M: 320, Unit: 32, Scheduler: sched.NewAutoResize(&sched.EASY{}),
+				ProcessECC: true, Malleable: true, ResizeOverhead: 3,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(r.Events), "events")
+				b.ReportMetric(float64(r.Summary.SchedulerResizes), "resizes")
+			}
+		}
+	})
 }
 
 // BenchmarkWorkloadGenerate measures the Lublin-model generator.

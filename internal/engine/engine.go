@@ -72,9 +72,22 @@ type Config struct {
 	// Faults, when non-nil, enables fault injection: node groups fail and
 	// recover per the configured trace or MTBF/MTTR model, killing the jobs
 	// that hold them; the retry policy decides what happens to the victims.
-	// Incompatible with Contiguous allocation (compaction and contiguity
-	// reasoning are not fault-aware yet; see ROADMAP).
 	Faults *FaultConfig
+	// Malleable enables true runtime elasticity for jobs carrying processor
+	// bounds: resizes become work-conserving (the remaining work in
+	// proc-seconds is invariant, so a shrink stretches the remaining runtime
+	// and a grow compresses it), Malleable schedulers get their per-cycle
+	// resize proposals applied, the fault path shrinks malleable victims
+	// onto their surviving node groups instead of killing them, and
+	// contiguous grows fall back to Compact-then-retry. Off by default:
+	// resizes then keep the legacy semantics (allocation changes, runtime
+	// does not), which preserves every golden result byte-for-byte.
+	Malleable bool
+	// ResizeOverhead is the reconfiguration cost in seconds added to a
+	// job's remaining runtime on every work-conserving resize (data
+	// redistribution, checkpoint/restart of the reshaped layout). Only
+	// meaningful with Malleable.
+	ResizeOverhead int64
 	// ExportSamples attaches the run's per-job sample vectors (waits,
 	// bounded slowdowns, per-job arrival/finish points, busy steps) to
 	// Result.Samples. Off by default: the vectors cost O(jobs) extra
@@ -100,10 +113,10 @@ func (cfg *Config) validate() error {
 	if cfg.M%cfg.Unit != 0 {
 		return fmt.Errorf("engine: allocation unit %d does not divide machine size %d", cfg.Unit, cfg.M)
 	}
+	if cfg.ResizeOverhead < 0 {
+		return fmt.Errorf("engine: negative resize overhead %d", cfg.ResizeOverhead)
+	}
 	if cfg.Faults != nil {
-		if cfg.Contiguous {
-			return errors.New("engine: fault injection is not supported with contiguous allocation")
-		}
 		if err := cfg.Faults.validate(); err != nil {
 			return err
 		}
@@ -123,8 +136,10 @@ type Observer interface {
 	JobStarted(j *job.Job, now int64, groups []int)
 	// JobFinished fires when the job leaves the machine.
 	JobFinished(j *job.Job, now int64)
-	// JobResized fires after an EP/RP command changed the allocation.
-	JobResized(j *job.Job, now int64, newSize int)
+	// JobResized fires after the job's allocation changed, from oldSize to
+	// newSize processors. auto distinguishes system-initiated resizes
+	// (scheduler proposals, fault-path shrinks) from client EP/RP commands.
+	JobResized(j *job.Job, now int64, oldSize, newSize int, auto bool)
 	// JobKilled fires when a node-group failure kills the running job. If
 	// the retry policy requeues it, a later JobStarted opens its next
 	// attempt.
@@ -198,6 +213,10 @@ type Session struct {
 	// changes so the policy maintains its caches incrementally instead of
 	// rebuilding them every cycle. Armed via ResetDeltas in Load/Restore.
 	st sched.Stateful
+	// malleable is non-nil when Config.Malleable is on and the policy emits
+	// resize proposals (sched.Malleable); scheduleInstant then collects and
+	// applies proposals after every Schedule call.
+	malleable sched.Malleable
 	// arriveH/completeH/commandH/faultH are the shared event callbacks,
 	// bound once so the hot paths schedule through simkit.AtArg without
 	// allocating a closure per event.
@@ -334,6 +353,11 @@ func New(cfg Config) (*Session, error) {
 	if st, ok := cfg.Scheduler.(sched.Stateful); ok {
 		s.st = st
 	}
+	if cfg.Malleable {
+		if m, ok := cfg.Scheduler.(sched.Malleable); ok {
+			s.malleable = m
+		}
+	}
 	s.arriveH = s.arriveEv
 	s.completeH = s.completeEv
 	s.commandH = s.commandEv
@@ -343,6 +367,26 @@ func New(cfg Config) (*Session, error) {
 		s.faultH = s.faultEv
 	}
 	return s, nil
+}
+
+// quantizeBounds rounds a malleable job's processor bounds onto the
+// allocation grid — MinProcs up, MaxProcs down — then reconciles them with
+// the (already quantized) size, which may itself have been rounded past a
+// bound. Validate guaranteed MinProcs <= Size <= MaxProcs in raw units;
+// the same holds in quantized units afterwards.
+func (s *Session) quantizeBounds(j *job.Job) {
+	if j.MaxProcs <= 0 {
+		return
+	}
+	unit := s.mach.Unit()
+	j.MinProcs = ((j.MinProcs + unit - 1) / unit) * unit
+	j.MaxProcs = (j.MaxProcs / unit) * unit
+	if j.MinProcs > j.Size {
+		j.MinProcs = j.Size
+	}
+	if j.MaxProcs < j.Size {
+		j.MaxProcs = j.Size
+	}
 }
 
 // pristine reports whether the session has neither admitted work nor
@@ -392,6 +436,7 @@ func (s *Session) Load(w *cwf.Workload) error {
 			return fmt.Errorf("engine: job %d: %v", j.ID, err)
 		}
 		j.Size = q
+		s.quantizeBounds(j)
 		s.jobs = append(s.jobs, j)
 		s.eng.AtArg(j.Arrival, s.arriveH, j)
 	}
@@ -453,6 +498,7 @@ func (s *Session) Inject(j *job.Job) error {
 		return fmt.Errorf("engine: job %d: %v", clone.ID, err)
 	}
 	clone.Size = q
+	s.quantizeBounds(clone)
 	s.ensureCompletionCapacity(clone.ID)
 	s.jobs = append(s.jobs, clone)
 	s.ids[clone.ID] = true
@@ -678,6 +724,22 @@ func (s *Session) scheduleInstant() error {
 		s.ctx.Starts = 0
 		s.cfg.Scheduler.Schedule(&s.ctx)
 		s.cycles++
+		if s.malleable != nil {
+			// Apply the policy's resize proposals through the unified
+			// pipeline. An applied proposal is progress (the freed or grown
+			// capacity changes what Schedule can do); an unapplicable one
+			// (contiguous fragmentation, a group failure racing the
+			// proposal) is dropped without progress so the fixed-point loop
+			// still terminates.
+			for _, p := range s.malleable.ProposeResizes(&s.ctx) {
+				if p.Job == nil || p.NewSize == p.Job.Size {
+					continue
+				}
+				if err := s.applyResize(p.Job, p.NewSize, true); err == nil {
+					s.ctx.Progress = true
+				}
+			}
+		}
 		if !s.ctx.Progress {
 			return nil
 		}
@@ -834,22 +896,97 @@ func (s *Session) RetimeRunning(j *job.Job, oldEnd int64) {
 	}
 }
 
-// ResizeRunning implements ecc.Target.
+// ResizeRunning implements ecc.Target: client EP/RP commands flow through
+// the same applyResize pipeline as scheduler proposals and fault shrinks.
 func (s *Session) ResizeRunning(j *job.Job, newSize int) error {
+	return s.applyResize(j, newSize, false)
+}
+
+// applyResize is the single resize pipeline every initiator shares: it
+// validates the request, reshapes the machine allocation (with a
+// Compact-then-retry fallback for fragmented contiguous grows in Malleable
+// mode), applies the work-conserving runtime rescale, and fans out the
+// retime/resize deltas in the order the Stateful contract requires.
+// auto marks system-initiated resizes (scheduler proposals), which are
+// additionally held to the job's malleable bounds.
+func (s *Session) applyResize(j *job.Job, newSize int, auto bool) error {
 	oldSize := j.Size
-	delta := newSize - oldSize
+	if newSize == oldSize {
+		return nil
+	}
+	if auto {
+		if j.Class != job.Batch || !j.Malleable() {
+			return fmt.Errorf("engine: scheduler resize of non-malleable job %d", j.ID)
+		}
+		if newSize < j.MinProcs || newSize > j.MaxProcs {
+			return fmt.Errorf("engine: scheduler resize of job %d to %d outside [%d, %d]",
+				j.ID, newSize, j.MinProcs, j.MaxProcs)
+		}
+		if !s.mach.AllUp(j.ID) {
+			return fmt.Errorf("engine: scheduler resize of job %d holding failed groups", j.ID)
+		}
+	}
 	if err := s.mach.Resize(j.ID, newSize); err != nil {
-		return err
+		if !s.cfg.Malleable || !s.mach.Contiguous() || newSize <= oldSize ||
+			newSize-oldSize > s.mach.Free() {
+			return err
+		}
+		// A fragmented contiguous grow: compact the machine and retry once
+		// (Compact is a no-op during an outage, so the retry may still fail).
+		s.mach.Compact()
+		if err := s.mach.Resize(j.ID, newSize); err != nil {
+			return err
+		}
+	}
+	s.finishResize(j, newSize, auto)
+	return nil
+}
+
+// finishResize completes a resize whose machine half is already done: the
+// work-conserving runtime rescale (Malleable mode), the completion retime,
+// the metrics counters, and the delta fan-out. The fault path calls it
+// directly after ShrinkDraining reshaped the allocation in place.
+//
+// Delta order matters: JobRetimed must fire while j.Size still holds the
+// old allocation (stateful policies patch the changed end window at the
+// current size), and JobResized after the size flips (they then patch the
+// size delta over the final window).
+func (s *Session) finishResize(j *job.Job, newSize int, auto bool) {
+	now := s.eng.Now()
+	oldSize := j.Size
+	if s.cfg.Malleable {
+		if rem := j.EndTime - now; rem > 0 {
+			newRem := job.RescaleRemaining(rem, oldSize, newSize) + s.cfg.ResizeOverhead
+			oldEnd := j.EndTime
+			j.EndTime = now + newRem
+			j.Dur = j.EndTime - j.StartTime
+			if j.Actual > 0 {
+				elapsed := now - j.StartTime
+				if remAct := j.Actual - elapsed; remAct > 0 {
+					j.Actual = elapsed + job.RescaleRemaining(remAct, oldSize, newSize) + s.cfg.ResizeOverhead
+				}
+			}
+			s.RetimeRunning(j, oldEnd)
+			s.collector.ResizeOverheadApplied(s.cfg.ResizeOverhead)
+			if newSize < oldSize {
+				s.collector.ProcsShrunk(float64(oldSize-newSize) * float64(rem))
+			}
+		}
 	}
 	j.Size = newSize
-	s.collector.SizeChanged(delta, s.eng.Now())
+	s.collector.SizeChanged(newSize-oldSize, now)
+	if auto {
+		s.collector.SchedulerResized()
+	}
+	if s.debugging() {
+		s.debugf("t=%d resize job=%d %d->%d auto=%v killby=%d", now, j.ID, oldSize, newSize, auto, j.EndTime)
+	}
 	if s.st != nil {
-		s.st.JobResized(j, oldSize, s.eng.Now())
+		s.st.JobResized(j, oldSize, now)
 	}
 	if s.cfg.Observer != nil {
-		s.cfg.Observer.JobResized(j, s.eng.Now(), newSize)
+		s.cfg.Observer.JobResized(j, now, oldSize, newSize, auto)
 	}
-	return nil
 }
 
 // TouchWaiting implements ecc.Target: a queued job's requirements changed

@@ -123,6 +123,9 @@ func (s *Session) applyFault(ev *fault.Event, now int64) {
 			if j == nil {
 				panic(fmt.Sprintf("engine: failure victim job %d not in active list at t=%d", id, now))
 			}
+			if s.shrinkVictim(j, now) {
+				continue
+			}
 			s.kill(j, now)
 		}
 		if failed > 0 || len(victims) > 0 {
@@ -151,6 +154,30 @@ func (s *Session) notifyCapacity(now int64) {
 	if s.st != nil {
 		s.st.CapacityChanged(now)
 	}
+}
+
+// shrinkVictim tries the malleable alternative to killing a failure
+// victim: drop the job's failed node groups (machine.ShrinkDraining) and
+// keep it running, work-conservingly rescaled, on the healthy remainder.
+// It reports whether the job survived. Only batch jobs with malleable
+// bounds qualify, only in Malleable mode, and only when the surviving
+// allocation stays at or above the job's minimum (on contiguous machines,
+// the longest surviving contiguous run must).
+func (s *Session) shrinkVictim(j *job.Job, now int64) bool {
+	if !s.cfg.Malleable || j.Class != job.Batch || !j.Malleable() {
+		return false
+	}
+	newSize, err := s.mach.ShrinkDraining(j.ID, j.MinProcs)
+	if err != nil {
+		return false
+	}
+	if s.debugging() {
+		s.debugf("t=%d fault-shrink job=%d %d->%d", now, j.ID, j.Size, newSize)
+	}
+	if newSize != j.Size {
+		s.finishResize(j, newSize, true)
+	}
+	return true
 }
 
 // kill removes a running job hit by a node-group failure: its allocation is

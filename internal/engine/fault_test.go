@@ -211,8 +211,8 @@ func TestFaultConfigValidation(t *testing.T) {
 	}
 
 	if _, err := New(Config{M: 320, Unit: 32, Scheduler: sched.FCFS{}, Contiguous: true,
-		Faults: &FaultConfig{MTBF: 100}}); err == nil {
-		t.Fatal("contiguous allocation with faults accepted, want error")
+		Faults: &FaultConfig{MTBF: 100}}); err != nil {
+		t.Fatalf("contiguous allocation with faults rejected: %v", err)
 	}
 	if _, err := New(Config{M: 320, Unit: 32, Scheduler: sched.FCFS{},
 		Faults: &FaultConfig{MTBF: 100, MTTR: 50, Seed: 1}}); err != nil {

@@ -18,7 +18,10 @@ import (
 // from a different version rather than guessing at field semantics.
 // Version 2 added fault injection: fail/repair event kinds, the machine's
 // group-health table, and the captured retry policy.
-const SnapshotVersion = 2
+// Version 3 added malleability: the Malleable/ResizeOverhead feature
+// flags, per-job processor bounds (inside Jobs), and the resize counters
+// (inside Metrics).
+const SnapshotVersion = 3
 
 // Event kinds in a snapshot.
 const (
@@ -67,6 +70,11 @@ type Snapshot struct {
 	// without the fault subsystem, and future kills must follow the same
 	// policy.
 	Retry *fault.RetryPolicy `json:"retry,omitempty"`
+	// Malleable and ResizeOverhead are the runtime-elasticity flags; the
+	// restoring Config must match, or resumed resizes would change
+	// semantics mid-run.
+	Malleable      bool  `json:"malleable,omitempty"`
+	ResizeOverhead int64 `json:"resize_overhead,omitempty"`
 
 	Now        int64  `json:"now"`
 	Dispatched uint64 `json:"dispatched"`
@@ -125,22 +133,24 @@ func (s *Session) Snapshot() (*Snapshot, error) {
 		return nil, s.failed
 	}
 	sn := &Snapshot{
-		Version:      SnapshotVersion,
-		Scheduler:    s.cfg.Scheduler.Name(),
-		M:            s.cfg.M,
-		Unit:         s.cfg.Unit,
-		Contiguous:   s.cfg.Contiguous,
-		Migrate:      s.cfg.Migrate,
-		ProcessECC:   s.cfg.ProcessECC,
-		MaxECCPerJob: s.cfg.MaxECCPerJob,
-		Now:          s.eng.Now(),
-		Dispatched:   s.eng.Dispatched(),
-		Cycles:       s.cycles,
-		DroppedECC:   s.dropped,
-		FragRejects:  s.fragRejects,
-		PeakWaste:    s.peakWaste,
-		Machine:      s.mach.Snapshot(),
-		Metrics:      s.collector.Snapshot(),
+		Version:        SnapshotVersion,
+		Scheduler:      s.cfg.Scheduler.Name(),
+		M:              s.cfg.M,
+		Unit:           s.cfg.Unit,
+		Contiguous:     s.cfg.Contiguous,
+		Migrate:        s.cfg.Migrate,
+		ProcessECC:     s.cfg.ProcessECC,
+		MaxECCPerJob:   s.cfg.MaxECCPerJob,
+		Malleable:      s.cfg.Malleable,
+		ResizeOverhead: s.cfg.ResizeOverhead,
+		Now:            s.eng.Now(),
+		Dispatched:     s.eng.Dispatched(),
+		Cycles:         s.cycles,
+		DroppedECC:     s.dropped,
+		FragRejects:    s.fragRejects,
+		PeakWaste:      s.peakWaste,
+		Machine:        s.mach.Snapshot(),
+		Metrics:        s.collector.Snapshot(),
 	}
 	if s.cfg.Faults != nil {
 		p := s.cfg.Faults.Retry
@@ -259,6 +269,9 @@ func (s *Session) Restore(sn *Snapshot) error {
 			sn.Retry != nil, s.cfg.Faults != nil)
 	case sn.Retry != nil && *sn.Retry != s.cfg.Faults.Retry:
 		return fmt.Errorf("engine: snapshot retry policy %+v differs from config %+v", *sn.Retry, s.cfg.Faults.Retry)
+	case sn.Malleable != s.cfg.Malleable || sn.ResizeOverhead != s.cfg.ResizeOverhead:
+		return fmt.Errorf("engine: snapshot malleability (%v/%d) differs from config (%v/%d)",
+			sn.Malleable, sn.ResizeOverhead, s.cfg.Malleable, s.cfg.ResizeOverhead)
 	case sn.Metrics.M != s.cfg.M:
 		return fmt.Errorf("engine: snapshot metrics for machine %d, config %d", sn.Metrics.M, s.cfg.M)
 	}

@@ -7,6 +7,7 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"elastisched/internal/core"
 	"elastisched/internal/sched"
@@ -88,13 +89,25 @@ func registry() map[string]Algorithm {
 	return m
 }
 
-// ByName resolves a Table III (or baseline) algorithm name.
+// ByName resolves a Table III (or baseline) algorithm name. An "-M" suffix
+// resolves to the base algorithm wrapped in sched.AutoResize — the
+// malleability decorator applies to every registered policy, so "EASY-M",
+// "CONS-M", "Delayed-LOS-E-M", ... all work without their own entries.
 func ByName(name string) (Algorithm, error) {
-	a, ok := registry()[name]
-	if !ok {
-		return Algorithm{}, fmt.Errorf("experiment: unknown algorithm %q (known: %v)", name, Names())
+	if a, ok := registry()[name]; ok {
+		return a, nil
 	}
-	return a, nil
+	if base, ok := strings.CutSuffix(name, "-M"); ok {
+		a, err := ByName(base)
+		if err != nil {
+			return Algorithm{}, fmt.Errorf("experiment: unknown algorithm %q (no base for -M: %v)", name, err)
+		}
+		inner := a.New
+		a.Name = name
+		a.New = func(pt Point) sched.Scheduler { return sched.NewAutoResize(inner(pt)) }
+		return a, nil
+	}
+	return Algorithm{}, fmt.Errorf("experiment: unknown algorithm %q (known: %v, plus -M variants)", name, Names())
 }
 
 // MustByName is ByName for static experiment definitions.

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"elastisched/internal/audit"
 	"elastisched/internal/cwf"
 	"elastisched/internal/engine"
 	"elastisched/internal/fault"
+	"elastisched/internal/metrics"
 	"elastisched/internal/trace"
 	"elastisched/internal/workload"
 )
@@ -25,10 +27,19 @@ var chaosPolicies = []fault.RetryPolicy{
 	{Mode: fault.Drop},
 }
 
+// chaosVariant selects the machine/malleability corner a chaos run
+// exercises. The zero value is the classic scatter, rigid configuration.
+type chaosVariant struct {
+	malleable  bool
+	contiguous bool
+	overhead   int64
+}
+
 // chaosWorkload generates a small but eventful workload for fault runs:
 // elastic commands always, size elasticity and dedicated jobs on the seeds
-// and policies that exercise them.
-func chaosWorkload(t *testing.T, hetero, sizeECC bool, seed int64) *cwf.Workload {
+// and policies that exercise them, and malleable bounds on most batch jobs
+// when the variant resizes.
+func chaosWorkload(t *testing.T, hetero, sizeECC bool, v chaosVariant, seed int64) *cwf.Workload {
 	t.Helper()
 	p := workload.DefaultParams()
 	p.N = 80
@@ -40,6 +51,9 @@ func chaosWorkload(t *testing.T, hetero, sizeECC bool, seed int64) *cwf.Workload
 	if hetero {
 		p.PD = 0.2
 	}
+	if v.malleable {
+		p.PM = 0.7
+	}
 	w, err := workload.Generate(p)
 	if err != nil {
 		t.Fatal(err)
@@ -50,12 +64,15 @@ func chaosWorkload(t *testing.T, hetero, sizeECC bool, seed int64) *cwf.Workload
 // chaosConfig builds the engine config for one (algorithm, seed) chaos run.
 // The fault trace is a pure function of the seed, so every algorithm faces
 // the same outages.
-func chaosConfig(a Algorithm, seed int64) engine.Config {
+func chaosConfig(a Algorithm, seed int64, v chaosVariant) engine.Config {
 	pt := Point{Cs: 5}
 	return engine.Config{
 		M: 320, Unit: 32,
-		Scheduler:  a.New(pt),
-		ProcessECC: a.ECC,
+		Scheduler:      a.New(pt),
+		ProcessECC:     a.ECC,
+		Contiguous:     v.contiguous,
+		Malleable:      v.malleable,
+		ResizeOverhead: v.overhead,
 		Faults: &engine.FaultConfig{
 			MTBF: 40000, MTTR: 2000, Seed: seed,
 			Retry: chaosPolicies[int(seed)%len(chaosPolicies)],
@@ -65,14 +82,14 @@ func chaosConfig(a Algorithm, seed int64) engine.Config {
 
 // chaosRun executes one algorithm under one seeded fault trace, audits the
 // recorded schedule with the fault-aware oracle, and returns the run's
-// kill count so callers can assert the property is not vacuous.
-func chaosRun(t *testing.T, a Algorithm, seed int64) int {
+// summary so callers can assert the property is not vacuous.
+func chaosRun(t *testing.T, a Algorithm, seed int64, v chaosVariant) metrics.Summary {
 	t.Helper()
 	hetero := a.New(Point{Cs: 5}).Heterogeneous()
 	sizeECC := a.ECC && seed%4 == 0
-	w := chaosWorkload(t, hetero, sizeECC, seed)
+	w := chaosWorkload(t, hetero, sizeECC, v, seed)
 
-	cfg := chaosConfig(a, seed)
+	cfg := chaosConfig(a, seed, v)
 	rec := trace.NewRecorder(320, 32)
 	cfg.Observer = rec
 	s, err := engine.New(cfg)
@@ -102,10 +119,12 @@ func chaosRun(t *testing.T, a Algorithm, seed int64) int {
 	elastic := a.ECC && len(w.Commands) > 0
 	rep := audit.Check(w, rec.Spans(), audit.Options{
 		M: 320, Unit: 32,
-		Elastic:     elastic,
-		SizeElastic: a.ECC && w.SizeCommandCount() > 0,
-		Faults:      s.FaultTrace(),
-		Retry:       cfg.Faults.Retry,
+		Elastic:        elastic,
+		SizeElastic:    a.ECC && w.SizeCommandCount() > 0,
+		Malleable:      v.malleable,
+		ResizeOverhead: v.overhead,
+		Faults:         s.FaultTrace(),
+		Retry:          cfg.Faults.Retry,
 	})
 	if err := rep.Error(); err != nil {
 		t.Errorf("seed %d: %v (all: %v)", seed, err, rep.Violations)
@@ -113,7 +132,7 @@ func chaosRun(t *testing.T, a Algorithm, seed int64) int {
 	if r.Summary.DownProcSeconds == 0 {
 		t.Errorf("seed %d: no downtime recorded; the fault trace never fired", seed)
 	}
-	return r.Summary.KilledJobs
+	return r.Summary
 }
 
 // TestChaos is the chaos harness property: every registry algorithm, run
@@ -130,7 +149,7 @@ func TestChaos(t *testing.T) {
 			a := MustByName(name)
 			killed := 0
 			for i := 0; i < seeds; i++ {
-				killed += chaosRun(t, a, int64(1000+i))
+				killed += chaosRun(t, a, int64(1000+i), chaosVariant{}).KilledJobs
 			}
 			if !testing.Short() && killed == 0 {
 				t.Errorf("no job killed across %d seeds; the chaos property is vacuous", seeds)
@@ -148,9 +167,61 @@ func TestChaosSmoke(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			a := MustByName(name)
 			for i := 0; i < 3; i++ {
-				chaosRun(t, a, int64(2000+i))
+				chaosRun(t, a, int64(2000+i), chaosVariant{})
 			}
 		})
+	}
+}
+
+// TestChaosMalleable is the malleability chaos property: -M variants under
+// seeded fault traces, on scatter and on contiguous machines, must produce
+// schedules the oracle certifies against the resize laws — bounds
+// respected, work conserved through every reshape, no resize of dedicated
+// or rigid jobs — and the runs must actually resize (non-vacuous).
+func TestChaosMalleable(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	variants := []struct {
+		name string
+		v    chaosVariant
+	}{
+		{"scatter", chaosVariant{malleable: true}},
+		{"contiguous", chaosVariant{malleable: true, contiguous: true, overhead: 5}},
+	}
+	for _, name := range []string{"EASY-M", "Delayed-LOS-M", "CONS-M", "Hybrid-LOS-E-M"} {
+		for _, vr := range variants {
+			vr := vr
+			a := MustByName(name)
+			t.Run(name+"/"+vr.name, func(t *testing.T) {
+				resizes, killed := 0, 0
+				for i := 0; i < seeds; i++ {
+					sum := chaosRun(t, a, int64(3000+i), vr.v)
+					resizes += sum.SchedulerResizes
+					killed += sum.KilledJobs
+				}
+				if !testing.Short() && resizes == 0 {
+					t.Errorf("no scheduler resize across %d seeds; the malleability property is vacuous", seeds)
+				}
+				_ = killed // kills may legitimately reach zero when every victim shrinks
+			})
+		}
+	}
+}
+
+// TestChaosMalleableSmoke is the CI-sized Contiguous×Faults×malleable
+// matrix cell: the configuration the engine rejected outright before true
+// malleability, now required to run violation-free under the full oracle.
+func TestChaosMalleableSmoke(t *testing.T) {
+	a := MustByName("EASY-M")
+	v := chaosVariant{malleable: true, contiguous: true, overhead: 3}
+	resizes := 0
+	for i := 0; i < 3; i++ {
+		resizes += chaosRun(t, a, int64(4000+i), v).SchedulerResizes
+	}
+	if resizes == 0 {
+		t.Error("no scheduler resize across the smoke seeds; the matrix cell is vacuous")
 	}
 }
 
@@ -159,16 +230,22 @@ func TestChaosSmoke(t *testing.T) {
 // snapshot through its JSON encoding into a fresh session, and requires the
 // restored run to finish with a Result deep-equal to the uninterrupted one.
 func TestChaosSnapshotRoundTrip(t *testing.T) {
-	for _, name := range Names() {
+	for _, name := range append(Names(), "EASY-M", "Delayed-LOS-M") {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			a := MustByName(name)
 			seed := int64(7)
+			variant := chaosVariant{}
+			if strings.HasSuffix(name, "-M") {
+				// The -M rows round-trip the malleable state: job bounds,
+				// rescaled requirements and the v3 config-match fields.
+				variant = chaosVariant{malleable: true, overhead: 3}
+			}
 			hetero := a.New(Point{Cs: 5}).Heterogeneous()
-			w := chaosWorkload(t, hetero, false, seed)
+			w := chaosWorkload(t, hetero, false, variant, seed)
 
 			run := func(until bool) (*engine.Session, *engine.Result) {
-				s, err := engine.New(chaosConfig(a, seed))
+				s, err := engine.New(chaosConfig(a, seed, variant))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -222,7 +299,7 @@ func TestChaosSnapshotRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			resumed, err := engine.New(chaosConfig(a, seed))
+			resumed, err := engine.New(chaosConfig(a, seed, variant))
 			if err != nil {
 				t.Fatal(err)
 			}

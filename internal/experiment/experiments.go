@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"elastisched/internal/fault"
 	"elastisched/internal/workload"
 )
 
@@ -541,13 +542,62 @@ func AdaptiveStudy() *Experiment {
 	}
 }
 
+// Robustness is the malleability study: mean waiting time and destroyed
+// work against the per-group failure rate, rigid against malleable. Both
+// panels replay identical workloads (every batch job carries full bounds;
+// PM only annotates, it never changes sizes or arrivals) and identical
+// per-seed fault traces, so each -M cell is a paired comparison with its
+// rigid twin. In the rigid panel every failure victim dies and restarts;
+// in the malleable panel victims shrink onto their surviving node groups
+// when the remainder covers their minimum, and the schedulers additionally
+// shrink runners to admit the queue head. Expected: malleability converts
+// lost work into ceded capacity and flattens the wait-time growth as MTBF
+// drops.
+func Robustness() *Experiment {
+	mtbfs := []float64{20000, 40000, 80000, 160000}
+	panel := func(id string, malleable bool, names ...string) *Sweep {
+		pts := make([]Point, 0, len(mtbfs))
+		for _, mtbf := range mtbfs {
+			p := batchParams(0.5, 0.9)
+			p.PM = 1.0
+			pt := Point{
+				X: mtbf, Params: p, Cs: CsFor(0.5),
+				MTBF: mtbf, MTTR: 2000,
+				Retry:     fault.RetryPolicy{Mode: fault.Requeue, Restart: fault.RemainingRuntime, Backoff: 30},
+				Malleable: malleable,
+			}
+			if malleable {
+				// Each reshape pays a data-redistribution penalty, so the
+				// malleable advantage is measured net of reconfiguration cost.
+				pt.ResizeOverhead = 60
+			}
+			pts = append(pts, pt)
+		}
+		return &Sweep{
+			ID: id, Title: id + " (Load=0.9, P_S=0.5, P_M=1)", XLabel: "MTBF",
+			Algorithms: algos(names...),
+			Points:     pts,
+			Seeds:      DefaultSeeds(),
+		}
+	}
+	return &Experiment{
+		ID:    "robustness",
+		Title: "Extension: rigid vs malleable scheduling under node-group failures (MTBF sweep)",
+		Notes: "Expected: -M variants lose less work (shrink instead of die) and wait grows more slowly as MTBF drops.",
+		Panels: []*Sweep{
+			panel("robust-rigid", false, "EASY", "Delayed-LOS"),
+			panel("robust-malleable", true, "EASY-M", "Delayed-LOS-M"),
+		},
+	}
+}
+
 // All returns every defined experiment, paper figures first.
 func All() []*Experiment {
 	return []*Experiment{
 		Fig1(), Fig5(), Fig6(), Fig7(), Fig8(), Fig9(), Fig10(), Fig11(),
 		Baselines(), Lookahead(), ECCSensitivity(), SizeElastic(),
 		Estimates(), LOSVariants(), HeteroBaselines(), Fragmentation(),
-		MachineScaling(), LongRun(), AdaptiveStudy(),
+		MachineScaling(), LongRun(), AdaptiveStudy(), Robustness(),
 	}
 }
 

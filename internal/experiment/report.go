@@ -181,6 +181,40 @@ func (r *Result) TSV() string {
 	return b.String()
 }
 
+// HasFaults reports whether any point of the sweep injects failures —
+// the signal for writing the fault-aware TSV layout instead of the
+// standard one (which stays byte-stable for the committed figure series).
+func (r *Result) HasFaults() bool {
+	for _, pt := range r.Sweep.Points {
+		if pt.MTBF > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultTSV renders the machine-readable series for fault-injected sweeps:
+// the headline metrics plus the robustness accounting — kills, retries,
+// drops, destroyed work, out-of-service capacity — and the malleability
+// counters (scheduler resizes, ceded proc-seconds, reconfiguration cost).
+func (r *Result) FaultTSV() string {
+	var b strings.Builder
+	b.WriteString("sweep\tx\talgorithm\tutil\twait\trun\tslowdown\tkilled\tretried\tdropped\t" +
+		"lost_work\tdown_procsec\tresizes\tshrunk_procsec\treconfig_sec\trealized_load\truns\n")
+	for pi, pt := range r.Sweep.Points {
+		for ai, a := range r.Sweep.Algorithms {
+			c := r.Cells[ai][pi]
+			s := c.Summary
+			fmt.Fprintf(&b, "%s\t%g\t%s\t%.6f\t%.3f\t%.3f\t%.5f\t%d\t%d\t%d\t%.1f\t%.1f\t%d\t%.1f\t%.1f\t%.4f\t%d\n",
+				r.Sweep.ID, pt.X, a.Name, s.Utilization, s.MeanWait, s.MeanRun, s.Slowdown,
+				s.KilledJobs, s.RetriedJobs, s.DroppedJobs, s.LostWorkSeconds, s.DownProcSeconds,
+				s.SchedulerResizes, s.ShrunkProcSeconds, s.ReconfigOverheadSeconds,
+				c.RealizedLoad, c.Runs)
+		}
+	}
+	return b.String()
+}
+
 // Plot renders the ASCII chart of a metric across all algorithms.
 func (r *Result) Plot(m Metric, width, height int) string {
 	title := fmt.Sprintf("%s — %s", r.Sweep.ID, r.Sweep.Title)

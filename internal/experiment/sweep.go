@@ -41,6 +41,15 @@ type Point struct {
 	MTTR float64
 	// Retry is the policy applied to failure victims when faults are on.
 	Retry fault.RetryPolicy
+	// Malleable turns on scheduler-initiated resizing at this point: the
+	// engine rescales remaining work through every resize and fault victims
+	// with malleable bounds shrink onto their surviving groups instead of
+	// dying. Pair it with Params.PM > 0 (so the workload carries bounds)
+	// and an -M algorithm variant (so the scheduler proposes resizes).
+	Malleable bool
+	// ResizeOverhead is the per-resize reconfiguration penalty in sim
+	// seconds, charged to the resized job (Malleable only).
+	ResizeOverhead int64
 	// Clusters, when above 1, evaluates this point on the sharded
 	// dispatcher (dispatch.Run): the workload is split over Clusters
 	// per-cluster machines of Params.M processors and the merged global
@@ -224,13 +233,15 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 			}
 			a := s.Algorithms[t.ai]
 			cfg := engine.Config{
-				M:            params.M,
-				Unit:         params.Unit,
-				ProcessECC:   a.ECC,
-				MaxECCPerJob: params.MaxECCPerJob,
-				Contiguous:   pt.Contiguous,
-				Migrate:      pt.Migrate,
-				Prevalidated: true,
+				M:              params.M,
+				Unit:           params.Unit,
+				ProcessECC:     a.ECC,
+				MaxECCPerJob:   params.MaxECCPerJob,
+				Contiguous:     pt.Contiguous,
+				Migrate:        pt.Migrate,
+				Malleable:      pt.Malleable,
+				ResizeOverhead: pt.ResizeOverhead,
+				Prevalidated:   true,
 			}
 			if pt.MTBF > 0 {
 				cfg.Faults = &engine.FaultConfig{

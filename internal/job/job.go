@@ -100,6 +100,15 @@ type Job struct {
 	// node-group failure and requeued.
 	Retries int
 
+	// MinProcs and MaxProcs are the job's malleable processor bounds: the
+	// scheduler (and the fault path) may resize a running malleable job to
+	// any quantized allocation within [MinProcs, MaxProcs]. Both zero means
+	// the job is rigid — the default, preserving prior behaviour: only
+	// client EP/RP commands ever touch its size, and scheduler-initiated
+	// resizing never considers it.
+	MinProcs int
+	MaxProcs int
+
 	State     State
 	StartTime int64 // actual dispatch time; meaningful once Running
 	EndTime   int64 // kill-by time StartTime+Dur; meaningful once Running
@@ -124,6 +133,24 @@ func (j *Job) EffectiveRuntime() int64 {
 		return j.Actual
 	}
 	return j.Dur
+}
+
+// Malleable reports whether the job carries processor bounds that allow
+// scheduler-initiated resizing.
+func (j *Job) Malleable() bool { return j.MaxProcs > 0 }
+
+// RescaleRemaining converts a remaining duration under oldSize processors
+// into the equivalent duration under newSize processors, conserving the
+// remaining work in processor-seconds: rem*oldSize proc-seconds spread over
+// newSize processors, rounded up to whole seconds (so the rescaled job
+// never finishes with work outstanding). Non-positive remainders pass
+// through unchanged — there is no work left to conserve.
+func RescaleRemaining(rem int64, oldSize, newSize int) int64 {
+	if rem <= 0 || oldSize == newSize {
+		return rem
+	}
+	work := rem * int64(oldSize)
+	return (work + int64(newSize) - 1) / int64(newSize)
 }
 
 // Overran reports whether the job hit its kill-by time before finishing its
@@ -174,6 +201,19 @@ func (j *Job) Validate(m int) error {
 	}
 	if j.Actual < 0 {
 		return fmt.Errorf("job %d: negative actual runtime %d", j.ID, j.Actual)
+	}
+	if j.MaxProcs > 0 {
+		if j.Class == Dedicated {
+			return fmt.Errorf("job %d: dedicated jobs cannot carry malleable bounds", j.ID)
+		}
+		if j.MinProcs < 1 || j.MinProcs > j.Size {
+			return fmt.Errorf("job %d: min procs %d outside [1, size %d]", j.ID, j.MinProcs, j.Size)
+		}
+		if j.MaxProcs < j.Size || j.MaxProcs > m {
+			return fmt.Errorf("job %d: max procs %d outside [size %d, machine %d]", j.ID, j.MaxProcs, j.Size, m)
+		}
+	} else if j.MinProcs != 0 {
+		return fmt.Errorf("job %d: min procs %d without max procs", j.ID, j.MinProcs)
 	}
 	return nil
 }

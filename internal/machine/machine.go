@@ -635,6 +635,88 @@ func (m *Machine) Resize(jobID, newSize int) error {
 	}
 }
 
+// AllUp reports whether every node group jobID holds is healthy. Jobs with
+// no allocation are vacuously healthy.
+func (m *Machine) AllUp(jobID int) bool {
+	for _, g := range m.ownerOf(jobID) {
+		if m.health[g] != Up {
+			return false
+		}
+	}
+	return true
+}
+
+// ShrinkDraining shrinks jobID's allocation down to its healthy groups:
+// every Draining group the job holds goes Down (as a kill would move it),
+// and the job keeps running on what remains. It is the malleable
+// alternative to killing a failure victim. On contiguous machines space
+// continuity must survive, so the job keeps only the longest contiguous
+// run of Up groups in its allocation; healthy groups outside that run are
+// returned to the free pool.
+//
+// The shrink is refused — with no mutation — when the kept allocation
+// would fall below minProcs (the job's quantized minimum). It returns the
+// job's new allocation size in processors.
+func (m *Machine) ShrinkDraining(jobID, minProcs int) (int, error) {
+	idx := m.ownerOf(jobID)
+	if idx == nil {
+		return 0, fmt.Errorf("machine: shrink of job %d which holds no allocation", jobID)
+	}
+	if m.contiguous {
+		// Longest contiguous sub-run of Up groups. The index slice is kept
+		// in ascending consecutive order by Alloc/Resize/Compact.
+		bestAt, bestLen, at, run := 0, 0, 0, 0
+		for i, g := range idx {
+			if m.health[g] == Up {
+				if run == 0 {
+					at = i
+				}
+				run++
+				if run > bestLen {
+					bestAt, bestLen = at, run
+				}
+			} else {
+				run = 0
+			}
+		}
+		if bestLen*m.unit < minProcs {
+			return 0, fmt.Errorf("machine: job %d has %d healthy contiguous procs, needs %d", jobID, bestLen*m.unit, minProcs)
+		}
+		for i, g := range idx {
+			if i >= bestAt && i < bestAt+bestLen {
+				continue
+			}
+			m.freeGroup(g) // Draining -> Down; healthy -> free pool
+		}
+		copy(idx, idx[bestAt:bestAt+bestLen])
+		m.owner[jobID] = idx[:bestLen]
+		return bestLen * m.unit, nil
+	}
+	kept := 0
+	for _, g := range idx {
+		if m.health[g] == Up {
+			kept++
+		}
+	}
+	if kept*m.unit < minProcs {
+		return 0, fmt.Errorf("machine: job %d has %d healthy procs, needs %d", jobID, kept*m.unit, minProcs)
+	}
+	if kept == len(idx) {
+		return kept * m.unit, nil
+	}
+	w := 0
+	for _, g := range idx {
+		if m.health[g] == Up {
+			idx[w] = g
+			w++
+		} else {
+			m.freeGroup(g) // Draining -> Down, capacity already counted down
+		}
+	}
+	m.owner[jobID] = idx[:w]
+	return w * m.unit, nil
+}
+
 // FailGroups takes the named node groups out of service. Free groups go
 // Down immediately (leaving the free pool); groups held by a running job
 // go Draining, and the job — returned in victims, deduplicated — must be

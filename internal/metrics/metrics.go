@@ -59,6 +59,13 @@ type Collector struct {
 	downProcs int
 	downArea  float64
 
+	// Malleability accounting: system-initiated resizes applied, the
+	// processor-seconds of planned capacity ceded by shrinks, and the total
+	// reconfiguration overhead charged to resized jobs.
+	schedResizes   int
+	shrunkProcSecs float64
+	reconfigSecs   float64
+
 	// busySteps records the busy-count step function (one entry per change)
 	// so steady-state windows can be evaluated after the fact.
 	busySteps []busyStep
@@ -224,6 +231,18 @@ func (c *Collector) SizeChanged(delta int, t int64) {
 	c.noteBusy(t)
 }
 
+// SchedulerResized counts one applied system-initiated resize (a scheduler
+// proposal or a fault-path shrink).
+func (c *Collector) SchedulerResized() { c.schedResizes++ }
+
+// ProcsShrunk adds the processor-seconds of planned capacity a shrink ceded
+// (the size reduction times the remaining estimated runtime at the shrink).
+func (c *Collector) ProcsShrunk(procSeconds float64) { c.shrunkProcSecs += procSeconds }
+
+// ResizeOverheadApplied adds the reconfiguration cost charged to one
+// work-conserving resize.
+func (c *Collector) ResizeOverheadApplied(seconds int64) { c.reconfigSecs += float64(seconds) }
+
 // BusyStep is one exported entry of the busy-count step function.
 type BusyStep struct {
 	T    int64 `json:"t"`
@@ -346,6 +365,10 @@ type Snapshot struct {
 	DownArea    float64    `json:"down_area,omitempty"`
 	BusySteps   []BusyStep `json:"busy_steps,omitempty"`
 	PerJob      []JobPoint `json:"per_job,omitempty"`
+
+	SchedResizes   int     `json:"sched_resizes,omitempty"`
+	ShrunkProcSecs float64 `json:"shrunk_proc_secs,omitempty"`
+	ReconfigSecs   float64 `json:"reconfig_secs,omitempty"`
 }
 
 // Snapshot captures the collector state for NewCollectorFromSnapshot.
@@ -361,6 +384,8 @@ func (c *Collector) Snapshot() Snapshot {
 		Queued: c.queued, MaxQueued: c.maxQueued,
 		Killed: c.killed, Retried: c.retried, Dropped: c.dropped,
 		LostWork: c.lostWork, DownProcs: c.downProcs, DownArea: c.downArea,
+		SchedResizes: c.schedResizes, ShrunkProcSecs: c.shrunkProcSecs,
+		ReconfigSecs: c.reconfigSecs,
 	}
 	for _, b := range c.busySteps {
 		s.BusySteps = append(s.BusySteps, BusyStep{T: b.t, Busy: b.busy})
@@ -384,6 +409,8 @@ func NewCollectorFromSnapshot(s Snapshot) *Collector {
 		queued: s.Queued, maxQueued: s.MaxQueued,
 		killed: s.Killed, retried: s.Retried, dropped: s.Dropped,
 		lostWork: s.LostWork, downProcs: s.DownProcs, downArea: s.DownArea,
+		schedResizes: s.SchedResizes, shrunkProcSecs: s.ShrunkProcSecs,
+		reconfigSecs: s.ReconfigSecs,
 	}
 	for _, b := range s.BusySteps {
 		c.busySteps = append(c.busySteps, busyStep{t: b.T, busy: b.Busy})
@@ -447,6 +474,16 @@ type Summary struct {
 	DroppedJobs     int
 	LostWorkSeconds float64
 	DownProcSeconds float64
+
+	// Malleability accounting (all zero when Malleable mode is off).
+	// SchedulerResizes counts applied system-initiated resizes (scheduler
+	// proposals and fault-path shrinks); ShrunkProcSeconds is the planned
+	// capacity ceded by shrinks (size reduction × remaining estimate);
+	// ReconfigOverheadSeconds totals the per-resize reconfiguration cost
+	// charged to resized jobs.
+	SchedulerResizes        int
+	ShrunkProcSeconds       float64
+	ReconfigOverheadSeconds float64
 }
 
 // Summary finalizes the run. It must be called after the last completion.
@@ -464,6 +501,10 @@ func (c *Collector) Summary() Summary {
 		RetriedJobs:     c.retried,
 		DroppedJobs:     c.dropped,
 		LostWorkSeconds: c.lostWork,
+
+		SchedulerResizes:        c.schedResizes,
+		ShrunkProcSeconds:       c.shrunkProcSecs,
+		ReconfigOverheadSeconds: c.reconfigSecs,
 	}
 	c.integrate(c.tEnd)
 	s.DownProcSeconds = c.downArea
@@ -653,5 +694,7 @@ func Average(sums []Summary) Summary {
 	acc(func(s *Summary) *float64 { return &s.SteadyMeanWait })
 	acc(func(s *Summary) *float64 { return &s.LostWorkSeconds })
 	acc(func(s *Summary) *float64 { return &s.DownProcSeconds })
+	acc(func(s *Summary) *float64 { return &s.ShrunkProcSeconds })
+	acc(func(s *Summary) *float64 { return &s.ReconfigOverheadSeconds })
 	return out
 }

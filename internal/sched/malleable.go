@@ -1,0 +1,328 @@
+package sched
+
+import (
+	"errors"
+
+	"elastisched/internal/job"
+)
+
+// Resize is a scheduler-initiated resize proposal: grow or shrink the
+// running malleable job to NewSize processors. The engine validates the
+// proposal against the job's bounds and the machine before applying it;
+// an unapplicable proposal (contiguous fragmentation) is dropped without
+// effect.
+type Resize struct {
+	Job     *job.Job
+	NewSize int
+}
+
+// Malleable is the optional runtime-elasticity extension of Scheduler.
+// After each Schedule call of the fixed-point loop the engine asks a
+// malleable policy for resize proposals and applies them through the same
+// pipeline that serves client EP/RP commands (work-conserving rescale,
+// delta fan-out). The contract mirrors Schedule's idempotence rule:
+// at a fixed point — nothing started, no proposal applied — a repeated
+// call must return no proposals, or the engine's cycle loop will not
+// terminate.
+//
+// Policies only see proposals for jobs with malleable bounds
+// (job.Malleable()); the engine rejects proposals outside the job's
+// quantized [MinProcs, MaxProcs] window, for dedicated jobs, and for
+// jobs holding failed or draining node groups.
+type Malleable interface {
+	Scheduler
+	ProposeResizes(ctx *Context) []Resize
+}
+
+// AutoResize is a decorator that adds a generic malleability policy to any
+// Scheduler, so every registry algorithm gets a "-M" variant comparable
+// head-to-head with its rigid base. The policy is deliberately simple and
+// work-conserving:
+//
+//   - Shrink to admit: when the head of the batch queue cannot start for
+//     lack of free processors, shrink running malleable batch jobs —
+//     largest shrinkable reserve first, ties by job ID — but only if the
+//     total shrinkable capacity actually covers the head's deficit
+//     (shrinking without admitting anyone would only stretch runtimes).
+//   - Expand when idle: when both waiting queues are empty and processors
+//     sit free, grow running malleable jobs back toward MaxProcs in job-ID
+//     order, so capacity freed by completions is reabsorbed instead of
+//     idling.
+//
+// Both rules propose nothing when their trigger is absent, which makes the
+// decorator fixed-point safe: after a successful shrink the head fits (the
+// deficit is gone), and after an expansion round every malleable job is at
+// its feasible maximum.
+//
+// Scheduling itself is delegated to the wrapped policy unchanged. The
+// decorator forwards the Stateful delta feed and the Snapshotter state
+// contract to the inner policy when it implements them, so CONS-M keeps
+// CONS's incremental profile and restore behaviour.
+type AutoResize struct {
+	Inner Scheduler
+
+	// scratch for candidate collection, retained across cycles.
+	cand []*job.Job
+}
+
+// NewAutoResize wraps inner with the generic malleability policy.
+func NewAutoResize(inner Scheduler) *AutoResize {
+	return &AutoResize{Inner: inner}
+}
+
+// Name implements Scheduler: the wrapped policy's name with a "-M" suffix.
+func (a *AutoResize) Name() string { return a.Inner.Name() + "-M" }
+
+// Heterogeneous implements Scheduler by delegation.
+func (a *AutoResize) Heterogeneous() bool { return a.Inner.Heterogeneous() }
+
+// Schedule implements Scheduler by delegation.
+func (a *AutoResize) Schedule(ctx *Context) { a.Inner.Schedule(ctx) }
+
+// healthy reports whether every node group the job holds is Up — jobs
+// touched by an ongoing outage are the fault path's business, not the
+// scheduler's.
+func healthy(ctx *Context, j *job.Job) bool {
+	return ctx.Machine.AllUp(j.ID)
+}
+
+// quantMin returns the job's minimum allocation rounded up to a whole
+// number of node groups (never below one group).
+func quantMin(j *job.Job, unit int) int {
+	min := ((j.MinProcs + unit - 1) / unit) * unit
+	if min < unit {
+		min = unit
+	}
+	return min
+}
+
+// quantMax returns the job's maximum allocation rounded down to a whole
+// number of node groups, floored at the job's current size (bounds are
+// validated at load time, so this only guards degenerate hand-built jobs).
+func quantMax(j *job.Job, unit int) int {
+	max := (j.MaxProcs / unit) * unit
+	if max < j.Size {
+		max = j.Size
+	}
+	return max
+}
+
+// ProposeResizes implements Malleable with the shrink-to-admit /
+// expand-when-idle policy described on AutoResize.
+func (a *AutoResize) ProposeResizes(ctx *Context) []Resize {
+	if head := ctx.Batch.Head(); head != nil {
+		return a.shrinkToAdmit(ctx, head)
+	}
+	if ctx.Dedicated.Len() == 0 {
+		return a.expandIdle(ctx)
+	}
+	return nil
+}
+
+// shrinkToAdmit proposes shrinks that free exactly enough capacity for the
+// blocked batch head, or nothing if the reachable reserve cannot cover it.
+func (a *AutoResize) shrinkToAdmit(ctx *Context, head *job.Job) []Resize {
+	unit := ctx.Machine.Unit()
+	deficit := head.Size - ctx.Free()
+	if deficit <= 0 || head.Size > ctx.M() {
+		// The head fits already (contiguous fragmentation is the machine's
+		// problem, not a capacity one), or it outsizes the in-service
+		// machine — shrinking others cannot help either way.
+		return nil
+	}
+
+	cand := a.cand[:0]
+	reserve := 0
+	for _, j := range ctx.Active.Jobs() {
+		if j.Class != job.Batch || !j.Malleable() {
+			continue
+		}
+		if r := j.Size - quantMin(j, unit); r > 0 && healthy(ctx, j) {
+			cand = append(cand, j)
+			reserve += r
+		}
+	}
+	a.cand = cand
+	if reserve < deficit {
+		return nil
+	}
+
+	// Largest shrinkable reserve first, ties by job ID: fewest victims.
+	sortByReserve(cand, unit)
+
+	var out []Resize
+	for _, j := range cand {
+		if deficit <= 0 {
+			break
+		}
+		take := j.Size - quantMin(j, unit)
+		if take > deficit {
+			// Only give up what the head still needs, in whole groups.
+			take = ((deficit + unit - 1) / unit) * unit
+		}
+		out = append(out, Resize{Job: j, NewSize: j.Size - take})
+		deficit -= take
+	}
+	return out
+}
+
+// expandIdle proposes grows that spread the machine's free capacity over
+// running malleable jobs, in job-ID order, each capped at its MaxProcs.
+func (a *AutoResize) expandIdle(ctx *Context) []Resize {
+	free := ctx.Free()
+	if free <= 0 {
+		return nil
+	}
+	unit := ctx.Machine.Unit()
+
+	cand := a.cand[:0]
+	for _, j := range ctx.Active.Jobs() {
+		if j.Class != job.Batch || !j.Malleable() {
+			continue
+		}
+		if j.Size < quantMax(j, unit) && healthy(ctx, j) {
+			cand = append(cand, j)
+		}
+	}
+	a.cand = cand
+	if len(cand) == 0 {
+		return nil
+	}
+	sortByID(cand)
+
+	var out []Resize
+	for _, j := range cand {
+		if free < unit {
+			break
+		}
+		grow := quantMax(j, unit) - j.Size
+		if grow > free {
+			grow = (free / unit) * unit
+		}
+		if grow <= 0 {
+			continue
+		}
+		out = append(out, Resize{Job: j, NewSize: j.Size + grow})
+		free -= grow
+	}
+	return out
+}
+
+// sortByReserve orders jobs by shrinkable reserve descending, ties by ID
+// ascending. Insertion sort: candidate sets are a handful of jobs.
+func sortByReserve(jobs []*job.Job, unit int) {
+	for i := 1; i < len(jobs); i++ {
+		j := jobs[i]
+		rj := j.Size - quantMin(j, unit)
+		k := i - 1
+		for k >= 0 {
+			rk := jobs[k].Size - quantMin(jobs[k], unit)
+			if rk > rj || (rk == rj && jobs[k].ID < j.ID) {
+				break
+			}
+			jobs[k+1] = jobs[k]
+			k--
+		}
+		jobs[k+1] = j
+	}
+}
+
+// sortByID orders jobs by ID ascending.
+func sortByID(jobs []*job.Job) {
+	for i := 1; i < len(jobs); i++ {
+		j := jobs[i]
+		k := i - 1
+		for k >= 0 && jobs[k].ID > j.ID {
+			jobs[k+1] = jobs[k]
+			k--
+		}
+		jobs[k+1] = j
+	}
+}
+
+// ResetDeltas implements Stateful by forwarding to the inner policy when
+// it participates in the delta contract.
+func (a *AutoResize) ResetDeltas() {
+	if s, ok := a.Inner.(Stateful); ok {
+		s.ResetDeltas()
+	}
+}
+
+// JobArrived implements Stateful by forwarding.
+func (a *AutoResize) JobArrived(j *job.Job, now int64) {
+	if s, ok := a.Inner.(Stateful); ok {
+		s.JobArrived(j, now)
+	}
+}
+
+// JobStarted implements Stateful by forwarding.
+func (a *AutoResize) JobStarted(j *job.Job, now int64) {
+	if s, ok := a.Inner.(Stateful); ok {
+		s.JobStarted(j, now)
+	}
+}
+
+// JobFinished implements Stateful by forwarding.
+func (a *AutoResize) JobFinished(j *job.Job, now int64) {
+	if s, ok := a.Inner.(Stateful); ok {
+		s.JobFinished(j, now)
+	}
+}
+
+// JobRetimed implements Stateful by forwarding.
+func (a *AutoResize) JobRetimed(j *job.Job, oldEnd, now int64) {
+	if s, ok := a.Inner.(Stateful); ok {
+		s.JobRetimed(j, oldEnd, now)
+	}
+}
+
+// JobResized implements Stateful by forwarding.
+func (a *AutoResize) JobResized(j *job.Job, oldSize int, now int64) {
+	if s, ok := a.Inner.(Stateful); ok {
+		s.JobResized(j, oldSize, now)
+	}
+}
+
+// QueueChanged implements Stateful by forwarding.
+func (a *AutoResize) QueueChanged() {
+	if s, ok := a.Inner.(Stateful); ok {
+		s.QueueChanged()
+	}
+}
+
+// JobKilled implements Stateful by forwarding.
+func (a *AutoResize) JobKilled(j *job.Job, now int64) {
+	if s, ok := a.Inner.(Stateful); ok {
+		s.JobKilled(j, now)
+	}
+}
+
+// CapacityChanged implements Stateful by forwarding.
+func (a *AutoResize) CapacityChanged(now int64) {
+	if s, ok := a.Inner.(Stateful); ok {
+		s.CapacityChanged(now)
+	}
+}
+
+// SnapshotState implements Snapshotter by forwarding; a stateless inner
+// policy round-trips as nil state, matching the engine's handling of
+// non-Snapshotter schedulers.
+func (a *AutoResize) SnapshotState() ([]byte, error) {
+	if s, ok := a.Inner.(Snapshotter); ok {
+		return s.SnapshotState()
+	}
+	return nil, nil
+}
+
+// RestoreState implements Snapshotter by forwarding.
+func (a *AutoResize) RestoreState(b []byte) error {
+	if s, ok := a.Inner.(Snapshotter); ok {
+		return s.RestoreState(b)
+	}
+	if len(b) != 0 {
+		return errNoInnerState
+	}
+	return nil
+}
+
+var errNoInnerState = errors.New("sched: restore state for a stateless wrapped policy")

@@ -12,10 +12,15 @@ import (
 	"elastisched/internal/job"
 )
 
-// Resize is one EP/RP size change of a running job.
+// Resize is one size change of a running job: a client EP/RP command, a
+// scheduler proposal, or a fault-path shrink.
 type Resize struct {
 	Time    int64
+	From    int // size before the resize
 	NewSize int
+	// Auto marks a system-initiated resize (scheduler proposal or
+	// fault-path shrink) as opposed to a client EP/RP command.
+	Auto bool
 }
 
 // Span is the recorded life of one dispatched job.
@@ -33,6 +38,16 @@ type Span struct {
 	// completion; a retried job contributes one killed span per attempt
 	// plus (at most) one final non-killed span.
 	Killed bool
+	// MinProcs and MaxProcs are the job's malleable processor bounds (both
+	// zero for rigid jobs), recorded so the audit oracle can hold resizes
+	// to them.
+	MinProcs int
+	MaxProcs int
+	// Planned is the job's effective runtime at dispatch. The audit oracle
+	// replays the span's resizes forward from it to verify work-conserving
+	// rescaling; the post-run job object no longer holds the dispatch-time
+	// requirement.
+	Planned int64
 }
 
 // Wait returns the span's waiting time under the paper's definition.
@@ -67,6 +82,8 @@ func (r *Recorder) JobStarted(j *job.Job, now int64, groups []int) {
 		JobID: j.ID, Class: j.Class, Size: j.Size,
 		Arrival: j.Arrival, ReqStart: j.ReqStart,
 		Start: now, Groups: groups,
+		MinProcs: j.MinProcs, MaxProcs: j.MaxProcs,
+		Planned: j.EffectiveRuntime(),
 	}
 }
 
@@ -96,9 +113,9 @@ func (r *Recorder) JobKilled(j *job.Job, now int64) {
 }
 
 // JobResized implements engine.Observer.
-func (r *Recorder) JobResized(j *job.Job, now int64, newSize int) {
+func (r *Recorder) JobResized(j *job.Job, now int64, oldSize, newSize int, auto bool) {
 	if sp, ok := r.open[j.ID]; ok {
-		sp.Resizes = append(sp.Resizes, Resize{Time: now, NewSize: newSize})
+		sp.Resizes = append(sp.Resizes, Resize{Time: now, From: oldSize, NewSize: newSize, Auto: auto})
 	}
 }
 

@@ -67,10 +67,10 @@ func TestResizeRecorded(t *testing.T) {
 	r := NewRecorder(320, 32)
 	j := &job.Job{ID: 1, Size: 64, Class: job.Batch, ReqStart: -1}
 	r.JobStarted(j, 0, []int{0, 1})
-	r.JobResized(j, 50, 128)
+	r.JobResized(j, 50, 64, 128, false)
 	r.JobFinished(j, 100)
 	spans := r.Spans()
-	if len(spans[0].Resizes) != 1 || spans[0].Resizes[0] != (Resize{50, 128}) {
+	if len(spans[0].Resizes) != 1 || spans[0].Resizes[0] != (Resize{Time: 50, From: 64, NewSize: 128}) {
 		t.Errorf("resize not recorded: %+v", spans[0].Resizes)
 	}
 }

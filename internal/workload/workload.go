@@ -131,6 +131,14 @@ type Params struct {
 	// of ET/RT — the paper's future-work resource-dimension elasticity.
 	// Amounts are in processors (mean ECCAmountFrac * size).
 	SizeECC bool
+
+	// PM is the probability a batch job is malleable: it gets processor
+	// bounds MinProcs = Unit and MaxProcs = its submitted size, so the
+	// scheduler may shrink it at runtime and later restore it (no growth
+	// beyond submission). Flags are drawn in a post-pass with a separate
+	// random stream seeded from Seed, so PM = 0 (the default) leaves the
+	// generated workload byte-identical to the pre-malleability generator.
+	PM float64
 }
 
 // DefaultParams returns the paper's experimental configuration: BlueGene/P
@@ -197,7 +205,7 @@ func (p Params) Validate() error {
 	if p.M <= 0 || p.Unit <= 0 || p.M%p.Unit != 0 {
 		return fmt.Errorf("workload: bad machine geometry M=%d unit=%d", p.M, p.Unit)
 	}
-	for name, v := range map[string]float64{"PS": p.PS, "PD": p.PD, "PE": p.PE, "PR": p.PR} {
+	for name, v := range map[string]float64{"PS": p.PS, "PD": p.PD, "PE": p.PE, "PR": p.PR, "PM": p.PM} {
 		if v < 0 || v > 1 {
 			return fmt.Errorf("workload: probability %s=%g outside [0,1]", name, v)
 		}
@@ -338,6 +346,31 @@ func Generate(p Params) (*cwf.Workload, error) {
 		}
 		issue := j.Arrival + int64(r.Float64()*float64(j.Dur))
 		w.Commands = append(w.Commands, cwf.Command{JobID: j.ID, Issue: issue, Type: typ, Amount: amt})
+	}
+	if p.PM > 0 {
+		// Malleability post-pass on its own random stream: the main
+		// generation stream above consumes exactly the same draws whether or
+		// not PM is set, so PM = 0 workloads stay byte-identical. Jobs that
+		// already carry EP/RP commands keep their profile-defined sizes —
+		// bounds capped at the submitted size would contradict a pending
+		// extension, so such jobs stay rigid (the draw is still consumed to
+		// keep flag assignment stable across SizeECC settings).
+		sized := make(map[int]bool)
+		for _, c := range w.Commands {
+			if c.Type == cwf.ExtendProc || c.Type == cwf.ReduceProc {
+				sized[c.JobID] = true
+			}
+		}
+		mr := rand.New(rand.NewSource(p.Seed ^ 0x6d616c6c)) // "mall"
+		for _, j := range w.Jobs {
+			if j.Class != job.Batch || j.Size <= p.Unit {
+				continue
+			}
+			if mr.Float64() < p.PM && !sized[j.ID] {
+				j.MinProcs = p.Unit
+				j.MaxProcs = j.Size
+			}
+		}
 	}
 	w.Sort()
 	if err := w.Validate(p.M); err != nil {
