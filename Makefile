@@ -51,12 +51,15 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzMalleableOps -fuzztime=10s ./internal/engine
 
 # Scale-out smoke: the sharded-dispatch determinism bar (every routing
-# policy x 1/2/4/8 workers), the routing/exact-merge suite, one iteration
-# of the skewed routing benchmark, and the indexed machine at M=32k, under
-# the race detector (mirrors CI's scale-smoke).
+# policy x 1/2/4/8 workers), the routing/exact-merge suite, the epoch
+# protocol's stealing-determinism and property suite, one iteration each of
+# the skewed routing and stealing benchmarks, and the indexed machine at
+# M=32k, under the race detector (mirrors CI's scale-smoke).
 scale-smoke:
 	$(GO) test -race -run 'TestSharded|TestRout|TestRoute|TestLeastWork|TestBestFit|TestMerged|TestSingleCluster' -count=1 ./internal/dispatch
+	$(GO) test -race -run 'TestEpoch|TestSteal|TestAffinity|TestCommandsFollow' -count=1 ./internal/dispatch
 	$(GO) test -run=NONE -bench='BenchmarkShardedSkewE2E/route=.*/clusters=8' -benchtime=1x ./internal/dispatch
+	$(GO) test -run=NONE -bench='BenchmarkShardedStealE2E' -benchtime=1x ./internal/dispatch
 	$(GO) test -race -run=NONE -bench='BenchmarkMachineScale/indexed/M=32k' -benchtime=1x ./internal/machine
 
 # Chaos harness: every registry algorithm under seeded node-group fault

@@ -22,12 +22,14 @@
 // their benchmarks to the gate without un-gating the ones recorded earlier.
 //
 // Besides the absolute per-benchmark gates, a built-in ratio-gate table
-// pins relative wall-clock claims between pairs of benchmarks of the SAME
-// fresh run — machine speed cancels out of the ratio, so these gates hold
-// on any hardware. The committed pair is the routing-policy claim: on the
-// skewed sharded workload, round-robin must stay slower than least-work at
-// 8 clusters (see BenchmarkShardedSkewE2E). A ratio gate is skipped when
-// -bench/-pkgs filter out either side.
+// pins relative claims between pairs of benchmarks of the SAME fresh run —
+// machine speed cancels out of the ratio, so these gates hold on any
+// hardware. Gates over ns/op pin wall-clock claims (round-robin must stay
+// slower than least-work at 8 clusters, BenchmarkShardedSkewE2E); gates
+// over a ReportMetric column pin simulation-quality claims (the epoch
+// protocol's stealing cells must keep beating the static splits on mean
+// wait and makespan, BenchmarkShardedStealE2E). A ratio gate is skipped
+// when -bench/-pkgs filter out either side.
 package main
 
 import (
@@ -50,13 +52,17 @@ type snapshot struct {
 	Benchmarks []benchparse.Bench `json:"benchmarks"`
 }
 
-// ratioGates pin relative wall-clock claims between two benchmarks of the
-// same fresh run: slower/faster must stay at or above min. Both sides come
-// from the current run (never the recording), so machine speed cancels.
-// The min is set below the recorded ratio to absorb run-to-run noise while
-// still failing if the claimed advantage disappears.
+// ratioGates pin relative claims between two benchmarks of the same fresh
+// run: slower/faster must stay at or above min. Both sides come from the
+// current run (never the recording), so machine speed cancels. With metric
+// empty the ratio is over ns/op — machine-sensitive, so the min sits below
+// the recorded ratio to absorb run-to-run noise. With metric set the ratio
+// is over that b.ReportMetric column; the simulation metrics (mean wait,
+// makespan) are deterministic for the committed workloads, so those gates
+// can sit right at the claimed boundary.
 var ratioGates = []struct {
 	slower, faster string
+	metric         string
 	min            float64
 	claim          string
 }{
@@ -65,6 +71,41 @@ var ratioGates = []struct {
 		faster: "elastisched/internal/dispatch.BenchmarkShardedSkewE2E/route=least-work/clusters=8",
 		min:    1.3,
 		claim:  "least-work beats round-robin on the skewed workload at 8 clusters",
+	},
+	{
+		slower: "elastisched/internal/dispatch.BenchmarkShardedStealE2E/route=roundrobin/steal=false",
+		faster: "elastisched/internal/dispatch.BenchmarkShardedStealE2E/route=roundrobin/steal=true",
+		metric: "meanwait",
+		min:    20,
+		claim:  "barrier stealing repairs round-robin's giant collisions (mean wait)",
+	},
+	{
+		slower: "elastisched/internal/dispatch.BenchmarkShardedStealE2E/route=least-work/steal=false",
+		faster: "elastisched/internal/dispatch.BenchmarkShardedStealE2E/route=roundrobin/steal=true",
+		metric: "meanwait",
+		min:    1.1,
+		claim:  "round-robin with stealing beats static least-work (mean wait)",
+	},
+	{
+		slower: "elastisched/internal/dispatch.BenchmarkShardedStealE2E/route=least-work/steal=false",
+		faster: "elastisched/internal/dispatch.BenchmarkShardedStealE2E/route=least-work/steal=true",
+		metric: "meanwait",
+		min:    1.4,
+		claim:  "stealing improves least-work's own split (mean wait)",
+	},
+	{
+		slower: "elastisched/internal/dispatch.BenchmarkShardedStealE2E/route=least-work/steal=false",
+		faster: "elastisched/internal/dispatch.BenchmarkShardedStealE2E/route=feedback/steal=true",
+		metric: "meanwait",
+		min:    1.4,
+		claim:  "feedback routing with stealing beats static least-work (mean wait)",
+	},
+	{
+		slower: "elastisched/internal/dispatch.BenchmarkShardedStealE2E/route=least-work/steal=false",
+		faster: "elastisched/internal/dispatch.BenchmarkShardedStealE2E/route=least-work/steal=true",
+		metric: "makespan",
+		min:    1.0,
+		claim:  "stealing never stretches least-work's makespan",
 	},
 }
 
@@ -170,11 +211,18 @@ func main() {
 	for _, g := range ratioGates {
 		slow, okS := best[g.slower]
 		fast, okF := best[g.faster]
-		if !okS || !okF || fast.NsPerOp <= 0 {
+		if !okS || !okF {
+			continue
+		}
+		num, den := slow.NsPerOp, fast.NsPerOp
+		if g.metric != "" {
+			num, den = slow.Metrics[g.metric], fast.Metrics[g.metric]
+		}
+		if den <= 0 {
 			continue
 		}
 		compared++
-		if ratio := slow.NsPerOp / fast.NsPerOp; ratio < g.min {
+		if ratio := num / den; ratio < g.min {
 			failed++
 			fmt.Printf("benchgate: FAIL ratio %s: %.2fx < %.2fx (%s)\n",
 				g.slower, ratio, g.min, g.claim)

@@ -27,6 +27,16 @@
 // -checkpoint, -resume) need a single cluster:
 //
 //	cwfgen -n 2000 | simrun -algos Delayed-LOS -procs 320 -clusters 4 -route least-work
+//
+// -epoch E switches the dispatcher to its barrier-synchronized protocol
+// (clusters exchange queue digests every E sim-seconds), unlocking the
+// dynamic features: -steal lets idle clusters pull queued jobs from
+// backlogged ones at each barrier, -route feedback routes arrivals by the
+// last barrier's observed loads, and -affinity K pins every Kth submission
+// to a home cluster that routing and stealing respect. Dynamic results stay
+// deterministic and worker-count independent:
+//
+//	cwfgen -n 2000 | simrun -algos Delayed-LOS -procs 320 -clusters 4 -epoch 5000 -steal -route feedback
 package main
 
 import (
@@ -56,6 +66,9 @@ var (
 	// ErrRouteNeedsClusters rejects a non-default -route without a sharded
 	// run to apply it to.
 	ErrRouteNeedsClusters = errors.New("simrun: -route needs -clusters > 1")
+	// ErrDynamicNeedsClusters rejects the epoch-protocol knobs without a
+	// sharded run to apply them to.
+	ErrDynamicNeedsClusters = errors.New("simrun: -epoch, -steal and -affinity need -clusters > 1")
 )
 
 // resolveProcs merges the -m and -procs aliases.
@@ -76,6 +89,9 @@ func validateSharded(clusters int, so sweepOpts, resuming bool) error {
 		if so.route != "" && so.route != "roundrobin" {
 			return fmt.Errorf("%w (got -route %s)", ErrRouteNeedsClusters, so.route)
 		}
+		if so.epoch != 0 || so.steal || so.affinity != 0 {
+			return ErrDynamicNeedsClusters
+		}
 		return nil
 	}
 	if so.gantt != "" || so.jobsOut != "" {
@@ -93,7 +109,10 @@ func main() {
 		m         = flag.Int("m", 0, "machine size in processors (0 = from the trace's MaxNodes header, else 320)")
 		procs     = flag.Int("procs", 0, "per-cluster machine size in processors (alias of -m)")
 		clusters  = flag.Int("clusters", 1, "parallel cluster simulations behind a global dispatcher (global machine = clusters x procs)")
-		routeF    = flag.String("route", "roundrobin", "sharded dispatch policy: roundrobin, least-work or best-fit (with -clusters > 1)")
+		routeF    = flag.String("route", "roundrobin", "sharded dispatch policy: roundrobin, least-work, best-fit, or feedback (feedback needs -epoch)")
+		epochF    = flag.Int64("epoch", 0, "epoch length in sim seconds for the dispatcher's barrier-synchronized protocol (0 = static one-shot routing; with -clusters > 1)")
+		stealF    = flag.Bool("steal", false, "let idle clusters steal queued jobs at each epoch barrier (needs -epoch)")
+		affinityF = flag.Int("affinity", 0, "pin every Nth submission to a home cluster that routing and stealing respect (needs -epoch)")
 		unit      = flag.Int("unit", 0, "allocation quantum (0 = gcd of machine size and job sizes)")
 		cs        = flag.Int("cs", 0, "maximum skip count C_s (0 = default)")
 		lookahead = flag.Int("lookahead", 0, "DP window bound (0 = default 50)")
@@ -130,7 +149,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	so := sweepOpts{gantt: *gantt, jobsOut: *jobsOut, until: *until, checkFile: *checkFile, clusters: *clusters, route: *routeF}
+	so := sweepOpts{
+		gantt: *gantt, jobsOut: *jobsOut, until: *until, checkFile: *checkFile,
+		clusters: *clusters, route: *routeF,
+		epoch: *epochF, steal: *stealF, affinity: *affinityF,
+	}
 	if err := validateSharded(*clusters, so, *resumeF != ""); err != nil {
 		fatal(err)
 	}
@@ -209,9 +232,14 @@ type sweepOpts struct {
 	until          int64
 	checkFile      string
 	// clusters > 1 dispatches each run across parallel cluster simulations;
-	// route names the dispatch policy ("" = roundrobin).
+	// route names the dispatch policy ("" = roundrobin). epoch > 0 switches
+	// to the barrier-synchronized protocol; steal and affinity select its
+	// exchange features.
 	clusters int
 	route    string
+	epoch    int64
+	steal    bool
+	affinity int
 }
 
 // runSweep runs every algorithm in order, writing one result row per
@@ -231,7 +259,10 @@ func runSweep(w *es.Workload, algos []string, opt es.Options, out io.Writer, so 
 			aopt.Trace = rec
 		}
 		if so.clusters > 1 {
-			sres, err := es.SimulateSharded(w, name, aopt, es.ShardedOptions{Clusters: so.clusters, Route: so.route})
+			sres, err := es.SimulateSharded(w, name, aopt, es.ShardedOptions{
+				Clusters: so.clusters, Route: so.route,
+				Epoch: so.epoch, Steal: so.steal, Affinity: so.affinity,
+			})
 			if err != nil {
 				sweepErr = fmt.Errorf("%s: %w", name, err)
 				break

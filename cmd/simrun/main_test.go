@@ -279,6 +279,18 @@ func TestValidateSharded(t *testing.T) {
 	if err := validateSharded(4, sweepOpts{until: -1, route: "least-work"}, false); err != nil {
 		t.Errorf("routed sharded run rejected: %v", err)
 	}
+	for name, so := range map[string]sweepOpts{
+		"epoch":    {until: -1, epoch: 500},
+		"steal":    {until: -1, steal: true},
+		"affinity": {until: -1, affinity: 3},
+	} {
+		if err := validateSharded(1, so, false); !errors.Is(err, ErrDynamicNeedsClusters) {
+			t.Errorf("-%s without clusters: got %v, want errors.Is(err, ErrDynamicNeedsClusters)", name, err)
+		}
+	}
+	if err := validateSharded(4, sweepOpts{until: -1, epoch: 500, steal: true, affinity: 3, route: "feedback"}, false); err != nil {
+		t.Errorf("dynamic sharded run rejected: %v", err)
+	}
 	for name, tc := range map[string]struct {
 		so       sweepOpts
 		resuming bool
@@ -334,5 +346,31 @@ func TestShardedSweepRoutes(t *testing.T) {
 	so := sweepOpts{until: -1, clusters: 2, route: "no-such-policy"}
 	if err := runSweep(w, []string{"EASY"}, es.Options{M: 320, Unit: 32}, &out, so); err == nil {
 		t.Error("unknown -route accepted")
+	}
+}
+
+// TestShardedSweepDynamic drives the epoch protocol through the CLI path:
+// stealing and feedback routing produce result rows and repeat byte-for-byte,
+// while dynamic knobs without an epoch abort the sweep.
+func TestShardedSweepDynamic(t *testing.T) {
+	w := sweepWorkload(t)
+	so := sweepOpts{until: -1, clusters: 2, epoch: 500, steal: true, route: "feedback"}
+	var out1, out2 bytes.Buffer
+	if err := runSweep(w, []string{"EASY"}, es.Options{M: 320, Unit: 32}, &out1, so); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(w, []string{"EASY"}, es.Options{M: 320, Unit: 32}, &out2, so); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("dynamic sharded sweep not reproducible:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(out1.String(), "EASY") {
+		t.Errorf("dynamic sharded sweep missing result row:\n%s", out1.String())
+	}
+	var out bytes.Buffer
+	noEpoch := sweepOpts{until: -1, clusters: 2, steal: true}
+	if err := runSweep(w, []string{"EASY"}, es.Options{M: 320, Unit: 32}, &out, noEpoch); err == nil {
+		t.Error("-steal without -epoch accepted")
 	}
 }

@@ -278,14 +278,32 @@ type ShardedOptions struct {
 	// The result is byte-identical for any worker count.
 	Workers int
 	// Route names the routing policy splitting submissions over clusters:
-	// "roundrobin" (the default for ""), "least-work", or "best-fit". See
-	// RoutePolicies.
+	// "roundrobin" (the default for ""), "least-work", or "best-fit" —
+	// plus "feedback" when Epoch > 0. See RoutePolicies and
+	// DynamicRoutePolicies.
 	Route string
+	// Epoch, when positive on a multi-cluster run, switches to the
+	// dispatcher's deterministic epoch protocol: clusters step to shared
+	// virtual-time barriers every Epoch sim-seconds and exchange compact
+	// queue digests there. Required by Steal, Affinity, and the "feedback"
+	// route; a single cluster ignores it.
+	Epoch int64
+	// Steal lets idle clusters pull queued jobs from backlogged ones at
+	// each barrier, commands following their job.
+	Steal bool
+	// Affinity, when positive, pins every Affinity-th submission (job IDs
+	// divisible by Affinity) to a home cluster derived from its ID;
+	// routing honors the pin and stealing never violates it.
+	Affinity int
 }
 
 // RoutePolicies lists the routing-policy names SimulateSharded accepts for
-// ShardedOptions.Route, sorted.
+// ShardedOptions.Route on a static (Epoch == 0) run, sorted.
 func RoutePolicies() []string { return dispatch.Policies() }
+
+// DynamicRoutePolicies lists the routing-policy names accepted when
+// ShardedOptions.Epoch > 0: the static set plus "feedback", sorted.
+func DynamicRoutePolicies() []string { return dispatch.DynamicPolicies() }
 
 // ShardedResult is the merged outcome of a SimulateSharded run; see
 // dispatch.Result for the merge semantics.
@@ -318,6 +336,9 @@ func SimulateSharded(w *Workload, algorithm string, opt Options, sh ShardedOptio
 		Clusters: sh.Clusters,
 		Workers:  sh.Workers,
 		Route:    sh.Route,
+		Epoch:    sh.Epoch,
+		Steal:    sh.Steal,
+		Affinity: sh.Affinity,
 		Engine: engine.Config{
 			M:              opt.M,
 			Unit:           opt.Unit,

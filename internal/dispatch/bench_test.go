@@ -46,14 +46,14 @@ func shardedWorkload(b *testing.B, clusters int) *cwf.Workload {
 // cost, grow without bound — while least-work spreads the same
 // processor-seconds evenly. The workload is identical for every policy;
 // only the split differs.
-func skewedWorkload(b *testing.B, clusters int) *cwf.Workload {
-	b.Helper()
+func skewedWorkload(tb testing.TB, clusters int) *cwf.Workload {
+	tb.Helper()
 	p := workload.DefaultParams()
 	p.N = 500 * clusters
 	p.Seed = 42
 	w, err := workload.Generate(p)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(77))
 	z := rand.NewZipf(rng, 2.5, 1, 100000)
@@ -105,6 +105,60 @@ func BenchmarkShardedSkewE2E(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkShardedStealE2E is the epoch-protocol comparison on the skewed
+// traffic at 8 clusters: the static splits (round-robin, least-work)
+// against the same policies with barrier stealing, and feedback routing
+// with stealing. The giant-collision backlog that sinks static round-robin
+// is exactly what stealing repairs — blocked heads migrate to idle shards
+// at the next barrier — so the dynamic cells must close the gap below
+// static least-work on mean wait and makespan. Each cell reports the
+// merged mean wait, makespan, and steal count (all deterministic for the
+// fixed workload), which the benchmark gate (cmd/benchgate) pins as
+// same-run ratios.
+func BenchmarkShardedStealE2E(b *testing.B) {
+	const clusters = 8
+	for _, cell := range []struct {
+		route string
+		steal bool
+	}{
+		{RouteRoundRobin, false},
+		{RouteLeastWork, false},
+		{RouteRoundRobin, true},
+		{RouteLeastWork, true},
+		{RouteFeedback, true},
+	} {
+		b.Run(fmt.Sprintf("route=%s/steal=%t", cell.route, cell.steal), func(b *testing.B) {
+			w := skewedWorkload(b, clusters)
+			cfg := Config{
+				Clusters:     clusters,
+				Route:        cell.route,
+				Engine:       engine.Config{M: 320, Unit: 32},
+				NewScheduler: func() sched.Scheduler { return core.NewLOS(true) },
+			}
+			if cell.steal || cell.route == RouteFeedback {
+				// One barrier every 1/5000th of the arrival span: fine
+				// enough that a blocked giant waits a negligible slice of
+				// its runtime before migrating.
+				cfg.Epoch = spanEpoch(w, 5000)
+				cfg.Steal = cell.steal
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				r, err := Run(w, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(res.Merged.MeanWait, "meanwait")
+			b.ReportMetric(float64(res.Merged.WindowEnd-res.Merged.WindowStart), "makespan")
+			b.ReportMetric(float64(res.Steals), "steals")
+		})
 	}
 }
 

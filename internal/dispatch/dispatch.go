@@ -20,7 +20,6 @@ package dispatch
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"elastisched/internal/cwf"
@@ -43,6 +42,10 @@ var (
 	// ErrTemplateObserver rejects a template carrying an observer: placement
 	// events from parallel clusters would interleave nondeterministically.
 	ErrTemplateObserver = errors.New("dispatch: engine template must not carry an observer")
+	// ErrEpochRequired rejects dynamic features — stealing, affinity pinning,
+	// feedback routing — on a multi-cluster run without a positive Epoch:
+	// they all live in the epoch protocol's barrier exchange.
+	ErrEpochRequired = errors.New("dispatch: steal/affinity/feedback require a positive Epoch")
 )
 
 // Config describes one sharded run.
@@ -62,10 +65,26 @@ type Config struct {
 	NewScheduler func() sched.Scheduler
 	// Route names the routing policy splitting submissions over clusters:
 	// RouteRoundRobin (the default for ""), RouteLeastWork, or
-	// RouteBestFit. Routing is a pure function of (workload order,
-	// cluster count, policy), so every policy keeps the cross-worker
-	// determinism contract.
+	// RouteBestFit — plus RouteFeedback when Epoch > 0. Routing is a pure
+	// function of (workload order, cluster count, policy, and — for
+	// feedback — the deterministic barrier digests), so every policy keeps
+	// the cross-worker determinism contract.
 	Route string
+	// Epoch, when positive on a multi-cluster run, switches to the
+	// epoch-synchronization protocol: sessions step to shared virtual-time
+	// barriers every Epoch seconds, publish queue digests, and exchange
+	// work deterministically (see epoch.go). Zero keeps the one-shot static
+	// path. A single cluster always bypasses the epoch machinery: there is
+	// no peer to exchange with, and the plain path is byte-identical.
+	Epoch int64
+	// Steal enables the barrier exchange step: idle clusters pull queued
+	// jobs from backlogged ones, commands following the job. Needs Epoch.
+	Steal bool
+	// Affinity, when positive, pins every Affinity-th submission (job IDs
+	// divisible by Affinity) to a home cluster derived from its ID — a
+	// data-locality class that routing honors and stealing never violates.
+	// Needs Epoch.
+	Affinity int
 }
 
 func (cfg *Config) validate() error {
@@ -80,6 +99,13 @@ func (cfg *Config) validate() error {
 	}
 	if cfg.Engine.Observer != nil {
 		return ErrTemplateObserver
+	}
+	if cfg.Epoch < 0 {
+		return fmt.Errorf("%w (got epoch %d)", ErrEpochRequired, cfg.Epoch)
+	}
+	if cfg.Clusters > 1 && cfg.Epoch == 0 &&
+		(cfg.Steal || cfg.Affinity > 0 || cfg.Route == RouteFeedback) {
+		return ErrEpochRequired
 	}
 	return nil
 }
@@ -121,6 +147,16 @@ type Result struct {
 	Cycles uint64
 	// Clusters holds the per-cluster results, in cluster order.
 	Clusters []ClusterResult
+	// Steals and Epochs report the epoch protocol's activity: jobs moved
+	// between clusters by the barrier exchange, and barrier rounds run.
+	// Both stay zero on the static path, so its serialized results are
+	// unchanged.
+	Steals int `json:",omitempty"`
+	Epochs int `json:",omitempty"`
+	// Owners maps job ID to the cluster that completed it — the routed home
+	// updated by steals. Nil on the static path (the split is a pure
+	// function of the workload there; see JobsPerCluster and route).
+	Owners map[int]int `json:",omitempty"`
 }
 
 // route splits the workload into per-cluster workloads: the router
@@ -168,10 +204,6 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	router, err := NewRouter(cfg.Route)
-	if err != nil {
-		return nil, err
-	}
 	// Every job must fit one cluster's machine; validating the whole
 	// workload against the per-cluster M establishes that for any routing.
 	if !cfg.Engine.Prevalidated {
@@ -179,18 +211,23 @@ func Run(w *cwf.Workload, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	if cfg.Clusters > 1 && cfg.Epoch > 0 {
+		return runEpochs(w, cfg)
+	}
+	// NewDynamicRouter rather than NewRouter only for the Clusters == 1
+	// case, where validate admits any policy name (the route fast path
+	// never consults the router); a multi-cluster static run cannot reach
+	// here with RouteFeedback.
+	router, err := NewDynamicRouter(cfg.Route)
+	if err != nil {
+		return nil, err
+	}
 
 	parts := route(w, cfg.Clusters, cfg.Engine.M, router)
 	outs := make([]*engine.Result, cfg.Clusters)
 	errs := make([]error, cfg.Clusters)
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Clusters {
-		workers = cfg.Clusters
-	}
+	workers := resolveWorkers(cfg.Workers, cfg.Clusters)
 	tasks := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)

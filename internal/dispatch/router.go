@@ -26,6 +26,12 @@ const (
 	// virtually fits the job, it falls back to the least outstanding
 	// work.
 	RouteBestFit = "best-fit"
+	// RouteFeedback is the dynamic policy: arrivals are routed by the
+	// clusters' last-epoch barrier digests (observed outstanding work)
+	// instead of a model of the routed prefix. It needs the epoch protocol
+	// (Config.Epoch > 0) to have digests to read, so NewRouter rejects it;
+	// use NewDynamicRouter.
+	RouteFeedback = "feedback"
 )
 
 // ErrUnknownRoute rejects a routing-policy name NewRouter does not know.
@@ -68,6 +74,83 @@ func Policies() []string {
 	names := []string{RouteRoundRobin, RouteLeastWork, RouteBestFit}
 	sort.Strings(names)
 	return names
+}
+
+// DigestRouter is the dynamic extension of Router: a policy that reads
+// live cluster state, fed the merged barrier digests once per epoch. The
+// determinism contract extends naturally — digests are a deterministic
+// function of the simulation state at the barrier, so decisions remain a
+// pure function of (workload, clusters, policy, epoch length).
+type DigestRouter interface {
+	Router
+	// ObserveDigests installs the digests published at the last barrier;
+	// subsequent Route calls decide from them. Called once per epoch,
+	// before that epoch's release window is routed.
+	ObserveDigests(d []Digest)
+	// Assigned informs the router of a placement it did not decide — an
+	// affinity-pinned job — so its load accounting stays coherent.
+	Assigned(j *job.Job, c int)
+}
+
+// NewDynamicRouter resolves a policy name for an epoch-mode run: every
+// static policy plus RouteFeedback.
+func NewDynamicRouter(name string) (Router, error) {
+	if name == RouteFeedback {
+		return &feedback{}, nil
+	}
+	return NewRouter(name)
+}
+
+// DynamicPolicies lists the routing-policy names an epoch-mode run
+// (Config.Epoch > 0) accepts, sorted: the static policies plus feedback.
+func DynamicPolicies() []string {
+	names := append(Policies(), RouteFeedback)
+	sort.Strings(names)
+	return names
+}
+
+// feedback routes each released arrival to the cluster with the least
+// observed outstanding work: the last barrier digest's backlog plus
+// residual running processor-seconds, plus the work this router has routed
+// there since that barrier. Before the first barrier every digest is zero
+// and the policy degenerates to least-work over the routed prefix. Ties go
+// to the lowest cluster index.
+type feedback struct {
+	base   []int64 // last barrier digest load per cluster
+	routed []int64 // work routed since that barrier
+}
+
+func (r *feedback) Name() string { return RouteFeedback }
+
+func (r *feedback) Reset(clusters, m int) {
+	r.base = make([]int64, clusters)
+	r.routed = make([]int64, clusters)
+}
+
+func (r *feedback) ObserveDigests(d []Digest) {
+	for c := range r.base {
+		r.base[c] = 0
+		r.routed[c] = 0
+	}
+	for _, dg := range d {
+		r.base[dg.Cluster] = dg.load()
+	}
+}
+
+func (r *feedback) Route(j *job.Job) int {
+	best := 0
+	bestLoad := r.base[0] + r.routed[0]
+	for c := 1; c < len(r.base); c++ {
+		if l := r.base[c] + r.routed[c]; l < bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	r.routed[best] += int64(j.Size) * j.Dur
+	return best
+}
+
+func (r *feedback) Assigned(j *job.Job, c int) {
+	r.routed[c] += int64(j.Size) * j.Dur
 }
 
 // roundRobin is the static default dispatcher: submission i to cluster

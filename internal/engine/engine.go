@@ -192,6 +192,10 @@ type Session struct {
 	// ids dedups injected job IDs; built lazily on the first Inject so the
 	// sweep hot path (Load + Run only) never allocates it.
 	ids map[int]bool
+	// absorbed marks jobs admitted by AbsorbAt with an arrival in the past
+	// (the sharded dispatcher's steal path): they enter the batch queue out
+	// of arrival order by design, so the paranoid FIFO check skips them.
+	absorbed map[int]bool
 
 	// completion maps job ID -> pending completion event. Generated and
 	// trace job IDs are dense small integers, so the common representation
@@ -352,6 +356,15 @@ func New(cfg Config) (*Session, error) {
 	}
 	if st, ok := cfg.Scheduler.(sched.Stateful); ok {
 		s.st = st
+		// Arm the delta feed immediately: sessions fed purely by Inject (the
+		// epoch dispatcher's path) never call Load, which is where the feed
+		// was armed before. Load re-arms, so the double call is harmless.
+		s.st.ResetDeltas()
+	}
+	if cfg.ExportSamples {
+		// Same reasoning: Load rebuilds the collector and re-arms it, but an
+		// Inject-fed session keeps this one.
+		s.collector.RetainSamples()
 	}
 	if cfg.Malleable {
 		if m, ok := cfg.Scheduler.(sched.Malleable); ok {
@@ -700,7 +713,11 @@ func (s *Session) checkInvariants() error {
 		if batch[k-1].Rigid {
 			return fmt.Errorf("engine: rigid job %d behind non-rigid work", batch[k-1].ID)
 		}
-		if batch[k-1].Arrival > batch[k].Arrival {
+		if batch[k-1].Arrival > batch[k].Arrival &&
+			!s.absorbed[batch[k-1].ID] && !s.absorbed[batch[k].ID] {
+			// Absorbed (stolen) jobs keep their original arrival for wait
+			// accounting but queue FIFO by admission instant, so pairs
+			// involving one are exempt from the arrival-order check.
 			return fmt.Errorf("engine: batch queue not FIFO at %d", k)
 		}
 	}

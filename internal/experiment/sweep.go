@@ -57,6 +57,14 @@ type Point struct {
 	// round-robin); it is rejected when Clusters <= 1.
 	Clusters int
 	Route    string
+	// Epoch, Steal, and Affinity select the dispatcher's dynamic epoch
+	// protocol at this point (barrier-synchronized stepping, queue-digest
+	// exchange, work stealing, affinity pinning); they mirror the
+	// dispatch.Config fields of the same names. Steal, Affinity, and the
+	// "feedback" route all need Epoch > 0.
+	Epoch    int64
+	Steal    bool
+	Affinity int
 }
 
 // EffectiveCs resolves the point's C_s.
@@ -175,11 +183,23 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 			return nil, fmt.Errorf("experiment %s: point %g sets Route=%q without Clusters > 1",
 				s.ID, pt.X, pt.Route)
 		}
+		if (pt.Epoch != 0 || pt.Steal || pt.Affinity > 0) && pt.Clusters <= 1 {
+			return nil, fmt.Errorf("experiment %s: point %g sets epoch/steal/affinity without Clusters > 1",
+				s.ID, pt.X)
+		}
 		if pt.Clusters > 1 {
 			// Resolve the policy name up front so a typo fails the sweep
-			// before any workload is generated.
-			if _, err := dispatch.NewRouter(pt.Route); err != nil {
+			// before any workload is generated. Epoch mode admits the
+			// dynamic feedback policy on top of the static set.
+			resolve := dispatch.NewRouter
+			if pt.Epoch > 0 {
+				resolve = dispatch.NewDynamicRouter
+			}
+			if _, err := resolve(pt.Route); err != nil {
 				return nil, fmt.Errorf("experiment %s: point %g: %w", s.ID, pt.X, err)
+			}
+			if pt.Epoch == 0 && (pt.Steal || pt.Affinity > 0 || pt.Route == dispatch.RouteFeedback) {
+				return nil, fmt.Errorf("experiment %s: point %g: %w", s.ID, pt.X, dispatch.ErrEpochRequired)
 			}
 		}
 	}
@@ -260,6 +280,9 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 					Engine:       cfg,
 					NewScheduler: func() sched.Scheduler { return a.New(pt) },
 					Route:        pt.Route,
+					Epoch:        pt.Epoch,
+					Steal:        pt.Steal,
+					Affinity:     pt.Affinity,
 				})
 				if err != nil {
 					out.err = err

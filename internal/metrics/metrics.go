@@ -144,6 +144,15 @@ func (c *Collector) JobArrived(j *job.Job, t int64) {
 	}
 }
 
+// JobWithdrawn reverses a JobArrived for a job leaving the waiting queue
+// without starting — the sharded dispatcher's steal path, where the job
+// re-arrives (and re-counts) on the receiving cluster's collector. Only the
+// queue depth moves: the measurement window stays open, and the job's wait
+// is accounted where it eventually starts.
+func (c *Collector) JobWithdrawn() {
+	c.queued--
+}
+
 // JobStarted accounts for a dispatch at time t.
 func (c *Collector) JobStarted(j *job.Job, t int64) {
 	c.integrate(t)

@@ -61,8 +61,12 @@ type Malleable interface {
 type AutoResize struct {
 	Inner Scheduler
 
-	// scratch for candidate collection, retained across cycles.
+	// scratch for candidate collection and proposal assembly, retained
+	// across cycles so the hot path stays allocation-free. Both backing
+	// arrays hold *job.Job pointers from the previous cycle until the next
+	// call clears them (see clearScratch).
 	cand []*job.Job
+	out  []Resize
 }
 
 // NewAutoResize wraps inner with the generic malleability policy.
@@ -108,8 +112,11 @@ func quantMax(j *job.Job, unit int) int {
 }
 
 // ProposeResizes implements Malleable with the shrink-to-admit /
-// expand-when-idle policy described on AutoResize.
+// expand-when-idle policy described on AutoResize. The returned slice is
+// scratch reused by the next call: the engine consumes proposals before
+// re-invoking the policy, and callers must not retain it.
 func (a *AutoResize) ProposeResizes(ctx *Context) []Resize {
+	a.clearScratch()
 	if head := ctx.Batch.Head(); head != nil {
 		return a.shrinkToAdmit(ctx, head)
 	}
@@ -117,6 +124,20 @@ func (a *AutoResize) ProposeResizes(ctx *Context) []Resize {
 		return a.expandIdle(ctx)
 	}
 	return nil
+}
+
+// clearScratch drops the job pointers the scratch backing arrays retained
+// from the previous cycle, so finished workloads are not pinned in memory
+// for the life of the decorator.
+func (a *AutoResize) clearScratch() {
+	cand := a.cand[:cap(a.cand)]
+	for i := range cand {
+		cand[i] = nil
+	}
+	out := a.out[:cap(a.out)]
+	for i := range out {
+		out[i].Job = nil
+	}
 }
 
 // shrinkToAdmit proposes shrinks that free exactly enough capacity for the
@@ -150,7 +171,7 @@ func (a *AutoResize) shrinkToAdmit(ctx *Context, head *job.Job) []Resize {
 	// Largest shrinkable reserve first, ties by job ID: fewest victims.
 	sortByReserve(cand, unit)
 
-	var out []Resize
+	out := a.out[:0]
 	for _, j := range cand {
 		if deficit <= 0 {
 			break
@@ -163,6 +184,7 @@ func (a *AutoResize) shrinkToAdmit(ctx *Context, head *job.Job) []Resize {
 		out = append(out, Resize{Job: j, NewSize: j.Size - take})
 		deficit -= take
 	}
+	a.out = out
 	return out
 }
 
@@ -190,7 +212,7 @@ func (a *AutoResize) expandIdle(ctx *Context) []Resize {
 	}
 	sortByID(cand)
 
-	var out []Resize
+	out := a.out[:0]
 	for _, j := range cand {
 		if free < unit {
 			break
@@ -205,6 +227,7 @@ func (a *AutoResize) expandIdle(ctx *Context) []Resize {
 		out = append(out, Resize{Job: j, NewSize: j.Size + grow})
 		free -= grow
 	}
+	a.out = out
 	return out
 }
 
@@ -241,8 +264,11 @@ func sortByID(jobs []*job.Job) {
 }
 
 // ResetDeltas implements Stateful by forwarding to the inner policy when
-// it participates in the delta contract.
+// it participates in the delta contract. It also drops the proposal
+// scratch's retained job pointers: a reset marks a session (re)start, after
+// which the previous workload's jobs must be collectable.
 func (a *AutoResize) ResetDeltas() {
+	a.clearScratch()
 	if s, ok := a.Inner.(Stateful); ok {
 		s.ResetDeltas()
 	}
