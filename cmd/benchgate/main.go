@@ -116,8 +116,11 @@ var ratioGates = []struct {
 // with malleability off, so this is the rigid hot-path guard: the resize
 // pipeline's delta fan-out must cost runs without bounds nothing
 // measurable beyond tolerance, and the gate must notice if it does.
-// Only enforced when -bench and -pkgs keep their defaults; a filtered
-// invocation legitimately compares a subset.
+// The Faults/EASY cell is the fault-path counterpart: outage sampling,
+// kill/requeue, and the periodic checkpoint chain all sit on the event
+// hot loop, so that cell regressing means the fault pipeline got
+// slower, not the scheduler. Only enforced when -bench and -pkgs keep
+// their defaults; a filtered invocation legitimately compares a subset.
 var requiredGates = []string{
 	"elastisched/internal/engine.BenchmarkSimulate500/FCFS",
 	"elastisched/internal/engine.BenchmarkSimulate500/EASY",
@@ -125,6 +128,7 @@ var requiredGates = []string{
 	"elastisched/internal/engine.BenchmarkSimulate500/LOS",
 	"elastisched/internal/engine.BenchmarkSimulate500/Delayed-LOS",
 	"elastisched/internal/engine.BenchmarkSimulate500/Hybrid-LOS",
+	"elastisched/internal/engine.BenchmarkSimulate500Faults/EASY",
 }
 
 func main() {

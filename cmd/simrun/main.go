@@ -49,6 +49,7 @@ import (
 	"text/tabwriter"
 
 	es "elastisched"
+	"elastisched/internal/fault"
 	"elastisched/internal/prof"
 )
 
@@ -69,6 +70,9 @@ var (
 	// ErrDynamicNeedsClusters rejects the epoch-protocol knobs without a
 	// sharded run to apply them to.
 	ErrDynamicNeedsClusters = errors.New("simrun: -epoch, -steal and -affinity need -clusters > 1")
+	// ErrCheckpointNeedsFaults rejects checkpoint knobs without fault
+	// injection to restart from.
+	ErrCheckpointNeedsFaults = errors.New("simrun: -ckpt-policy, -ckpt-interval and -ckpt-cost need -mtbf or -fault-trace")
 )
 
 // resolveProcs merges the -m and -procs aliases.
@@ -134,6 +138,9 @@ func main() {
 		restart    = flag.String("restart", "full", "runtime a requeued job restarts with: full or remaining")
 		maxRetries = flag.Int("max-retries", 0, "requeues per job before it is dropped (0 = unlimited)")
 		backoff    = flag.Int64("retry-backoff", 0, "delay in s before a killed job is resubmitted")
+		ckptPolicy = flag.String("ckpt-policy", "none", "checkpoint policy for running batch jobs: none, periodic, on-resize or daly (kills then restart from the last checkpoint; with -mtbf/-fault-trace)")
+		ckptIvl    = flag.Int64("ckpt-interval", 0, "periodic checkpoint interval in s (with -ckpt-policy periodic)")
+		ckptCost   = flag.Int64("ckpt-cost", 0, "charge in s per checkpoint and per restart-from-checkpoint (with -ckpt-policy)")
 
 		malleable  = flag.Bool("malleable", false, "enable work-conserving runtime resizing (use -M algorithm variants for scheduler-initiated shrink/expand)")
 		resizeOvhd = flag.Int64("resize-overhead", 0, "reconfiguration penalty in s charged per resize (with -malleable)")
@@ -212,7 +219,8 @@ func main() {
 		fatal(fmt.Errorf("-checkpoint requires a single algorithm, got %d", len(algos)))
 	}
 
-	fc, err := faultConfig(*mtbf, *mttr, *faultSeed, *faultFile, *retryMode, *restart, *maxRetries, *backoff)
+	fc, err := faultConfig(*mtbf, *mttr, *faultSeed, *faultFile, *retryMode, *restart, *maxRetries, *backoff,
+		*ckptPolicy, *ckptIvl, *ckptCost)
 	if err != nil {
 		fatal(err)
 	}
@@ -247,8 +255,9 @@ type sweepOpts struct {
 // completed are flushed first: a mid-sweep abort keeps its partial results.
 func runSweep(w *es.Workload, algos []string, opt es.Options, out io.Writer, so sweepOpts) error {
 	faulty := opt.Faults != nil
+	ckpt := faulty && opt.Faults.Checkpoint != es.CheckpointNone
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, resultHeader(faulty, opt.Malleable))
+	fmt.Fprintln(tw, resultHeader(faulty, ckpt, opt.Malleable))
 	var sweepErr error
 	for i, name := range algos {
 		name = strings.TrimSpace(name)
@@ -267,7 +276,7 @@ func runSweep(w *es.Workload, algos []string, opt es.Options, out io.Writer, so 
 				sweepErr = fmt.Errorf("%s: %w", name, err)
 				break
 			}
-			fmt.Fprint(tw, summaryRow(name, sres.Merged, sres.ECC.Applied, faulty, opt.Malleable))
+			fmt.Fprint(tw, summaryRow(name, sres.Merged, sres.ECC.Applied, faulty, ckpt, opt.Malleable))
 			continue
 		}
 		var res *es.Result
@@ -281,7 +290,7 @@ func runSweep(w *es.Workload, algos []string, opt es.Options, out io.Writer, so 
 			sweepErr = fmt.Errorf("%s: %w", name, err)
 			break
 		}
-		fmt.Fprint(tw, resultRow(name, res, faulty, opt.Malleable))
+		fmt.Fprint(tw, resultRow(name, res, faulty, ckpt, opt.Malleable))
 		if rec != nil && so.gantt != "" {
 			if so.gantt == "-" {
 				fmt.Fprintln(out, rec.ASCII(100))
@@ -306,10 +315,23 @@ func runSweep(w *es.Workload, algos []string, opt es.Options, out io.Writer, so 
 }
 
 // faultConfig assembles Options.Faults from the fault flags; nil when fault
-// injection is off.
-func faultConfig(mtbf, mttr float64, seed int64, traceFile, retry, restart string, maxRetries int, backoff int64) (*es.FaultConfig, error) {
+// injection is off. Checkpoint knobs are validated up front with the fault
+// package's typed errors (errors.Is-testable) rather than per-algorithm at
+// engine start.
+func faultConfig(mtbf, mttr float64, seed int64, traceFile, retry, restart string, maxRetries int, backoff int64,
+	ckptPolicy string, ckptIvl, ckptCost int64) (*es.FaultConfig, error) {
+	ckpt, err := es.ParseCheckpointPolicy(ckptPolicy)
+	if err != nil {
+		return nil, err
+	}
 	if mtbf <= 0 && traceFile == "" {
+		if ckpt != es.CheckpointNone || ckptIvl != 0 || ckptCost != 0 {
+			return nil, ErrCheckpointNeedsFaults
+		}
 		return nil, nil
+	}
+	if err := fault.ValidateCheckpoint(ckpt, ckptIvl, ckptCost, mtbf); err != nil {
+		return nil, err
 	}
 	fc := &es.FaultConfig{MTBF: mtbf, MTTR: mttr, Seed: seed}
 	if traceFile != "" {
@@ -342,15 +364,22 @@ func faultConfig(mtbf, mttr float64, seed int64, traceFile, retry, restart strin
 	}
 	fc.Retry.MaxRetries = maxRetries
 	fc.Retry.Backoff = backoff
+	fc.Checkpoint = ckpt
+	fc.CheckpointInterval = ckptIvl
+	fc.CheckpointCost = ckptCost
 	return fc, nil
 }
 
 // resultHeader renders the tabwriter header; fault-injected sweeps carry
-// the failure-accounting columns and malleable sweeps the resize columns.
-func resultHeader(faulty, malleable bool) string {
+// the failure-accounting columns (plus the checkpoint economics when a
+// policy is on) and malleable sweeps the resize columns.
+func resultHeader(faulty, ckpt, malleable bool) string {
 	h := "algorithm\tutil\tmean wait (s)\tmean run (s)\tslowdown\tded on-time\tECCs applied"
 	if faulty {
 		h += "\tkilled\tretried\tdropped\tdown proc-s"
+	}
+	if ckpt {
+		h += "\tckpts\tckpt proc-s\tlost proc-s"
 	}
 	if malleable {
 		h += "\tresizes\tshrunk proc-s\treconfig s"
@@ -359,17 +388,20 @@ func resultHeader(faulty, malleable bool) string {
 }
 
 // resultRow renders one algorithm's tabwriter line.
-func resultRow(name string, res *es.Result, faulty, malleable bool) string {
-	return summaryRow(name, res.Summary, res.ECC.Applied, faulty, malleable)
+func resultRow(name string, res *es.Result, faulty, ckpt, malleable bool) string {
+	return summaryRow(name, res.Summary, res.ECC.Applied, faulty, ckpt, malleable)
 }
 
 // summaryRow renders a tabwriter line from any summary — a single run's or
 // a sharded run's merged view.
-func summaryRow(name string, s es.Summary, eccApplied int, faulty, malleable bool) string {
+func summaryRow(name string, s es.Summary, eccApplied int, faulty, ckpt, malleable bool) string {
 	row := fmt.Sprintf("%s\t%.4f\t%.1f\t%.1f\t%.3f\t%.2f\t%d",
 		name, s.Utilization, s.MeanWait, s.MeanRun, s.Slowdown, s.DedicatedOnTime, eccApplied)
 	if faulty {
 		row += fmt.Sprintf("\t%d\t%d\t%d\t%.0f", s.KilledJobs, s.RetriedJobs, s.DroppedJobs, s.DownProcSeconds)
+	}
+	if ckpt {
+		row += fmt.Sprintf("\t%d\t%.0f\t%.0f", s.CheckpointsTaken, s.CheckpointOverheadSeconds, s.LostWorkSeconds)
 	}
 	if malleable {
 		row += fmt.Sprintf("\t%d\t%.0f\t%.0f", s.SchedulerResizes, s.ShrunkProcSeconds, s.ReconfigOverheadSeconds)
@@ -454,8 +486,9 @@ func resumeRun(path string, until int64, checkFile string, cs, lookahead int) er
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	faulty := sn.Retry != nil
-	fmt.Fprintln(tw, resultHeader(faulty, sn.Malleable))
-	fmt.Fprint(tw, resultRow(sn.Scheduler, res, faulty, sn.Malleable))
+	ckpt := sn.Checkpoint != ""
+	fmt.Fprintln(tw, resultHeader(faulty, ckpt, sn.Malleable))
+	fmt.Fprint(tw, resultRow(sn.Scheduler, res, faulty, ckpt, sn.Malleable))
 	return tw.Flush()
 }
 

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	es "elastisched"
+	"elastisched/internal/fault"
 )
 
 // TestCheckpointResumeMatchesUninterrupted is the CLI-level round trip:
@@ -110,10 +111,10 @@ func TestSweepAbortFlushesPartialResults(t *testing.T) {
 // TestFaultConfigFlags covers the flag-to-FaultConfig assembly, including
 // the typed rejections.
 func TestFaultConfigFlags(t *testing.T) {
-	if fc, err := faultConfig(0, 0, 1, "", "requeue", "full", 0, 0); err != nil || fc != nil {
+	if fc, err := faultConfig(0, 0, 1, "", "requeue", "full", 0, 0, "none", 0, 0); err != nil || fc != nil {
 		t.Errorf("faults-off config = (%v, %v), want (nil, nil)", fc, err)
 	}
-	fc, err := faultConfig(50000, 1200, 9, "", "drop", "remaining", 3, 60)
+	fc, err := faultConfig(50000, 1200, 9, "", "drop", "remaining", 3, 60, "none", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,25 +122,86 @@ func TestFaultConfigFlags(t *testing.T) {
 	if fc.MTBF != 50000 || fc.MTTR != 1200 || fc.Seed != 9 || fc.Retry != want {
 		t.Errorf("faultConfig = %+v, want MTBF 50000 MTTR 1200 seed 9 retry %+v", fc, want)
 	}
-	if _, err := faultConfig(50000, 0, 1, "", "bogus", "full", 0, 0); err == nil {
+	if _, err := faultConfig(50000, 0, 1, "", "bogus", "full", 0, 0, "none", 0, 0); err == nil {
 		t.Error("bad -retry accepted")
 	}
-	if _, err := faultConfig(50000, 0, 1, "", "requeue", "bogus", 0, 0); err == nil {
+	if _, err := faultConfig(50000, 0, 1, "", "requeue", "bogus", 0, 0, "none", 0, 0); err == nil {
 		t.Error("bad -restart accepted")
 	}
-	if _, err := faultConfig(0, 0, 1, filepath.Join(t.TempDir(), "absent"), "requeue", "full", 0, 0); err == nil {
+	if _, err := faultConfig(0, 0, 1, filepath.Join(t.TempDir(), "absent"), "requeue", "full", 0, 0, "none", 0, 0); err == nil {
 		t.Error("missing -fault-trace file accepted")
 	}
 	script := filepath.Join(t.TempDir(), "faults.txt")
 	if err := os.WriteFile(script, []byte("# outage\n3000 fail 0,1\n3400 repair 0,1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fc, err = faultConfig(0, 0, 1, script, "requeue", "full", 0, 0)
+	fc, err = faultConfig(0, 0, 1, script, "requeue", "full", 0, 0, "none", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fc.Trace == nil || len(fc.Trace.Events) != 2 {
 		t.Errorf("scripted trace not loaded: %+v", fc)
+	}
+}
+
+// TestCheckpointConfigFlags covers the -ckpt-* flag assembly and its
+// typed rejections, errors.Is-testable.
+func TestCheckpointConfigFlags(t *testing.T) {
+	// Lawful periodic config rides on the fault config.
+	fc, err := faultConfig(50000, 1200, 9, "", "requeue", "remaining", 0, 0, "periodic", 600, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Checkpoint != es.CheckpointPeriodic || fc.CheckpointInterval != 600 || fc.CheckpointCost != 30 {
+		t.Errorf("checkpoint knobs not threaded: %+v", fc)
+	}
+	// Daly derives its interval from the sampling MTBF.
+	fc, err = faultConfig(50000, 1200, 9, "", "requeue", "full", 0, 0, "daly", 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Checkpoint != es.CheckpointDaly {
+		t.Errorf("daly policy not threaded: %+v", fc)
+	}
+	if got, want := fc.ResolvedCheckpointInterval(), es.DalyInterval(50000, 30); got != want {
+		t.Errorf("resolved daly interval = %d, want %d", got, want)
+	}
+
+	if _, err := faultConfig(0, 0, 1, "", "requeue", "full", 0, 0, "periodic", 600, 30); !errors.Is(err, ErrCheckpointNeedsFaults) {
+		t.Errorf("checkpoint without faults = %v, want ErrCheckpointNeedsFaults", err)
+	}
+	if _, err := faultConfig(0, 0, 1, "", "requeue", "full", 0, 0, "none", 0, 30); !errors.Is(err, ErrCheckpointNeedsFaults) {
+		t.Errorf("cost without faults = %v, want ErrCheckpointNeedsFaults", err)
+	}
+	if _, err := faultConfig(50000, 0, 1, "", "requeue", "full", 0, 0, "hourly", 0, 0); !errors.Is(err, fault.ErrUnknownCheckpointPolicy) {
+		t.Errorf("bad policy = %v, want ErrUnknownCheckpointPolicy", err)
+	}
+	if _, err := faultConfig(50000, 0, 1, "", "requeue", "full", 0, 0, "none", 600, 0); !errors.Is(err, fault.ErrIntervalWithoutPeriodic) {
+		t.Errorf("interval without periodic = %v, want ErrIntervalWithoutPeriodic", err)
+	}
+	if _, err := faultConfig(50000, 0, 1, "", "requeue", "full", 0, 0, "periodic", 0, 0); !errors.Is(err, fault.ErrNonPositiveInterval) {
+		t.Errorf("periodic without interval = %v, want ErrNonPositiveInterval", err)
+	}
+	if _, err := faultConfig(50000, 0, 1, "", "requeue", "full", 0, 0, "periodic", 600, -1); !errors.Is(err, fault.ErrNegativeCheckpointCost) {
+		t.Errorf("negative cost = %v, want ErrNegativeCheckpointCost", err)
+	}
+
+	// A scripted trace carries no sampling rate: daly has no MTBF to
+	// derive its interval from and must be rejected up front.
+	script := filepath.Join(t.TempDir(), "faults.txt")
+	if err := os.WriteFile(script, []byte("3000 fail 0,1\n3400 repair 0,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faultConfig(0, 0, 1, script, "requeue", "full", 0, 0, "daly", 0, 30); !errors.Is(err, fault.ErrDalyNeedsMTBF) {
+		t.Errorf("daly on scripted trace = %v, want ErrDalyNeedsMTBF", err)
+	}
+	// Periodic on a scripted trace is fine: the interval is explicit.
+	fc, err = faultConfig(0, 0, 1, script, "requeue", "full", 0, 0, "periodic", 600, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Checkpoint != es.CheckpointPeriodic {
+		t.Errorf("scripted periodic not threaded: %+v", fc)
 	}
 }
 
@@ -151,7 +213,7 @@ func TestFaultSweepReportsFailureColumns(t *testing.T) {
 	if err := os.WriteFile(script, []byte("1000 fail 0,1,2,3,4,5,6,7,8,9\n1500 repair 0,1,2,3,4,5,6,7,8,9\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fc, err := faultConfig(0, 0, 1, script, "requeue", "full", 0, 0)
+	fc, err := faultConfig(0, 0, 1, script, "requeue", "full", 0, 0, "none", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,6 +274,50 @@ func TestFaultCheckpointResume(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("resumed fault run diverged:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestDalyCheckpointResume pins the daly round trip through the façade:
+// the snapshot stores the resolved base interval plus the MTBF the
+// per-job intervals derive from, and ResumeSnapshot must rebuild a
+// config that validates (daly rejects an explicit interval) and keeps
+// deriving the same span-aware intervals as the uninterrupted run.
+func TestDalyCheckpointResume(t *testing.T) {
+	w := sweepWorkload(t)
+	opt := es.Options{M: 320, Unit: 32, Faults: &es.FaultConfig{
+		MTBF: 40000, MTTR: 2000, Seed: 7,
+		Checkpoint: es.CheckpointDaly, CheckpointCost: 60,
+	}}
+	want, err := es.Simulate(w, "EASY", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Summary.CheckpointsTaken == 0 {
+		t.Fatal("daly run took no checkpoints; the round trip would not cover the policy")
+	}
+
+	snap := filepath.Join(t.TempDir(), "daly.snap")
+	if _, err := runCapped(w, "EASY", opt, 2200, snap); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sess, err := es.ResumeSession(f, es.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed daly run diverged:\ngot:  %+v\nwant: %+v", got, want)
 	}
 }
 

@@ -84,6 +84,13 @@ type (
 	// RemainingRuntime restart, bounded by MaxRetries and delayed by
 	// Backoff) or Drop.
 	RetryPolicy = fault.RetryPolicy
+	// CheckpointPolicy selects how running batch jobs checkpoint their
+	// progress: CheckpointNone (kills follow the RetryPolicy restart
+	// binary), CheckpointPeriodic (every FaultConfig.CheckpointInterval
+	// seconds), CheckpointOnResize (every applied malleable resize doubles
+	// as a checkpoint), or CheckpointDaly (periodic at Daly's optimal
+	// interval sqrt(2·MTBF·C)). Set it via FaultConfig.Checkpoint.
+	CheckpointPolicy = fault.CheckpointPolicy
 )
 
 // Retry-policy mode and restart constants; see RetryPolicy.
@@ -93,6 +100,25 @@ const (
 	FullRuntime      = fault.FullRuntime
 	RemainingRuntime = fault.RemainingRuntime
 )
+
+// Checkpoint-policy constants; see CheckpointPolicy.
+const (
+	CheckpointNone     = fault.CheckpointNone
+	CheckpointPeriodic = fault.CheckpointPeriodic
+	CheckpointOnResize = fault.CheckpointOnResize
+	CheckpointDaly     = fault.CheckpointDaly
+)
+
+// ParseCheckpointPolicy resolves "none", "periodic", "on-resize" or "daly"
+// (the empty string means none).
+func ParseCheckpointPolicy(s string) (CheckpointPolicy, error) {
+	return fault.ParseCheckpointPolicy(s)
+}
+
+// DalyInterval returns Daly's first-order optimal checkpoint interval
+// sqrt(2·MTBF·C) for a mean time between failures and per-checkpoint cost,
+// floored to whole seconds (at least 1).
+func DalyInterval(mtbf float64, cost int64) int64 { return fault.DalyInterval(mtbf, cost) }
 
 // ParseFaultTrace reads a scripted fault trace: one "<time> fail|repair
 // <group>[,<group>...]" event per line, times non-decreasing, #-comments
@@ -434,8 +460,30 @@ func ResumeSnapshot(sn *SessionSnapshot, opt Options) (*Session, error) {
 	if sn.Retry != nil {
 		// A fault-injected session: the pending failure/repair events live in
 		// the snapshot itself (no trace is re-sampled on restore), so the
-		// rebuilt config only needs the matching retry policy.
-		cfg.Faults = &engine.FaultConfig{Trace: &fault.Trace{}, Retry: *sn.Retry}
+		// rebuilt config only needs the matching retry policy and checkpoint
+		// knobs.
+		ckpt, err := fault.ParseCheckpointPolicy(sn.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Faults = &engine.FaultConfig{
+			Trace:          &fault.Trace{},
+			Retry:          *sn.Retry,
+			Checkpoint:     ckpt,
+			CheckpointCost: sn.CheckpointCost,
+		}
+		switch ckpt {
+		case fault.CheckpointPeriodic:
+			cfg.Faults.CheckpointInterval = sn.CheckpointInterval
+		case fault.CheckpointDaly:
+			// Daly derives per-job intervals from the captured MTBF; the
+			// config carries it as a sampling parameter (incompatible with
+			// a scripted trace placeholder), which is harmless here — a
+			// restored session never samples, its fault events are pinned
+			// in the snapshot.
+			cfg.Faults.Trace = nil
+			cfg.Faults.MTBF = sn.CheckpointMTBF
+		}
 	}
 	if opt.Trace != nil {
 		cfg.Observer = opt.Trace

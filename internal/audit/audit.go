@@ -95,6 +95,27 @@ type Options struct {
 	Faults *fault.Trace
 	// Retry is the engine's retry policy; meaningful only with Faults.
 	Retry fault.RetryPolicy
+	// Checkpoint is the engine's checkpoint policy; meaningful only with
+	// Faults. Any policy other than CheckpointNone supersedes the
+	// Retry.Restart accounting with a chain replay: every attempt's span
+	// must match a forward replay of its checkpoint schedule (interval
+	// charges included), and each kill must hand the next attempt exactly
+	// the engine's restart-from-checkpoint residual.
+	Checkpoint fault.CheckpointPolicy
+	// CheckpointInterval is the *resolved* base wall interval between a
+	// job's checkpoints — the configured periodic interval, or daly's
+	// derived single-group sqrt(2·MTBF·C) — and 0 for the on-resize
+	// policy, whose checkpoints ride on resizes instead of a timer.
+	// Meaningful only with Checkpoint.
+	CheckpointInterval int64
+	// CheckpointCost is the engine's per-checkpoint (and per-restart)
+	// charge. Meaningful only with Checkpoint.
+	CheckpointCost int64
+	// MTBF is the per-group mean time between failures the daly policy
+	// derives from: the chain replay recomputes each job's own interval
+	// sqrt(2·(MTBF/g)·C) for its span of g node groups, exactly as the
+	// engine does. Meaningful only with Checkpoint == CheckpointDaly.
+	MTBF float64
 }
 
 // Check audits the spans of one run against the workload it came from.
@@ -298,6 +319,19 @@ func checkResizes(sp trace.Span, opt Options, add func(string, ...any)) {
 	if !opt.Malleable || opt.Elastic || sp.Killed || sp.Planned <= 0 {
 		return
 	}
+	var ckptC int64
+	switch {
+	case opt.Checkpoint == fault.CheckpointOnResize && sp.Class != job.Dedicated:
+		// Every resize doubles as a checkpoint: its cost rides on the
+		// rescaled remainder exactly like the resize overhead.
+		ckptC = opt.CheckpointCost
+	case opt.Checkpoint != fault.CheckpointNone && opt.CheckpointInterval > 0 && sp.Class != job.Dedicated:
+		// Interval checkpoints charge their cost at wall-clock instants
+		// that interleave with the resizes in an order the span record
+		// does not capture; the checkpoint chain replay audits the
+		// unresized attempts instead.
+		return
+	}
 	rem, t, size := sp.Planned, sp.Start, sp.Size
 	for _, rz := range sp.Resizes {
 		seg := rz.Time - t
@@ -306,7 +340,7 @@ func checkResizes(sp trace.Span, opt Options, add func(string, ...any)) {
 			return
 		}
 		if rem -= seg; rem > 0 {
-			rem = job.RescaleRemaining(rem, size, rz.NewSize) + opt.ResizeOverhead
+			rem = job.RescaleRemaining(rem, size, rz.NewSize) + opt.ResizeOverhead + ckptC
 		}
 		t, size = rz.Time, rz.NewSize
 	}
@@ -412,6 +446,12 @@ func checkFaults(byID map[int]*job.Job, spans []trace.Span, opt Options, add fun
 				continue
 			}
 		}
+		// Under a checkpoint policy the restart binary below is superseded:
+		// every attempt is held to the checkpoint chain replay instead.
+		if opt.Checkpoint != fault.CheckpointNone {
+			checkCheckpointChain(id, j, atts, opt, add)
+			continue
+		}
 		// Runtime accounting. eff is what the job needed end to end; kills
 		// may each add up to one clamp second under RemainingRuntime.
 		eff := j.EffectiveRuntime()
@@ -441,6 +481,86 @@ func checkFaults(byID map[int]*job.Job, spans []trace.Span, opt Options, add fun
 				add("job %d ran %d s across %d attempts, expected within [%d, %d]",
 					id, total, len(atts), eff, eff+int64(kills))
 			}
+		}
+	}
+}
+
+// checkCheckpointChain replays one job's attempts under the engine's
+// checkpoint arithmetic and holds every recorded span to the replay.
+//
+// With a chaining interval I > 0 and cost C, an attempt entering with
+// estimate D and actual A (effective eff) checkpoints at elapsed
+// n·I + (n−1)·C; each checkpoint pushes completion by C. Closed forms
+// (derived from the engine's deterministic same-instant ordering — a
+// completion landing exactly on a checkpoint instant wins, a kill landing
+// on one cancels it):
+//
+//   - a completed attempt takes k' = (eff−1)/I checkpoints and occupies
+//     the machine for exactly eff + k'·C;
+//   - an attempt killed after elapsed e took k = (e+C−1)/(I+C)
+//     checkpoints, and e may not exceed the completed form;
+//   - the kill hands the next attempt D' = max(D + k·C − off, 1) + r and
+//     (when A > 0) A' = max(eff + k·C − off, 1) + r, where off is the last
+//     checkpoint's elapsed offset k·I + (k−1)·C and r = C — both zero when
+//     no checkpoint was taken, which degenerates to a full restart.
+//
+// The on-resize policy has no timer (I = 0): its checkpoints ride on
+// resizes, and resized jobs are already exempt from runtime accounting, so
+// every audited attempt here restarts in full with no charges. Dedicated
+// jobs never checkpoint regardless of policy.
+func checkCheckpointChain(id int, j *job.Job, atts []trace.Span, opt Options, add func(string, ...any)) {
+	I, C := opt.CheckpointInterval, opt.CheckpointCost
+	if opt.Checkpoint == fault.CheckpointDaly && opt.Unit > 0 {
+		// Daly intervals are per job: a job spanning g groups experiences
+		// MTBF/g. Audited attempts are never resized (resized spans are
+		// exempted above), so the submitted size fixes the span.
+		if g := (j.Size + opt.Unit - 1) / opt.Unit; g > 1 {
+			I = fault.DalyInterval(opt.MTBF/float64(g), C)
+		}
+	}
+	if j.Class == job.Dedicated {
+		I = 0
+	}
+	D, A := j.Dur, j.Actual
+	for i, sp := range atts {
+		eff := D
+		if A > 0 && A < D {
+			eff = A
+		}
+		var kc int64 // checkpoints a completed attempt would take
+		if I > 0 {
+			kc = (eff - 1) / I
+		}
+		e := sp.End - sp.Start
+		if !sp.Killed {
+			if want := eff + kc*C; e != want {
+				add("job %d attempt %d ran %d s, checkpoint replay predicts %d (%d checkpoints of cost %d on effective runtime %d)",
+					id, i+1, e, want, kc, C, eff)
+			}
+			continue // spans after a completion are flagged structurally above
+		}
+		if e > eff+kc*C {
+			add("job %d attempt %d ran %d s before its kill, above its checkpointed effective runtime %d",
+				id, i+1, e, eff+kc*C)
+		}
+		var k int64 // checkpoints actually taken before the kill
+		if I > 0 && e > 0 {
+			k = (e + C - 1) / (I + C)
+		}
+		var off, r int64
+		if k > 0 {
+			off = k*I + (k-1)*C
+			r = C
+		}
+		if D = D + k*C - off; D < 1 {
+			D = 1
+		}
+		D += r
+		if A > 0 {
+			if A = eff + k*C - off; A < 1 {
+				A = 1
+			}
+			A += r
 		}
 	}
 }

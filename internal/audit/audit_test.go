@@ -302,6 +302,161 @@ func TestFaultRemainingRuntimeBounds(t *testing.T) {
 	wantViolation(t, rep, "expected within [100, 101]")
 }
 
+// --- checkpoint chain rules -----------------------------------------------
+
+// copts is fopts plus a periodic checkpoint policy with interval ivl and
+// cost c, engaging the chain-replay rule instead of the restart binary.
+func copts(tr *fault.Trace, p fault.RetryPolicy, ivl, c int64) Options {
+	o := fopts(tr, p)
+	o.Checkpoint = fault.CheckpointPeriodic
+	o.CheckpointInterval = ivl
+	o.CheckpointCost = c
+	return o
+}
+
+func TestCheckpointCleanChainOK(t *testing.T) {
+	// Dur 100, I=30, C=5: a completed attempt takes (100-1)/30 = 3
+	// checkpoints and occupies exactly 115 s.
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(500, fault.Fail, 9), fev(501, fault.Repair, 9))
+	rep := Check(w, []trace.Span{span(1, 64, 0, 115, 0, 1)}, copts(tr, fault.RetryPolicy{}, 30, 5))
+	if !rep.OK() {
+		t.Fatalf("lawful checkpointed completion flagged: %v", rep.Violations)
+	}
+}
+
+func TestCheckpointDetectsMissingCharges(t *testing.T) {
+	// The span runs the bare runtime without the 3 checkpoint charges.
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(500, fault.Fail, 9), fev(501, fault.Repair, 9))
+	rep := Check(w, []trace.Span{span(1, 64, 0, 100, 0, 1)}, copts(tr, fault.RetryPolicy{}, 30, 5))
+	wantViolation(t, rep, "checkpoint replay predicts 115")
+}
+
+func TestCheckpointRestartFromCheckpointOK(t *testing.T) {
+	// Killed at elapsed 40 with I=30, C=5: one checkpoint was taken at
+	// elapsed 30, so the retry restarts with D' = (100+5-30)+5 = 80 and
+	// completes after 80 + 2·5 = 90 s (two checkpoints on the retry).
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(40, fault.Fail, 0), fev(200, fault.Repair, 0))
+	spans := []trace.Span{
+		killedSpan(1, 64, 0, 40, 0, 1),
+		span(1, 64, 40, 130, 2, 3),
+	}
+	rep := Check(w, spans, copts(tr, fault.RetryPolicy{}, 30, 5))
+	if !rep.OK() {
+		t.Fatalf("lawful restart-from-checkpoint flagged: %v", rep.Violations)
+	}
+}
+
+func TestCheckpointDetectsFullRestartAfterCheckpoint(t *testing.T) {
+	// Same kill as above, but the retry reruns the full checkpointed
+	// runtime (115 s) as if no checkpoint existed: lost work invented.
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(40, fault.Fail, 0), fev(200, fault.Repair, 0))
+	spans := []trace.Span{
+		killedSpan(1, 64, 0, 40, 0, 1),
+		span(1, 64, 40, 155, 2, 3),
+	}
+	rep := Check(w, spans, copts(tr, fault.RetryPolicy{}, 30, 5))
+	wantViolation(t, rep, "checkpoint replay predicts 90")
+}
+
+func TestCheckpointDegeneratesToFullRestart(t *testing.T) {
+	// Killed at elapsed 20, before the first checkpoint at 30: the retry
+	// must rerun the full 115 s chain. A shorter "remaining-style" retry
+	// is a violation.
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(20, fault.Fail, 0), fev(200, fault.Repair, 0))
+	ok := []trace.Span{
+		killedSpan(1, 64, 0, 20, 0, 1),
+		span(1, 64, 20, 135, 2, 3),
+	}
+	rep := Check(w, ok, copts(tr, fault.RetryPolicy{}, 30, 5))
+	if !rep.OK() {
+		t.Fatalf("full restart before the first checkpoint flagged: %v", rep.Violations)
+	}
+	bad := []trace.Span{
+		killedSpan(1, 64, 0, 20, 0, 1),
+		span(1, 64, 20, 115, 2, 3), // 95 s: resumed progress it never saved
+	}
+	rep = Check(w, bad, copts(tr, fault.RetryPolicy{}, 30, 5))
+	wantViolation(t, rep, "checkpoint replay predicts 115")
+}
+
+func TestCheckpointDetectsOverrunBeforeKill(t *testing.T) {
+	// An attempt may never outlive its checkpointed effective runtime,
+	// kill or not.
+	w := wlOf(bj(1, 64, 100, 0))
+	tr := ftr(fev(120, fault.Fail, 0), fev(200, fault.Repair, 0))
+	rep := Check(w, []trace.Span{killedSpan(1, 64, 0, 120, 0, 1)}, copts(tr, fault.RetryPolicy{}, 30, 5))
+	wantViolation(t, rep, "above its checkpointed effective runtime 115")
+}
+
+func TestCheckpointDedicatedNeverCheckpoints(t *testing.T) {
+	// Dedicated jobs are exempt from checkpointing: a span carrying the
+	// batch checkpoint charges overstays its runtime.
+	d := &job.Job{ID: 1, Size: 64, Dur: 100, Arrival: 0, ReqStart: 0, Class: job.Dedicated}
+	w := wlOf(d)
+	tr := ftr(fev(500, fault.Fail, 9), fev(501, fault.Repair, 9))
+	sp := span(1, 64, 0, 115, 0, 1)
+	sp.Class = job.Dedicated
+	sp.ReqStart = 0
+	rep := Check(w, []trace.Span{sp}, copts(tr, fault.RetryPolicy{}, 30, 5))
+	wantViolation(t, rep, "checkpoint replay predicts 100 (0 checkpoints")
+}
+
+func TestCheckpointDalySpanInterval(t *testing.T) {
+	// Daly intervals are per job: a 64-proc job spans 2 of the 32-proc
+	// groups, so it checkpoints at sqrt(2·(450/2)·8) = 60, not the base
+	// single-group interval sqrt(2·450·8) = 84. With Dur 200 and C=8 the
+	// completed attempt takes (200-1)/60 = 3 checkpoints and occupies
+	// 224 s; a span replayed at the base interval (2 checkpoints, 216 s)
+	// must be flagged.
+	w := wlOf(bj(1, 64, 200, 0))
+	tr := ftr(fev(900, fault.Fail, 9), fev(901, fault.Repair, 9))
+	o := fopts(tr, fault.RetryPolicy{})
+	o.Checkpoint = fault.CheckpointDaly
+	o.CheckpointInterval = fault.DalyInterval(450, 8)
+	o.CheckpointCost = 8
+	o.MTBF = 450
+	if o.CheckpointInterval != 84 {
+		t.Fatalf("base daly interval = %d, want 84", o.CheckpointInterval)
+	}
+	rep := Check(w, []trace.Span{span(1, 64, 0, 224, 0, 1)}, o)
+	if !rep.OK() {
+		t.Fatalf("lawful span-interval daly completion flagged: %v", rep.Violations)
+	}
+	rep = Check(w, []trace.Span{span(1, 64, 0, 216, 0, 1)}, o)
+	wantViolation(t, rep, "checkpoint replay predicts 224")
+}
+
+func TestCheckpointOnResizeReplayCharges(t *testing.T) {
+	// Under the on-resize policy every resize charges the checkpoint cost
+	// on top of the resize overhead: shrinking 64→32 at t=50 with 50 s of
+	// work left rescales to 100 s, plus cost 5 → end at 155. Both the
+	// uncharged end (150) and the charged one must be told apart.
+	mk := func(end int64) trace.Span {
+		sp := span(1, 64, 0, end, 0, 1)
+		sp.Planned = 100
+		sp.MinProcs = 32
+		sp.MaxProcs = 64
+		sp.Resizes = []trace.Resize{{Time: 50, From: 64, NewSize: 32, Auto: true}}
+		return sp
+	}
+	o := opts()
+	o.Malleable = true
+	o.Checkpoint = fault.CheckpointOnResize
+	o.CheckpointCost = 5
+	w := wlOf(bj(1, 64, 100, 0))
+	rep := Check(w, []trace.Span{mk(155)}, o)
+	if !rep.OK() {
+		t.Fatalf("charged on-resize span flagged: %v", rep.Violations)
+	}
+	rep = Check(w, []trace.Span{mk(150)}, o)
+	wantViolation(t, rep, "work-conserving replay of its 1 resizes predicts t=155")
+}
+
 func TestFaultDetectsPlacementAfterCompletion(t *testing.T) {
 	w := wlOf(bj(1, 64, 100, 0))
 	tr := ftr(fev(500, fault.Fail, 9), fev(501, fault.Repair, 9))

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"elastisched/internal/fault"
 	"elastisched/internal/sched"
 	"elastisched/internal/workload"
 )
@@ -82,6 +83,48 @@ func BenchmarkSimulate500Malleable(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSimulate500Faults measures the paper-sized run with the fault
+// pipeline engaged end to end: sampled node-group outages, requeue with
+// backoff, and periodic checkpointing with its restart-from-checkpoint
+// kill path. Compare against BenchmarkSimulate500/EASY to read the cost
+// of fault injection; the EASY cell is required by benchgate so the fault
+// hot path cannot silently regress.
+func BenchmarkSimulate500Faults(b *testing.B) {
+	p := workload.DefaultParams()
+	p.N = 500
+	p.PS = 0.5
+	p.PE = 0.2
+	p.PR = 0.1
+	p.TargetLoad = 0.9
+	w, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"EASY", "Delayed-LOS"} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := Run(w, Config{
+					M: 320, Unit: 32, Scheduler: freshScheduler(name), ProcessECC: true,
+					Faults: &FaultConfig{
+						MTBF: 40000, MTTR: 2000, Seed: 7,
+						Retry:      fault.RetryPolicy{Restart: fault.RemainingRuntime, Backoff: 30},
+						Checkpoint: fault.CheckpointPeriodic, CheckpointInterval: 1800, CheckpointCost: 60,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(r.Events), "events")
+					b.ReportMetric(float64(r.Summary.KilledJobs), "kills")
+					b.ReportMetric(float64(r.Summary.CheckpointsTaken), "ckpts")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkWorkloadGenerate measures the Lublin-model generator.

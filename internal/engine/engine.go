@@ -120,6 +120,9 @@ func (cfg *Config) validate() error {
 		if err := cfg.Faults.validate(); err != nil {
 			return err
 		}
+		if cfg.Faults.Checkpoint == fault.CheckpointOnResize && !cfg.Malleable {
+			return fmt.Errorf("engine: fault config: %w", ErrOnResizeNeedsMalleable)
+		}
 		if cfg.Faults.Trace != nil {
 			groups := cfg.M / cfg.Unit
 			if err := cfg.Faults.Trace.Validate(groups); err != nil {
@@ -221,13 +224,20 @@ type Session struct {
 	// resize proposals (sched.Malleable); scheduleInstant then collects and
 	// applies proposals after every Schedule call.
 	malleable sched.Malleable
-	// arriveH/completeH/commandH/faultH are the shared event callbacks,
-	// bound once so the hot paths schedule through simkit.AtArg without
-	// allocating a closure per event.
-	arriveH, completeH, commandH, faultH simkit.ArgHandler
+	// arriveH/completeH/commandH/faultH/ckptH are the shared event
+	// callbacks, bound once so the hot paths schedule through simkit.AtArg
+	// without allocating a closure per event. ckptH is bound only under a
+	// timer-driven checkpoint policy (periodic or daly).
+	arriveH, completeH, commandH, faultH, ckptH simkit.ArgHandler
 	// ftrace is the resolved fault trace (scripted or sampled at Load);
 	// nil when fault injection is off.
 	ftrace *fault.Trace
+	// ckpt maps job ID -> pending checkpoint event of the running attempt;
+	// non-nil exactly when ckptH is bound. ckptEvery is the resolved base
+	// (single-group) wall interval between a job's checkpoints; daly jobs
+	// spanning several node groups shorten it per job (ckptIntervalFor).
+	ckpt      map[int]simkit.Handle
+	ckptEvery int64
 
 	// loaded latches after Load or Restore; failed latches the first
 	// unrecoverable error (livelock), after which the session is dead.
@@ -378,6 +388,11 @@ func New(cfg Config) (*Session, error) {
 		// Bound lazily: fault-free runs never dispatch a fault event, and a
 		// fault snapshot only restores into a fault-enabled config.
 		s.faultH = s.faultEv
+		if ivl := cfg.Faults.ResolvedCheckpointInterval(); ivl > 0 {
+			s.ckptH = s.ckptEv
+			s.ckpt = make(map[int]simkit.Handle)
+			s.ckptEvery = ivl
+		}
 	}
 	return s, nil
 }
@@ -829,7 +844,11 @@ func (s *Session) start(j *job.Job) bool {
 	// the actual completion may come earlier (premature termination) and
 	// can never come later (overrunning jobs are killed).
 	j.EndTime = now + j.Dur
+	// Each attempt restarts its checkpoint clock: until one is taken, a
+	// kill restarts this attempt from scratch.
+	j.CkptAt = now
 	s.setCompletion(j.ID, s.eng.AtArg(now+j.EffectiveRuntime(), s.completeH, j))
+	s.scheduleFirstCheckpoint(j, now)
 	s.active.Insert(j)
 	if s.debugging() {
 		s.debugf("t=%d start job=%d size=%d killby=%d wait=%d", now, j.ID, j.Size, j.EndTime, j.Wait())
@@ -851,6 +870,7 @@ func (s *Session) complete(j *job.Job, now int64) {
 	}
 	s.active.Remove(j)
 	s.clearCompletion(j.ID)
+	s.cancelCheckpoint(j.ID)
 	j.State = job.Finished
 	j.FinishTime = now
 	if s.debugging() {
@@ -973,18 +993,32 @@ func (s *Session) finishResize(j *job.Job, newSize int, auto bool) {
 	oldSize := j.Size
 	if s.cfg.Malleable {
 		if rem := j.EndTime - now; rem > 0 {
-			newRem := job.RescaleRemaining(rem, oldSize, newSize) + s.cfg.ResizeOverhead
+			// Under the on-resize policy every applied resize doubles as a
+			// checkpoint: reconfiguration already redistributes the job's
+			// data, so only the checkpoint cost is charged on top of the
+			// resize overhead, and the restart point moves here.
+			var ckptCost int64
+			onResizeCkpt := s.cfg.Faults != nil &&
+				s.cfg.Faults.Checkpoint == fault.CheckpointOnResize && j.Class == job.Batch
+			if onResizeCkpt {
+				ckptCost = s.cfg.Faults.CheckpointCost
+			}
+			newRem := job.RescaleRemaining(rem, oldSize, newSize) + s.cfg.ResizeOverhead + ckptCost
 			oldEnd := j.EndTime
 			j.EndTime = now + newRem
 			j.Dur = j.EndTime - j.StartTime
 			if j.Actual > 0 {
 				elapsed := now - j.StartTime
 				if remAct := j.Actual - elapsed; remAct > 0 {
-					j.Actual = elapsed + job.RescaleRemaining(remAct, oldSize, newSize) + s.cfg.ResizeOverhead
+					j.Actual = elapsed + job.RescaleRemaining(remAct, oldSize, newSize) + s.cfg.ResizeOverhead + ckptCost
 				}
 			}
 			s.RetimeRunning(j, oldEnd)
 			s.collector.ResizeOverheadApplied(s.cfg.ResizeOverhead)
+			if onResizeCkpt {
+				j.CkptAt = now
+				s.collector.CheckpointTaken(ckptCost, newSize)
+			}
 			if newSize < oldSize {
 				s.collector.ProcsShrunk(float64(oldSize-newSize) * float64(rem))
 			}

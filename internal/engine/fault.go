@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"elastisched/internal/fault"
 	"elastisched/internal/job"
@@ -31,16 +32,54 @@ type FaultConfig struct {
 	// always dropped. The zero value requeues immediately, full restart,
 	// unlimited retries.
 	Retry fault.RetryPolicy
+
+	// Checkpoint selects when running batch jobs save restart state. With
+	// any policy other than CheckpointNone, a kill restarts the victim
+	// from its last checkpoint — residual estimate from the checkpoint
+	// instant plus one CheckpointCost restart charge — superseding the
+	// Retry.Restart full/remaining binary. CheckpointNone (the zero value)
+	// is the exact pre-checkpoint behaviour.
+	Checkpoint fault.CheckpointPolicy
+	// CheckpointInterval is the periodic policy's interval I in sim
+	// seconds (CheckpointPeriodic only; daly derives its own from MTBF).
+	CheckpointInterval int64
+	// CheckpointCost is the time C one checkpoint adds to the job's
+	// remaining runtime, and the restart charge a kill adds when a
+	// checkpoint exists to restart from.
+	CheckpointCost int64
 }
+
+// ResolvedCheckpointInterval returns the base wall interval between a
+// job's checkpoints under the configured policy: CheckpointInterval for
+// periodic, Daly's sqrt(2*MTBF*C) for daly, 0 for none and on-resize
+// (whose checkpoints ride on resizes instead of a timer). The daly value
+// is the single-group interval; a running job spanning g node groups
+// fails g times as often, so the engine divides the MTBF by the job's
+// span when deriving its own interval (see Session.ckptIntervalFor).
+func (fc *FaultConfig) ResolvedCheckpointInterval() int64 {
+	switch fc.Checkpoint {
+	case fault.CheckpointPeriodic:
+		return fc.CheckpointInterval
+	case fault.CheckpointDaly:
+		return fault.DalyInterval(fc.MTBF, fc.CheckpointCost)
+	}
+	return 0
+}
+
+// ErrOnResizeNeedsMalleable rejects the on-resize checkpoint policy
+// without the malleable pipeline: with Malleable off, resizes keep the
+// legacy semantics (no runtime rescale) and carry no natural checkpoint
+// boundary.
+var ErrOnResizeNeedsMalleable = errors.New("engine: on-resize checkpointing needs Malleable mode")
 
 // validate checks the fault configuration, wrapping the fault package's
 // typed errors so callers can test with errors.Is.
 func (fc *FaultConfig) validate() error {
 	if fc.Trace == nil {
-		if fc.MTBF <= 0 {
+		if math.IsNaN(fc.MTBF) || fc.MTBF <= 0 {
 			return fmt.Errorf("engine: fault config: %w (got %g)", fault.ErrNonPositiveMTBF, fc.MTBF)
 		}
-		if fc.MTTR < 0 {
+		if math.IsNaN(fc.MTTR) || fc.MTTR < 0 {
 			return fmt.Errorf("engine: fault config: %w (got %g)", fault.ErrNegativeMTTR, fc.MTTR)
 		}
 	} else if fc.MTBF != 0 || fc.MTTR != 0 {
@@ -50,6 +89,9 @@ func (fc *FaultConfig) validate() error {
 		return fmt.Errorf("engine: fault config: %w (got %d)", fault.ErrNonPositiveSpan, fc.Horizon)
 	}
 	if err := fc.Retry.Validate(); err != nil {
+		return fmt.Errorf("engine: fault config: %w", err)
+	}
+	if err := fault.ValidateCheckpoint(fc.Checkpoint, fc.CheckpointInterval, fc.CheckpointCost, fc.MTBF); err != nil {
 		return fmt.Errorf("engine: fault config: %w", err)
 	}
 	return nil
@@ -193,12 +235,21 @@ func (s *Session) kill(j *job.Job, now int64) {
 	s.active.Remove(j)
 	s.eng.Cancel(s.getCompletion(j.ID))
 	s.clearCompletion(j.ID)
+	s.cancelCheckpoint(j.ID)
 
 	p := s.cfg.Faults.Retry
+	ckpt := s.cfg.Faults.Checkpoint
 	requeue := j.Class == job.Batch && p.Mode == fault.Requeue &&
 		(p.MaxRetries == 0 || j.Retries < p.MaxRetries)
 
-	s.collector.JobKilled(j, now, requeue)
+	// Lost work: a requeued victim with a checkpoint loses only the work
+	// done since it (a dropped one loses everything it ran — checkpoints
+	// cannot help a job that never comes back).
+	lostFrom := j.StartTime
+	if requeue && ckpt != fault.CheckpointNone && j.CkptAt > lostFrom {
+		lostFrom = j.CkptAt
+	}
+	s.collector.JobKilled(j, now, requeue, lostFrom)
 	if s.st != nil {
 		s.st.JobKilled(j, now)
 	}
@@ -215,13 +266,32 @@ func (s *Session) kill(j *job.Job, now int64) {
 		return
 	}
 
-	// Reshape the job for resubmission. Under RemainingRuntime (checkpointed
-	// jobs) only the unfinished work comes back: the estimate becomes the
-	// residual to the kill-by time and the actual runtime shrinks by the
-	// elapsed work, both clamped to at least one second (the failure may
-	// land exactly at the kill-by instant). Under FullRuntime the job
-	// restarts from scratch with its current requirements.
-	if p.Restart == fault.RemainingRuntime {
+	// Reshape the job for resubmission.
+	//
+	// Under a checkpoint policy the resubmission resumes from the last
+	// checkpoint: the estimate becomes the residual from the checkpoint
+	// instant plus one CheckpointCost restart charge (no charge when no
+	// checkpoint was taken — there is no saved state to reload), and the
+	// actual runtime loses the work completed before the checkpoint. Both
+	// are clamped to at least one second (the failure may land exactly at
+	// the kill-by instant). This supersedes the Restart binary below.
+	//
+	// Without a checkpoint policy, RemainingRuntime keeps only the
+	// unfinished work (the pre-checkpoint model of a free, always-current
+	// checkpoint) and FullRuntime restarts from scratch with the job's
+	// current requirements.
+	if ckpt != fault.CheckpointNone {
+		last := j.CkptAt
+		var restart int64
+		if last > j.StartTime {
+			restart = s.cfg.Faults.CheckpointCost
+		}
+		eff := j.EffectiveRuntime()
+		j.Dur = max64(j.EndTime-last, 1) + restart
+		if j.Actual > 0 {
+			j.Actual = max64(eff-(last-j.StartTime), 1) + restart
+		}
+	} else if p.Restart == fault.RemainingRuntime {
 		eff := j.EffectiveRuntime()
 		elapsed := now - j.StartTime
 		j.Dur = max64(j.EndTime-now, 1)
@@ -238,6 +308,88 @@ func (s *Session) kill(j *job.Job, now int64) {
 	s.eng.AtArg(j.Arrival, s.arriveH, j)
 	if s.debugging() {
 		s.debugf("t=%d kill job=%d requeued at=%d dur=%d retries=%d", now, j.ID, j.Arrival, j.Dur, j.Retries)
+	}
+}
+
+// --- checkpointing --------------------------------------------------------
+//
+// Periodic and daly policies run an explicit per-job event chain: the first
+// checkpoint is scheduled at dispatch + I, and each checkpoint schedules
+// the next at its own instant + C + I (the job spends C writing the
+// checkpoint, then I of useful work). Explicit events — rather than
+// arithmetic folded into the completion time — keep the chain correct when
+// resizes or ECC commands stretch and shrink the job's timeline mid-run.
+//
+// Event-order ties are deterministic and favor not checkpointing: fault
+// events are scheduled at Load, so at an equal timestamp a kill dispatches
+// first and cancels the checkpoint; a completion re-scheduled by the
+// checkpoint handler's retime carries a lower sequence number than the
+// next checkpoint it schedules, so a completion landing exactly on a
+// checkpoint instant also wins. The audit oracle's chain replay depends on
+// exactly these tie rules.
+
+func (s *Session) ckptEv(now int64, arg any) { s.checkpoint(arg.(*job.Job), now) }
+
+// checkpointChaining reports whether this session runs timer-driven
+// checkpoint chains (periodic or daly policy).
+func (s *Session) checkpointChaining() bool { return s.ckptH != nil }
+
+// ckptIntervalFor returns the wall interval before job j's next
+// checkpoint. Periodic jobs all share the configured interval. Daly jobs
+// each get their own optimum: the configured MTBF is per node group, and
+// a job spanning g groups is killed by any of them, so it experiences
+// MTBF/g and its interval is sqrt(2·(MTBF/g)·C). A malleable resize can
+// change the span; the chain picks up the new interval at the next link.
+func (s *Session) ckptIntervalFor(j *job.Job) int64 {
+	if s.cfg.Faults.Checkpoint == fault.CheckpointDaly {
+		if g := (j.Size + s.cfg.Unit - 1) / s.cfg.Unit; g > 1 {
+			return fault.DalyInterval(s.cfg.Faults.MTBF/float64(g), s.cfg.Faults.CheckpointCost)
+		}
+	}
+	return s.ckptEvery
+}
+
+// scheduleFirstCheckpoint opens a dispatched batch job's checkpoint chain.
+func (s *Session) scheduleFirstCheckpoint(j *job.Job, now int64) {
+	if s.ckptH == nil || j.Class != job.Batch {
+		return
+	}
+	s.ckpt[j.ID] = s.eng.AtArg(now+s.ckptIntervalFor(j), s.ckptH, j)
+}
+
+// cancelCheckpoint cancels a job's pending checkpoint event, if any — the
+// job is leaving the machine (completion or kill).
+func (s *Session) cancelCheckpoint(id int) {
+	if s.ckpt == nil {
+		return
+	}
+	if h, ok := s.ckpt[id]; ok {
+		s.eng.Cancel(h)
+		delete(s.ckpt, id)
+	}
+}
+
+// checkpoint executes one checkpoint of a running job: the cost C is
+// charged to the job's remaining runtime (estimate and actual both — the
+// machine really is occupied that much longer), the restart point moves to
+// this instant, and the next checkpoint is chained.
+func (s *Session) checkpoint(j *job.Job, now int64) {
+	delete(s.ckpt, j.ID)
+	c := s.cfg.Faults.CheckpointCost
+	if c > 0 {
+		oldEnd := j.EndTime
+		j.EndTime += c
+		j.Dur = j.EndTime - j.StartTime
+		if j.Actual > 0 {
+			j.Actual += c
+		}
+		s.RetimeRunning(j, oldEnd)
+	}
+	j.CkptAt = now
+	s.collector.CheckpointTaken(c, j.Size)
+	s.ckpt[j.ID] = s.eng.AtArg(now+c+s.ckptIntervalFor(j), s.ckptH, j)
+	if s.debugging() {
+		s.debugf("t=%d checkpoint job=%d cost=%d killby=%d", now, j.ID, c, j.EndTime)
 	}
 }
 

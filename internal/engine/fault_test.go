@@ -296,6 +296,103 @@ func TestSnapshotRoundTripMidFault(t *testing.T) {
 	}
 }
 
+// TestSnapshotRoundTripMidRetryBackoff snapshots while a killed job's
+// backoff resubmission is still pending in the event queue — the retry
+// exists only as a future arrival — and requires the restored run to
+// reproduce the failure accounting exactly. The checkpointed variant
+// additionally carries the victim's checkpoint progress through the wire.
+func TestSnapshotRoundTripMidRetryBackoff(t *testing.T) {
+	cases := []struct {
+		name string
+		fc   FaultConfig
+	}{
+		{"plain", FaultConfig{
+			Trace: ftrace(fail(50, 0, 1), repair(60, 0, 1)),
+			Retry: fault.RetryPolicy{Restart: fault.RemainingRuntime, Backoff: 100},
+		}},
+		{"checkpointed", FaultConfig{
+			Trace:      ftrace(fail(50, 0, 1), repair(60, 0, 1)),
+			Retry:      fault.RetryPolicy{Backoff: 100},
+			Checkpoint: fault.CheckpointPeriodic, CheckpointInterval: 20, CheckpointCost: 3,
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w := wl(batch(1, 320, 100, 0), batch(2, 160, 40, 5))
+			fresh := func() *Session {
+				fc := tc.fc
+				s, err := New(Config{M: 320, Unit: 32, Scheduler: &sched.EASY{}, Paranoid: true, Faults: &fc})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			mk := func() *Session {
+				s := fresh()
+				if err := s.Load(w); err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			full := mk()
+			if err := full.Run(); err != nil {
+				t.Fatal(err)
+			}
+			want, err := full.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Summary.KilledJobs == 0 || want.Summary.RetriedJobs == 0 {
+				t.Fatalf("scenario kills nothing: %+v", want.Summary)
+			}
+
+			// Kill at t=50, backoff 100: at t=100 the resubmission is still
+			// a pending future arrival.
+			live := mk()
+			if err := live.RunUntil(100); err != nil {
+				t.Fatal(err)
+			}
+			sn, err := live.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := sn.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			sn2, err := DecodeSnapshot(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed := fresh()
+			if err := resumed.Restore(sn2); err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := resumed.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Summary.KilledJobs != want.Summary.KilledJobs ||
+				got.Summary.RetriedJobs != want.Summary.RetriedJobs ||
+				got.Summary.DroppedJobs != want.Summary.DroppedJobs {
+				t.Errorf("killed/retried/dropped = %d/%d/%d, want %d/%d/%d",
+					got.Summary.KilledJobs, got.Summary.RetriedJobs, got.Summary.DroppedJobs,
+					want.Summary.KilledJobs, want.Summary.RetriedJobs, want.Summary.DroppedJobs)
+			}
+			if got.Summary.LostWorkSeconds != want.Summary.LostWorkSeconds {
+				t.Errorf("lost work = %g, want %g", got.Summary.LostWorkSeconds, want.Summary.LostWorkSeconds)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("restored mid-backoff run diverged:\ngot:  %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
 func TestRestoreRejectsFaultMismatch(t *testing.T) {
 	w := wl(batch(1, 320, 100, 0))
 	cfg := Config{M: 320, Unit: 32, Scheduler: sched.FCFS{},

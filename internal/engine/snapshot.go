@@ -21,7 +21,10 @@ import (
 // Version 3 added malleability: the Malleable/ResizeOverhead feature
 // flags, per-job processor bounds (inside Jobs), and the resize counters
 // (inside Metrics).
-const SnapshotVersion = 3
+// Version 4 added checkpointing: the ckpt event kind, the captured
+// checkpoint policy knobs, per-job checkpoint progress (inside Jobs),
+// and the checkpoint counters (inside Metrics).
+const SnapshotVersion = 4
 
 // Event kinds in a snapshot.
 const (
@@ -31,6 +34,7 @@ const (
 	evWake     = "wake"     // a bare scheduler wake (dedicated start time)
 	evFail     = "fail"     // a pending node-group failure
 	evRepair   = "repair"   // a pending node-group repair
+	evCkpt     = "ckpt"     // a running job's next scheduled checkpoint
 )
 
 // EventSnap is one pending kernel event. Order within Snapshot.Events is
@@ -70,6 +74,24 @@ type Snapshot struct {
 	// without the fault subsystem, and future kills must follow the same
 	// policy.
 	Retry *fault.RetryPolicy `json:"retry,omitempty"`
+	// Checkpoint knobs of a fault-injected session (meaningful only when
+	// Retry is set). The restoring Config must match: pending ckpt events
+	// and per-job checkpoint progress are tied to the policy, interval and
+	// cost in force when they were captured. A daly policy is captured
+	// verbatim with its resolved base interval sqrt(2·MTBF·C) — in-flight
+	// chains resume from the snapshotted events at their pinned fire
+	// times, and jobs dispatched after the restore re-derive their
+	// per-span intervals from the restoring config's MTBF, which the
+	// interval match holds consistent with the captured one.
+	Checkpoint         string `json:"checkpoint,omitempty"`
+	CheckpointInterval int64  `json:"checkpoint_interval,omitempty"`
+	CheckpointCost     int64  `json:"checkpoint_cost,omitempty"`
+	// CheckpointMTBF is the per-group MTBF a daly session derives its
+	// per-job intervals from, captured so a session rebuilt from the
+	// snapshot alone (whose pinned fault events preclude sampling
+	// parameters on the config) can keep deriving them. Zero for every
+	// other policy.
+	CheckpointMTBF float64 `json:"checkpoint_mtbf,omitempty"`
 	// Malleable and ResizeOverhead are the runtime-elasticity flags; the
 	// restoring Config must match, or resumed resizes would change
 	// semantics mid-run.
@@ -104,6 +126,39 @@ type Snapshot struct {
 	// SchedState is the policy's opaque sched.Snapshotter encoding; empty
 	// for stateless policies.
 	SchedState []byte `json:"sched_state,omitempty"`
+}
+
+// wireCheckpoint maps a fault config's checkpoint knobs to their snapshot
+// wire form: the policy verbatim plus its resolved base interval (the
+// configured one for periodic, the derived sqrt(2·MTBF·C) for daly, 0
+// otherwise). Pinning daly's base interval lets the mismatch check catch
+// a restoring config whose MTBF or cost would re-derive different
+// per-job intervals.
+func wireCheckpoint(fc *FaultConfig) (fault.CheckpointPolicy, int64) {
+	return fc.Checkpoint, fc.ResolvedCheckpointInterval()
+}
+
+// checkpointMismatch reports whether the snapshot's captured checkpoint
+// knobs differ from the restoring fault config's (both in wire form, so
+// intervals compare resolved).
+func (sn *Snapshot) checkpointMismatch(fc *FaultConfig) bool {
+	policy, err := fault.ParseCheckpointPolicy(sn.Checkpoint)
+	if err != nil {
+		return true
+	}
+	cfgPolicy, cfgIvl := wireCheckpoint(fc)
+	return policy != cfgPolicy ||
+		sn.CheckpointInterval != cfgIvl ||
+		sn.CheckpointCost != fc.CheckpointCost ||
+		(policy == fault.CheckpointDaly && sn.CheckpointMTBF != fc.MTBF)
+}
+
+// orNone renders the empty on-the-wire checkpoint policy as "none".
+func orNone(p string) string {
+	if p == "" {
+		return "none"
+	}
+	return p
 }
 
 // Encode writes the snapshot as JSON.
@@ -155,6 +210,18 @@ func (s *Session) Snapshot() (*Snapshot, error) {
 	if s.cfg.Faults != nil {
 		p := s.cfg.Faults.Retry
 		sn.Retry = &p
+		// Policy none is the zero value and stays off the wire; daly is
+		// captured verbatim with its resolved base interval plus the MTBF
+		// it derives per-job intervals from (see the field comments).
+		if s.cfg.Faults.Checkpoint != fault.CheckpointNone {
+			policy, ivl := wireCheckpoint(s.cfg.Faults)
+			sn.Checkpoint = policy.String()
+			sn.CheckpointInterval = ivl
+			sn.CheckpointCost = s.cfg.Faults.CheckpointCost
+			if policy == fault.CheckpointDaly {
+				sn.CheckpointMTBF = s.cfg.Faults.MTBF
+			}
+		}
 	}
 	index := make(map[*job.Job]int, len(s.jobs))
 	sn.Jobs = make([]job.Job, len(s.jobs))
@@ -209,11 +276,14 @@ func (s *Session) Snapshot() (*Snapshot, error) {
 				return nil, fmt.Errorf("engine: snapshot found pending event for job %d the session does not own", arg.ID)
 			}
 			ev.Job = idx
-			// A job pointer argument is either the job's arrival or its
-			// completion; the completion is the one whose handle the
-			// completion table holds.
+			// A job pointer argument is the job's arrival, its completion,
+			// or its next checkpoint; the completion is the one whose handle
+			// the completion table holds, the checkpoint the one in the
+			// checkpoint table.
 			if pe.Handle == s.getCompletion(arg.ID) {
 				ev.Kind = evComplete
+			} else if h, ok := s.ckpt[arg.ID]; ok && pe.Handle == h {
+				ev.Kind = evCkpt
 			} else {
 				ev.Kind = evArrive
 			}
@@ -269,6 +339,10 @@ func (s *Session) Restore(sn *Snapshot) error {
 			sn.Retry != nil, s.cfg.Faults != nil)
 	case sn.Retry != nil && *sn.Retry != s.cfg.Faults.Retry:
 		return fmt.Errorf("engine: snapshot retry policy %+v differs from config %+v", *sn.Retry, s.cfg.Faults.Retry)
+	case sn.Retry != nil && sn.checkpointMismatch(s.cfg.Faults):
+		return fmt.Errorf("engine: snapshot checkpointing (%s/%d/%d) differs from config (%s/%d/%d)",
+			orNone(sn.Checkpoint), sn.CheckpointInterval, sn.CheckpointCost,
+			s.cfg.Faults.Checkpoint, s.cfg.Faults.ResolvedCheckpointInterval(), s.cfg.Faults.CheckpointCost)
 	case sn.Malleable != s.cfg.Malleable || sn.ResizeOverhead != s.cfg.ResizeOverhead:
 		return fmt.Errorf("engine: snapshot malleability (%v/%d) differs from config (%v/%d)",
 			sn.Malleable, sn.ResizeOverhead, s.cfg.Malleable, s.cfg.ResizeOverhead)
@@ -377,6 +451,21 @@ func (s *Session) Restore(sn *Snapshot) error {
 				return fmt.Errorf("engine: snapshot completion for job %d in state %v", j.ID, j.State)
 			}
 			s.setCompletion(j.ID, s.eng.AtArg(ev.Time, s.completeH, j))
+		case evCkpt:
+			j, err := jobAt(ev.Job, "checkpoint event")
+			if err != nil {
+				return err
+			}
+			if j.State != job.Running {
+				return fmt.Errorf("engine: snapshot checkpoint for job %d in state %v", j.ID, j.State)
+			}
+			if s.ckptH == nil {
+				return fmt.Errorf("engine: snapshot checkpoint event at t=%d but the config schedules no checkpoints", ev.Time)
+			}
+			if _, dup := s.ckpt[j.ID]; dup {
+				return fmt.Errorf("engine: snapshot has two pending checkpoints for job %d", j.ID)
+			}
+			s.ckpt[j.ID] = s.eng.AtArg(ev.Time, s.ckptH, j)
 		case evCommand:
 			if ev.Cmd == nil {
 				return fmt.Errorf("engine: snapshot command event at t=%d without a command", ev.Time)

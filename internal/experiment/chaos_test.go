@@ -27,12 +27,19 @@ var chaosPolicies = []fault.RetryPolicy{
 	{Mode: fault.Drop},
 }
 
-// chaosVariant selects the machine/malleability corner a chaos run
-// exercises. The zero value is the classic scatter, rigid configuration.
+// chaosVariant selects the machine/malleability/checkpointing corner a
+// chaos run exercises. The zero value is the classic scatter, rigid
+// configuration. plain drops elastic commands from the workload so the
+// audit's per-attempt replay rules (restart binary, checkpoint chain)
+// engage instead of deferring to the elastic work-conservation replay.
 type chaosVariant struct {
 	malleable  bool
 	contiguous bool
 	overhead   int64
+	plain      bool
+	ckpt       fault.CheckpointPolicy
+	ckptIvl    int64
+	ckptCost   int64
 }
 
 // chaosWorkload generates a small but eventful workload for fault runs:
@@ -48,6 +55,9 @@ func chaosWorkload(t *testing.T, hetero, sizeECC bool, v chaosVariant, seed int6
 	p.PR = 0.1
 	p.MaxECCPerJob = 2
 	p.SizeECC = sizeECC
+	if v.plain {
+		p.PE, p.PR, p.SizeECC = 0, 0, false
+	}
 	if hetero {
 		p.PD = 0.2
 	}
@@ -75,7 +85,10 @@ func chaosConfig(a Algorithm, seed int64, v chaosVariant) engine.Config {
 		ResizeOverhead: v.overhead,
 		Faults: &engine.FaultConfig{
 			MTBF: 40000, MTTR: 2000, Seed: seed,
-			Retry: chaosPolicies[int(seed)%len(chaosPolicies)],
+			Retry:              chaosPolicies[int(seed)%len(chaosPolicies)],
+			Checkpoint:         v.ckpt,
+			CheckpointInterval: v.ckptIvl,
+			CheckpointCost:     v.ckptCost,
 		},
 	}
 }
@@ -125,6 +138,11 @@ func chaosRun(t *testing.T, a Algorithm, seed int64, v chaosVariant) metrics.Sum
 		ResizeOverhead: v.overhead,
 		Faults:         s.FaultTrace(),
 		Retry:          cfg.Faults.Retry,
+
+		Checkpoint:         cfg.Faults.Checkpoint,
+		CheckpointInterval: cfg.Faults.ResolvedCheckpointInterval(),
+		CheckpointCost:     cfg.Faults.CheckpointCost,
+		MTBF:               cfg.Faults.MTBF,
 	})
 	if err := rep.Error(); err != nil {
 		t.Errorf("seed %d: %v (all: %v)", seed, err, rep.Violations)
@@ -222,6 +240,227 @@ func TestChaosMalleableSmoke(t *testing.T) {
 	}
 	if resizes == 0 {
 		t.Error("no scheduler resize across the smoke seeds; the matrix cell is vacuous")
+	}
+}
+
+// chaosCheckpointCells is the checkpoint-policy axis of the chaos matrix.
+// none/periodic/daly run on the plain (command-free) workload so every
+// batch attempt is held to the audit's checkpoint chain replay; on-resize
+// needs a malleable machine to take checkpoints at all, and composes the
+// chain rule with the resize work-conservation replay.
+var chaosCheckpointCells = []struct {
+	name string
+	v    chaosVariant
+}{
+	{"none", chaosVariant{plain: true}},
+	{"periodic", chaosVariant{plain: true, ckpt: fault.CheckpointPeriodic, ckptIvl: 900, ckptCost: 40}},
+	{"on-resize", chaosVariant{malleable: true, overhead: 3, ckpt: fault.CheckpointOnResize, ckptCost: 40}},
+	{"daly", chaosVariant{plain: true, ckpt: fault.CheckpointDaly, ckptCost: 40}},
+}
+
+// TestChaosCheckpoint is the checkpoint chaos property: every registry
+// algorithm, under every checkpoint policy and many seeded fault traces,
+// must produce a schedule the checkpoint-aware oracle certifies — each
+// completed attempt occupying exactly its runtime plus checkpoint costs,
+// each requeue restarting from the last checkpoint — and the periodic and
+// daly cells must actually take checkpoints (non-vacuous).
+func TestChaosCheckpoint(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 3
+	}
+	for _, name := range Names() {
+		for _, cell := range chaosCheckpointCells {
+			name, cell := name, cell
+			t.Run(name+"/"+cell.name, func(t *testing.T) {
+				a := MustByName(name)
+				ckpts, killed := 0, 0
+				for i := 0; i < seeds; i++ {
+					sum := chaosRun(t, a, int64(5000+i), cell.v)
+					ckpts += sum.CheckpointsTaken
+					killed += sum.KilledJobs
+				}
+				if testing.Short() {
+					return
+				}
+				switch cell.v.ckpt {
+				case fault.CheckpointNone:
+					if ckpts != 0 {
+						t.Errorf("policy none took %d checkpoints", ckpts)
+					}
+				case fault.CheckpointPeriodic, fault.CheckpointDaly:
+					if ckpts == 0 {
+						t.Errorf("no checkpoint taken across %d seeds; the chain property is vacuous", seeds)
+					}
+					if killed == 0 {
+						t.Errorf("no job killed across %d seeds; restarts from checkpoints untested", seeds)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosCheckpointSmoke is the CI-sized slice of the checkpoint chaos
+// property: two representative algorithms under every policy and a few
+// traces, cheap enough to run under -race on every push. The on-resize
+// cell doubles as the -M × Contiguous × Faults × checkpoint matrix corner.
+func TestChaosCheckpointSmoke(t *testing.T) {
+	for _, name := range []string{"EASY", "CONS"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a := MustByName(name)
+			for _, cell := range chaosCheckpointCells {
+				v := cell.v
+				if v.ckpt == fault.CheckpointOnResize {
+					v.contiguous = true
+				}
+				for i := 0; i < 3; i++ {
+					chaosRun(t, a, int64(6000+i), v)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosCheckpointMalleable composes checkpointing with true
+// malleability on the -M schedulers: periodic checkpoints while the
+// scheduler shrinks and expands jobs, on scatter and contiguous machines.
+// Resized jobs defer to the work-conservation replay; the untouched ones
+// stay on the chain rule — both must hold at once.
+func TestChaosCheckpointMalleable(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 2
+	}
+	variants := []struct {
+		name string
+		v    chaosVariant
+	}{
+		{"scatter", chaosVariant{malleable: true, ckpt: fault.CheckpointPeriodic, ckptIvl: 900, ckptCost: 40}},
+		{"contiguous", chaosVariant{malleable: true, contiguous: true, overhead: 5, ckpt: fault.CheckpointOnResize, ckptCost: 40}},
+	}
+	for _, name := range []string{"EASY-M", "Delayed-LOS-M"} {
+		for _, vr := range variants {
+			name, vr := name, vr
+			t.Run(name+"/"+vr.name, func(t *testing.T) {
+				a := MustByName(name)
+				ckpts := 0
+				for i := 0; i < seeds; i++ {
+					ckpts += chaosRun(t, a, int64(7000+i), vr.v).CheckpointsTaken
+				}
+				if !testing.Short() && ckpts == 0 {
+					t.Errorf("no checkpoint taken across %d seeds; the malleable checkpoint cell is vacuous", seeds)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosCheckpointSnapshotRoundTrip snapshots a checkpointed run
+// mid-outage — with pending checkpoint events and per-job checkpoint
+// progress in flight — pushes it through the JSON encoding into a fresh
+// session, and requires the restored run to finish with a Result
+// deep-equal to the uninterrupted one. The daly row additionally proves
+// the derived interval survives the wire in resolved periodic form.
+func TestChaosCheckpointSnapshotRoundTrip(t *testing.T) {
+	cells := []struct {
+		algo string
+		name string
+		v    chaosVariant
+	}{
+		{"EASY", "periodic", chaosVariant{plain: true, ckpt: fault.CheckpointPeriodic, ckptIvl: 900, ckptCost: 40}},
+		{"Delayed-LOS", "daly", chaosVariant{plain: true, ckpt: fault.CheckpointDaly, ckptCost: 40}},
+		{"EASY-M", "on-resize", chaosVariant{malleable: true, overhead: 3, ckpt: fault.CheckpointOnResize, ckptCost: 40}},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.algo+"/"+cell.name, func(t *testing.T) {
+			a := MustByName(cell.algo)
+			seed := int64(7)
+			hetero := a.New(Point{Cs: 5}).Heterogeneous()
+			w := chaosWorkload(t, hetero, false, cell.v, seed)
+
+			runFull := func() *engine.Result {
+				s, err := engine.New(chaosConfig(a, seed, cell.v))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Load(w); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Run(); err != nil {
+					t.Fatal(err)
+				}
+				r, err := s.Result()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			want := runFull()
+			if cell.v.ckpt != fault.CheckpointOnResize && want.Summary.CheckpointsTaken == 0 {
+				t.Fatalf("uninterrupted run took no checkpoints; the round trip is vacuous")
+			}
+
+			live, err := engine.New(chaosConfig(a, seed, cell.v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := live.Load(w); err != nil {
+				t.Fatal(err)
+			}
+			ft := live.FaultTrace()
+			if ft == nil || len(ft.Events) == 0 {
+				t.Fatal("no fault trace generated")
+			}
+			var mid int64 = -1
+			for _, e := range ft.Events {
+				if e.Kind == fault.Fail {
+					mid = e.Time + 1
+					break
+				}
+			}
+			if mid < 0 {
+				t.Fatal("trace has no failure event")
+			}
+			if err := live.RunUntil(mid); err != nil {
+				t.Fatal(err)
+			}
+			sn, err := live.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sn.Checkpoint == "" {
+				t.Fatalf("snapshot carries no checkpoint policy: %+v", sn)
+			}
+			var buf bytes.Buffer
+			if err := sn.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := engine.DecodeSnapshot(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := engine.New(chaosConfig(a, seed, cell.v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.Restore(decoded); err != nil {
+				t.Fatal(err)
+			}
+			if err := resumed.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := resumed.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("restored checkpointed run diverged at snapshot t=%d\ngot:  %+v\nwant: %+v",
+					sn.Now, got, want)
+			}
+		})
 	}
 }
 

@@ -591,6 +591,70 @@ func Robustness() *Experiment {
 	}
 }
 
+// Checkpoint is the checkpoint-economics study: the cost trade of
+// checkpoint/restart under node-group failures. Each panel fixes one
+// per-group MTBF and sweeps the periodic checkpoint interval I (x-axis):
+// short intervals pay checkpoint overhead on every running job, long ones
+// lose more work per kill — lost work falls and overhead rises with
+// 1/I, so total fault-pipeline cost is U-shaped in I. One extra point per
+// panel runs the daly policy, plotted at its base (single-group) interval
+// sqrt(2·MTBF·C): it should sit at (or within 10% of) the sweep's optimum
+// without per-MTBF tuning. Daly is per job in the engine — a job spanning
+// g node groups fails g times as often, so it checkpoints at
+// sqrt(2·(MTBF/g)·C) — which is why a single sampled MTBF serves the
+// whole mixed-size workload where any one global interval must
+// compromise between the 1-group and 10-group jobs.
+func Checkpoint() *Experiment {
+	const (
+		cost = int64(120) // per-checkpoint (and per-restart) charge C
+		mttr = 2000.0
+	)
+	mtbfs := []float64{20000, 80000}
+	intervals := []int64{400, 800, 1600, 3200, 6400, 12800}
+	panel := func(mtbf float64) *Sweep {
+		point := func(x int64, policy fault.CheckpointPolicy, interval int64) Point {
+			return Point{
+				X: float64(x), Params: batchParams(0.5, 0.9), Cs: CsFor(0.5),
+				MTBF: mtbf, MTTR: mttr,
+				Retry:              fault.RetryPolicy{Mode: fault.Requeue, Restart: fault.RemainingRuntime, Backoff: 30},
+				CheckpointPolicy:   policy,
+				CheckpointInterval: interval,
+				CheckpointCost:     cost,
+			}
+		}
+		daly := fault.DalyInterval(mtbf, cost)
+		pts := make([]Point, 0, len(intervals)+1)
+		placed := false
+		for _, ivl := range intervals {
+			if !placed && daly < ivl {
+				pts = append(pts, point(daly, fault.CheckpointDaly, 0))
+				placed = true
+			}
+			pts = append(pts, point(ivl, fault.CheckpointPeriodic, ivl))
+		}
+		if !placed {
+			pts = append(pts, point(daly, fault.CheckpointDaly, 0))
+		}
+		id := fmt.Sprintf("checkpoint-mtbf%d", int(mtbf))
+		return &Sweep{
+			ID: id, Title: fmt.Sprintf("%s (Load=0.9, P_S=0.5, C=%d, MTBF=%g)", id, cost, mtbf),
+			XLabel:     "checkpoint interval (s)",
+			Algorithms: algos("EASY", "Delayed-LOS"),
+			Points:     pts,
+			Seeds:      DefaultSeeds(),
+		}
+	}
+	return &Experiment{
+		ID:    "checkpoint",
+		Title: "Extension: checkpoint-cost economics (interval sweep per MTBF, daly marker)",
+		Notes: "Expected: lost work falls and checkpoint overhead rises as the interval shrinks; the daly point (x = sqrt(2*MTBF*C)) tracks each panel's total-cost optimum.",
+		Panels: []*Sweep{
+			panel(mtbfs[0]),
+			panel(mtbfs[1]),
+		},
+	}
+}
+
 // All returns every defined experiment, paper figures first.
 func All() []*Experiment {
 	return []*Experiment{
@@ -598,6 +662,7 @@ func All() []*Experiment {
 		Baselines(), Lookahead(), ECCSensitivity(), SizeElastic(),
 		Estimates(), LOSVariants(), HeteroBaselines(), Fragmentation(),
 		MachineScaling(), LongRun(), AdaptiveStudy(), Robustness(),
+		Checkpoint(),
 	}
 }
 

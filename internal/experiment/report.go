@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"elastisched/internal/fault"
 	"elastisched/internal/metrics"
 	"elastisched/internal/plot"
 	"elastisched/internal/stats"
@@ -29,6 +30,11 @@ var (
 	MetricDedOnTime   = Metric{"dedontime", "dedicated on-time fraction", func(s metrics.Summary) float64 { return s.DedicatedOnTime }, true}
 	MetricSteadyUtil  = Metric{"steadyutil", "steady-state utilization", func(s metrics.Summary) float64 { return s.SteadyUtilization }, true}
 	MetricSteadyWait  = Metric{"steadywait", "steady-state mean wait (s)", func(s metrics.Summary) float64 { return s.SteadyMeanWait }, false}
+
+	// Fault-pipeline metrics for robustness and checkpoint-economics sweeps.
+	MetricLostWork  = Metric{"lostwork", "lost work (proc·s)", func(s metrics.Summary) float64 { return s.LostWorkSeconds }, false}
+	MetricFaultCost = Metric{"faultcost", "lost work + checkpoint overhead (proc·s)",
+		func(s metrics.Summary) float64 { return s.LostWorkSeconds + s.CheckpointOverheadSeconds }, false}
 )
 
 // Metrics lists the standard report metrics in order.
@@ -36,7 +42,7 @@ func Metrics() []Metric { return []Metric{MetricUtil, MetricWait, MetricSlow} }
 
 // MetricByName resolves a metric name.
 func MetricByName(name string) (Metric, error) {
-	for _, m := range []Metric{MetricUtil, MetricWait, MetricSlow, MetricBoundedSlow, MetricP95Wait, MetricDedOnTime, MetricSteadyUtil, MetricSteadyWait} {
+	for _, m := range []Metric{MetricUtil, MetricWait, MetricSlow, MetricBoundedSlow, MetricP95Wait, MetricDedOnTime, MetricSteadyUtil, MetricSteadyWait, MetricLostWork, MetricFaultCost} {
 		if m.Name == name {
 			return m, nil
 		}
@@ -208,6 +214,42 @@ func (r *Result) FaultTSV() string {
 			fmt.Fprintf(&b, "%s\t%g\t%s\t%.6f\t%.3f\t%.3f\t%.5f\t%d\t%d\t%d\t%.1f\t%.1f\t%d\t%.1f\t%.1f\t%.4f\t%d\n",
 				r.Sweep.ID, pt.X, a.Name, s.Utilization, s.MeanWait, s.MeanRun, s.Slowdown,
 				s.KilledJobs, s.RetriedJobs, s.DroppedJobs, s.LostWorkSeconds, s.DownProcSeconds,
+				s.SchedulerResizes, s.ShrunkProcSeconds, s.ReconfigOverheadSeconds,
+				c.RealizedLoad, c.Runs)
+		}
+	}
+	return b.String()
+}
+
+// HasCheckpoints reports whether any point of the sweep checkpoints —
+// the signal for writing the checkpoint-economics TSV layout. Committed
+// fault-series files keep the FaultTSV layout byte-stable, so checkpoint
+// sweeps get their own.
+func (r *Result) HasCheckpoints() bool {
+	for _, pt := range r.Sweep.Points {
+		if pt.CheckpointPolicy != fault.CheckpointNone {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckpointTSV renders the machine-readable series for checkpointed
+// sweeps: the fault layout plus the checkpoint-economics decomposition —
+// checkpoints taken, the overhead charged for them, and the (now
+// since-checkpoint) lost work they bound.
+func (r *Result) CheckpointTSV() string {
+	var b strings.Builder
+	b.WriteString("sweep\tx\talgorithm\tutil\twait\trun\tslowdown\tkilled\tretried\tdropped\t" +
+		"lost_work\tdown_procsec\tcheckpoints\tckpt_overhead\tresizes\tshrunk_procsec\treconfig_sec\trealized_load\truns\n")
+	for pi, pt := range r.Sweep.Points {
+		for ai, a := range r.Sweep.Algorithms {
+			c := r.Cells[ai][pi]
+			s := c.Summary
+			fmt.Fprintf(&b, "%s\t%g\t%s\t%.6f\t%.3f\t%.3f\t%.5f\t%d\t%d\t%d\t%.1f\t%.1f\t%d\t%.1f\t%d\t%.1f\t%.1f\t%.4f\t%d\n",
+				r.Sweep.ID, pt.X, a.Name, s.Utilization, s.MeanWait, s.MeanRun, s.Slowdown,
+				s.KilledJobs, s.RetriedJobs, s.DroppedJobs, s.LostWorkSeconds, s.DownProcSeconds,
+				s.CheckpointsTaken, s.CheckpointOverheadSeconds,
 				s.SchedulerResizes, s.ShrunkProcSeconds, s.ReconfigOverheadSeconds,
 				c.RealizedLoad, c.Runs)
 		}

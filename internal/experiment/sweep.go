@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -41,6 +43,14 @@ type Point struct {
 	MTTR float64
 	// Retry is the policy applied to failure victims when faults are on.
 	Retry fault.RetryPolicy
+	// CheckpointPolicy lets running batch jobs save restart state when
+	// faults are on: kills then restart from the last checkpoint instead
+	// of the Retry.Restart binary. CheckpointInterval is the periodic
+	// policy's interval I; CheckpointCost is the charge C per checkpoint
+	// (and per restart-from-checkpoint). See fault.CheckpointPolicy.
+	CheckpointPolicy   fault.CheckpointPolicy
+	CheckpointInterval int64
+	CheckpointCost     int64
 	// Malleable turns on scheduler-initiated resizing at this point: the
 	// engine rescales remaining work through every resize and fault victims
 	// with malleable bounds shrink onto their surviving groups instead of
@@ -73,6 +83,48 @@ func (p Point) EffectiveCs() int {
 		return p.Cs
 	}
 	return core.DefaultCs
+}
+
+// Typed point-validation errors, testable with errors.Is alongside the
+// fault package's (ErrNonPositiveMTBF, ErrNegativeMTTR,
+// ErrIntervalWithoutPeriodic, ...).
+var (
+	// ErrNegativeResizeOverhead rejects a negative per-resize penalty.
+	ErrNegativeResizeOverhead = errors.New("experiment: resize overhead must not be negative")
+	// ErrCheckpointWithoutFaults rejects a checkpoint policy on a point
+	// with fault injection off — there is nothing to restart from.
+	ErrCheckpointWithoutFaults = errors.New("experiment: checkpoint policy set without fault injection (MTBF <= 0)")
+)
+
+// ValidateRobustness checks the point's fault and elasticity knobs up
+// front — before any workload is generated — wrapping the fault package's
+// typed errors so callers can test with errors.Is. MTBF <= 0 (faults off)
+// is legal; NaN or negative rates, a negative resize overhead or
+// checkpoint cost, an interval without a periodic policy, and checkpoint
+// policies missing their prerequisites are not.
+func (p Point) ValidateRobustness() error {
+	if math.IsNaN(p.MTBF) || p.MTBF < 0 {
+		return fmt.Errorf("%w (got %g)", fault.ErrNonPositiveMTBF, p.MTBF)
+	}
+	if math.IsNaN(p.MTTR) || p.MTTR < 0 {
+		return fmt.Errorf("%w (got %g)", fault.ErrNegativeMTTR, p.MTTR)
+	}
+	if p.ResizeOverhead < 0 {
+		return fmt.Errorf("%w (got %d)", ErrNegativeResizeOverhead, p.ResizeOverhead)
+	}
+	if err := p.Retry.Validate(); err != nil {
+		return err
+	}
+	if err := fault.ValidateCheckpoint(p.CheckpointPolicy, p.CheckpointInterval, p.CheckpointCost, p.MTBF); err != nil {
+		return err
+	}
+	if p.CheckpointPolicy != fault.CheckpointNone && p.MTBF <= 0 {
+		return fmt.Errorf("%w (policy %s)", ErrCheckpointWithoutFaults, p.CheckpointPolicy)
+	}
+	if p.CheckpointPolicy == fault.CheckpointOnResize && !p.Malleable {
+		return engine.ErrOnResizeNeedsMalleable
+	}
+	return nil
 }
 
 // Sweep is one figure panel: a set of algorithms evaluated over a set of
@@ -179,6 +231,9 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 		return nil, fmt.Errorf("experiment %s: empty sweep", s.ID)
 	}
 	for _, pt := range s.Points {
+		if err := pt.ValidateRobustness(); err != nil {
+			return nil, fmt.Errorf("experiment %s: point %g: %w", s.ID, pt.X, err)
+		}
 		if pt.Route != "" && pt.Clusters <= 1 {
 			return nil, fmt.Errorf("experiment %s: point %g sets Route=%q without Clusters > 1",
 				s.ID, pt.X, pt.Route)
@@ -267,6 +322,9 @@ func (s *Sweep) Run(workers int) (*Result, error) {
 				cfg.Faults = &engine.FaultConfig{
 					MTBF: pt.MTBF, MTTR: pt.MTTR,
 					Seed: seeds[t.si], Retry: pt.Retry,
+					Checkpoint:         pt.CheckpointPolicy,
+					CheckpointInterval: pt.CheckpointInterval,
+					CheckpointCost:     pt.CheckpointCost,
 				}
 			}
 			if pt.Clusters > 1 {

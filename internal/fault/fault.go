@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -67,6 +68,13 @@ var (
 	ErrGroupOutOfRange   = errors.New("fault: group index out of range")
 	ErrNonPositiveGroups = errors.New("fault: group count must be positive")
 	ErrNonPositiveSpan   = errors.New("fault: horizon must be positive")
+
+	ErrUnknownCheckpointPolicy = errors.New("fault: unknown checkpoint policy")
+	ErrNegativeCheckpointCost  = errors.New("fault: checkpoint cost must not be negative")
+	ErrNonPositiveInterval     = errors.New("fault: periodic checkpoint interval must be positive")
+	ErrIntervalWithoutPeriodic = errors.New("fault: checkpoint interval set without a periodic policy")
+	ErrDalyNeedsCost           = errors.New("fault: daly checkpointing needs a positive checkpoint cost")
+	ErrDalyNeedsMTBF           = errors.New("fault: daly checkpointing needs a sampling MTBF (scripted traces carry no rate)")
 )
 
 // Mode selects what happens to a batch job killed by a failure.
@@ -125,6 +133,103 @@ func (p RetryPolicy) Validate() error {
 	return nil
 }
 
+// CheckpointPolicy selects when running batch jobs checkpoint their
+// progress. A checkpoint costs CheckpointCost sim seconds of the job's
+// own occupancy (the job runs that much longer) and moves the job's
+// restart point forward: a later kill loses only the work done since the
+// last checkpoint plus one restart charge, instead of the FullRuntime /
+// RemainingRuntime binary of RetryPolicy.Restart.
+type CheckpointPolicy uint8
+
+const (
+	// CheckpointNone is the exact pre-checkpoint behaviour: kills fall
+	// back to RetryPolicy.Restart and no cost is ever charged.
+	CheckpointNone CheckpointPolicy = iota
+	// CheckpointPeriodic checkpoints every CheckpointInterval seconds of
+	// a job's run (the interval restarts after each checkpoint's cost).
+	CheckpointPeriodic
+	// CheckpointOnResize piggybacks a checkpoint on every applied resize:
+	// reconfiguration already redistributes the job's data, so saving
+	// state there is nearly free — only CheckpointCost extra is charged.
+	// Requires the malleable pipeline.
+	CheckpointOnResize
+	// CheckpointDaly checkpoints periodically at Daly's optimum
+	// I = sqrt(2*MTBF*C), derived from the configured sampling MTBF and
+	// checkpoint cost (Daly, FGCS 2006 first-order approximation).
+	CheckpointDaly
+)
+
+// String returns the flag/file spelling of the policy.
+func (p CheckpointPolicy) String() string {
+	switch p {
+	case CheckpointNone:
+		return "none"
+	case CheckpointPeriodic:
+		return "periodic"
+	case CheckpointOnResize:
+		return "on-resize"
+	case CheckpointDaly:
+		return "daly"
+	}
+	return fmt.Sprintf("checkpoint(%d)", uint8(p))
+}
+
+// ParseCheckpointPolicy resolves a flag spelling, wrapping
+// ErrUnknownCheckpointPolicy.
+func ParseCheckpointPolicy(s string) (CheckpointPolicy, error) {
+	switch s {
+	case "", "none":
+		return CheckpointNone, nil
+	case "periodic":
+		return CheckpointPeriodic, nil
+	case "on-resize":
+		return CheckpointOnResize, nil
+	case "daly":
+		return CheckpointDaly, nil
+	}
+	return 0, fmt.Errorf("%w: %q (want none, periodic, on-resize or daly)", ErrUnknownCheckpointPolicy, s)
+}
+
+// DalyInterval is Daly's first-order optimal checkpoint interval
+// sqrt(2*MTBF*C) for checkpoint cost C, floored to whole sim seconds and
+// at least 1.
+func DalyInterval(mtbf float64, cost int64) int64 {
+	i := int64(math.Sqrt(2 * mtbf * float64(cost)))
+	if i < 1 {
+		return 1
+	}
+	return i
+}
+
+// ValidateCheckpoint checks one checkpoint configuration up front,
+// wrapping the typed errors above. mtbf is the sampling failure rate the
+// policy will run under (0 for scripted traces or no faults): the daly
+// policy derives its interval from it and needs it positive.
+func ValidateCheckpoint(policy CheckpointPolicy, interval, cost int64, mtbf float64) error {
+	if policy > CheckpointDaly {
+		return fmt.Errorf("%w: %d", ErrUnknownCheckpointPolicy, policy)
+	}
+	if cost < 0 {
+		return fmt.Errorf("%w: %d", ErrNegativeCheckpointCost, cost)
+	}
+	if policy == CheckpointPeriodic {
+		if interval <= 0 {
+			return fmt.Errorf("%w: %d", ErrNonPositiveInterval, interval)
+		}
+	} else if interval != 0 {
+		return fmt.Errorf("%w: interval %d with policy %s", ErrIntervalWithoutPeriodic, interval, policy)
+	}
+	if policy == CheckpointDaly {
+		if cost <= 0 {
+			return fmt.Errorf("%w: cost %d", ErrDalyNeedsCost, cost)
+		}
+		if math.IsNaN(mtbf) || mtbf <= 0 {
+			return fmt.Errorf("%w: MTBF %g", ErrDalyNeedsMTBF, mtbf)
+		}
+	}
+	return nil
+}
+
 // GenParams parameterizes sampled fault traces. Each of the machine's
 // node groups fails and recovers independently: an alternating renewal
 // process with exponential time-to-failure (mean MTBF) and exponential
@@ -151,10 +256,10 @@ func Generate(p GenParams) (*Trace, error) {
 	if p.Groups <= 0 {
 		return nil, fmt.Errorf("%w: %d", ErrNonPositiveGroups, p.Groups)
 	}
-	if p.MTBF <= 0 {
+	if math.IsNaN(p.MTBF) || p.MTBF <= 0 {
 		return nil, fmt.Errorf("%w: %g", ErrNonPositiveMTBF, p.MTBF)
 	}
-	if p.MTTR < 0 {
+	if math.IsNaN(p.MTTR) || p.MTTR < 0 {
 		return nil, fmt.Errorf("%w: %g", ErrNegativeMTTR, p.MTTR)
 	}
 	if p.Horizon <= 0 {

@@ -142,6 +142,156 @@ func TestParseWriteRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteParseRoundTripProperty is the round-trip property over sampled
+// traces: for many parameter corners, Write followed by Parse must
+// reproduce every event exactly.
+func TestWriteParseRoundTripProperty(t *testing.T) {
+	cases := []GenParams{
+		{Groups: 1, MTBF: 200, MTTR: 50, Horizon: 10000, Seed: 1},
+		{Groups: 4, MTBF: 1000, MTTR: 0, Horizon: 50000, Seed: 2}, // MTTR 0: instant repairs
+		{Groups: 10, MTBF: 5000, MTTR: 800, Horizon: 100000, Seed: 3},
+		{Groups: 32, MTBF: 300, MTTR: 9000, Horizon: 20000, Seed: 4}, // repairs dominate
+		{Groups: 10, MTBF: 1e9, MTTR: 1, Horizon: 1000, Seed: 5},     // likely empty
+	}
+	for _, p := range cases {
+		tr, err := Generate(p)
+		if err != nil {
+			t.Fatalf("Generate(%+v): %v", p, err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write(%+v): %v", p, err)
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse(%+v): %v\n%s", p, err, buf.String())
+		}
+		if len(back.Events) != len(tr.Events) {
+			t.Fatalf("params %+v: round trip lost events: %d vs %d", p, len(back.Events), len(tr.Events))
+		}
+		for i := range back.Events {
+			a, b := tr.Events[i], back.Events[i]
+			if a.Time != b.Time || a.Kind != b.Kind {
+				t.Fatalf("params %+v: event %d differs: %+v vs %+v", p, i, a, b)
+			}
+			if len(a.Groups) != len(b.Groups) {
+				t.Fatalf("params %+v: event %d group count differs: %v vs %v", p, i, a.Groups, b.Groups)
+			}
+			for gi := range a.Groups {
+				if a.Groups[gi] != b.Groups[gi] {
+					t.Fatalf("params %+v: event %d groups differ: %v vs %v", p, i, a.Groups, b.Groups)
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripEdgeCases pins the written format on the trace shapes that
+// stress the parser: a zero-length outage (repair at the failure instant)
+// and back-to-back outages on the same group.
+func TestRoundTripEdgeCases(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Time: 100, Kind: Fail, Groups: []int{2}},
+		{Time: 100, Kind: Repair, Groups: []int{2}}, // zero-length repair
+		{Time: 100, Kind: Fail, Groups: []int{2}},   // back-to-back on the same group
+		{Time: 150, Kind: Repair, Groups: []int{2}},
+	}}
+	if err := tr.Validate(4); err != nil {
+		t.Fatalf("edge trace invalid before round trip: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(back.Events) != 4 {
+		t.Fatalf("want 4 events, got %d", len(back.Events))
+	}
+	for i := range back.Events {
+		a, b := tr.Events[i], back.Events[i]
+		if a.Time != b.Time || a.Kind != b.Kind || a.Groups[0] != b.Groups[0] {
+			t.Fatalf("event %d differs after round trip: %+v vs %+v", i, a, b)
+		}
+	}
+	// The zero-length outage and the immediate re-failure collapse into
+	// one continuous down window ending at the final repair.
+	win := back.DownWindows(4, 1000)
+	if len(win[2]) != 1 || win[2][0] != [2]int64{100, 150} {
+		t.Fatalf("group 2 windows = %v", win[2])
+	}
+}
+
+func TestParseCheckpointPolicy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want CheckpointPolicy
+	}{
+		{"", CheckpointNone},
+		{"none", CheckpointNone},
+		{"periodic", CheckpointPeriodic},
+		{"on-resize", CheckpointOnResize},
+		{"daly", CheckpointDaly},
+	} {
+		got, err := ParseCheckpointPolicy(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseCheckpointPolicy(%q) = (%v, %v), want %v", c.in, got, err, c.want)
+		}
+		if c.in != "" && got.String() != c.in {
+			t.Errorf("String() = %q, want %q", got.String(), c.in)
+		}
+	}
+	if _, err := ParseCheckpointPolicy("hourly"); !errors.Is(err, ErrUnknownCheckpointPolicy) {
+		t.Errorf("ParseCheckpointPolicy(hourly) = %v, want ErrUnknownCheckpointPolicy", err)
+	}
+}
+
+func TestDalyInterval(t *testing.T) {
+	// sqrt(2 * 20000 * 120) = sqrt(4.8e6) = 2190.89... floored.
+	if got := DalyInterval(20000, 120); got != 2190 {
+		t.Errorf("DalyInterval(20000, 120) = %d, want 2190", got)
+	}
+	if got := DalyInterval(0.001, 1); got != 1 {
+		t.Errorf("tiny MTBF must clamp to 1, got %d", got)
+	}
+}
+
+func TestValidateCheckpoint(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy CheckpointPolicy
+		ivl, c int64
+		mtbf   float64
+		want   error
+	}{
+		{"none ok", CheckpointNone, 0, 0, 0, nil},
+		{"periodic ok", CheckpointPeriodic, 600, 30, 0, nil},
+		{"on-resize ok", CheckpointOnResize, 0, 30, 0, nil},
+		{"daly ok", CheckpointDaly, 0, 30, 40000, nil},
+		{"unknown policy", CheckpointPolicy(9), 0, 0, 0, ErrUnknownCheckpointPolicy},
+		{"negative cost", CheckpointPeriodic, 600, -1, 0, ErrNegativeCheckpointCost},
+		{"periodic zero interval", CheckpointPeriodic, 0, 30, 0, ErrNonPositiveInterval},
+		{"periodic negative interval", CheckpointPeriodic, -5, 30, 0, ErrNonPositiveInterval},
+		{"interval without periodic", CheckpointNone, 600, 0, 0, ErrIntervalWithoutPeriodic},
+		{"interval with daly", CheckpointDaly, 600, 30, 40000, ErrIntervalWithoutPeriodic},
+		{"daly zero cost", CheckpointDaly, 0, 0, 40000, ErrDalyNeedsCost},
+		{"daly no mtbf", CheckpointDaly, 0, 30, 0, ErrDalyNeedsMTBF},
+		{"daly NaN mtbf", CheckpointDaly, 0, 30, math.NaN(), ErrDalyNeedsMTBF},
+	}
+	for _, c := range cases {
+		err := ValidateCheckpoint(c.policy, c.ivl, c.c, c.mtbf)
+		if c.want == nil {
+			if err != nil {
+				t.Errorf("%s: ValidateCheckpoint = %v, want nil", c.name, err)
+			}
+		} else if !errors.Is(err, c.want) {
+			t.Errorf("%s: ValidateCheckpoint = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"abc fail 0",

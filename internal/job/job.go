@@ -109,6 +109,12 @@ type Job struct {
 	MinProcs int
 	MaxProcs int
 
+	// CkptAt is the absolute time of this attempt's last checkpoint;
+	// equals StartTime while none has been taken. Meaningful only while
+	// Running under an engine checkpoint policy — a kill restarts the job
+	// from here instead of from the Restart binary.
+	CkptAt int64
+
 	State     State
 	StartTime int64 // actual dispatch time; meaningful once Running
 	EndTime   int64 // kill-by time StartTime+Dur; meaningful once Running

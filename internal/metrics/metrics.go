@@ -59,6 +59,13 @@ type Collector struct {
 	downProcs int
 	downArea  float64
 
+	// Checkpoint accounting: checkpoints taken by running jobs and the
+	// total cost charged for them (the engine's lost-work decomposition:
+	// what kills destroy shrinks to work-since-checkpoint, what
+	// checkpointing costs shows up here).
+	checkpoints  int
+	ckptOverhead float64
+
 	// Malleability accounting: system-initiated resizes applied, the
 	// processor-seconds of planned capacity ceded by shrinks, and the total
 	// reconfiguration overhead charged to resized jobs.
@@ -202,10 +209,14 @@ func (c *Collector) JobFinished(j *job.Job, t int64) {
 }
 
 // JobKilled accounts for a running job killed by a node-group failure at
-// time t: its processors free up, the work it had completed is lost, and
-// it either re-enters the waiting queue later (requeued — a fresh
-// JobArrived will fire at its resubmission) or leaves the system.
-func (c *Collector) JobKilled(j *job.Job, t int64, requeued bool) {
+// time t: its processors free up, the work completed since lostFrom is
+// lost, and it either re-enters the waiting queue later (requeued — a
+// fresh JobArrived will fire at its resubmission) or leaves the system.
+// Without checkpointing lostFrom is the job's start time (everything is
+// lost); under a checkpoint policy the engine passes the last checkpoint
+// instant for requeued kills, so LostWorkSeconds decomposes exactly into
+// work-since-checkpoint.
+func (c *Collector) JobKilled(j *job.Job, t int64, requeued bool, lostFrom int64) {
 	c.integrate(t)
 	c.busy -= j.Size
 	if c.busy < 0 {
@@ -213,14 +224,24 @@ func (c *Collector) JobKilled(j *job.Job, t int64, requeued bool) {
 	}
 	c.noteBusy(t)
 	c.killed++
-	if elapsed := t - j.StartTime; elapsed > 0 {
-		c.lostWork += float64(elapsed) * float64(j.Size)
+	if lost := t - lostFrom; lost > 0 {
+		c.lostWork += float64(lost) * float64(j.Size)
 	}
 	if requeued {
 		c.retried++
 	} else {
 		c.dropped++
 	}
+}
+
+// CheckpointTaken counts one checkpoint and the cost charged to the job's
+// remaining runtime for taking it (zero-cost checkpoints still count). The
+// overhead accumulates in processor-seconds — cost x size, since all of
+// the job's processors stay occupied for the extra time — so it is
+// directly comparable against LostWorkSeconds in the cost trade.
+func (c *Collector) CheckpointTaken(cost int64, size int) {
+	c.checkpoints++
+	c.ckptOverhead += float64(cost) * float64(size)
 }
 
 // CapacityChanged records the out-of-service processor count after a
@@ -372,6 +393,8 @@ type Snapshot struct {
 	LostWork    float64    `json:"lost_work,omitempty"`
 	DownProcs   int        `json:"down_procs,omitempty"`
 	DownArea    float64    `json:"down_area,omitempty"`
+	Checkpoints int        `json:"checkpoints,omitempty"`
+	CkptCost    float64    `json:"ckpt_cost,omitempty"`
 	BusySteps   []BusyStep `json:"busy_steps,omitempty"`
 	PerJob      []JobPoint `json:"per_job,omitempty"`
 
@@ -393,6 +416,7 @@ func (c *Collector) Snapshot() Snapshot {
 		Queued: c.queued, MaxQueued: c.maxQueued,
 		Killed: c.killed, Retried: c.retried, Dropped: c.dropped,
 		LostWork: c.lostWork, DownProcs: c.downProcs, DownArea: c.downArea,
+		Checkpoints: c.checkpoints, CkptCost: c.ckptOverhead,
 		SchedResizes: c.schedResizes, ShrunkProcSecs: c.shrunkProcSecs,
 		ReconfigSecs: c.reconfigSecs,
 	}
@@ -418,6 +442,7 @@ func NewCollectorFromSnapshot(s Snapshot) *Collector {
 		queued: s.Queued, maxQueued: s.MaxQueued,
 		killed: s.Killed, retried: s.Retried, dropped: s.Dropped,
 		lostWork: s.LostWork, downProcs: s.DownProcs, downArea: s.DownArea,
+		checkpoints: s.Checkpoints, ckptOverhead: s.CkptCost,
 		schedResizes: s.SchedResizes, shrunkProcSecs: s.ShrunkProcSecs,
 		reconfigSecs: s.ReconfigSecs,
 	}
@@ -484,6 +509,17 @@ type Summary struct {
 	LostWorkSeconds float64
 	DownProcSeconds float64
 
+	// Checkpoint accounting (all zero when the checkpoint policy is none).
+	// CheckpointsTaken counts checkpoints across all running jobs;
+	// CheckpointOverheadSeconds is the total cost charged for them, in
+	// processor-seconds (cost x job size per checkpoint). Under a
+	// checkpoint policy LostWorkSeconds shrinks to work-since-checkpoint
+	// for requeued kills, so lost work and checkpoint overhead together
+	// decompose exactly what the fault pipeline cost the machine, in the
+	// same processor-second currency.
+	CheckpointsTaken          int
+	CheckpointOverheadSeconds float64
+
 	// Malleability accounting (all zero when Malleable mode is off).
 	// SchedulerResizes counts applied system-initiated resizes (scheduler
 	// proposals and fault-path shrinks); ShrunkProcSeconds is the planned
@@ -510,6 +546,9 @@ func (c *Collector) Summary() Summary {
 		RetriedJobs:     c.retried,
 		DroppedJobs:     c.dropped,
 		LostWorkSeconds: c.lostWork,
+
+		CheckpointsTaken:          c.checkpoints,
+		CheckpointOverheadSeconds: c.ckptOverhead,
 
 		SchedulerResizes:        c.schedResizes,
 		ShrunkProcSeconds:       c.shrunkProcSecs,
@@ -703,6 +742,7 @@ func Average(sums []Summary) Summary {
 	acc(func(s *Summary) *float64 { return &s.SteadyMeanWait })
 	acc(func(s *Summary) *float64 { return &s.LostWorkSeconds })
 	acc(func(s *Summary) *float64 { return &s.DownProcSeconds })
+	acc(func(s *Summary) *float64 { return &s.CheckpointOverheadSeconds })
 	acc(func(s *Summary) *float64 { return &s.ShrunkProcSeconds })
 	acc(func(s *Summary) *float64 { return &s.ReconfigOverheadSeconds })
 	return out
